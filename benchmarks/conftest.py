@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each ``test_bench_*`` file regenerates one paper figure/table through
+pytest-benchmark: the benchmarked callable *is* the experiment, and the
+printed table (via ``--benchmark-verbose`` or the module's ``run``)
+carries the same rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_samples():
+    """Sample count shared by the performance benches (kept small so a
+    full bench pass stays in minutes)."""
+    return 1

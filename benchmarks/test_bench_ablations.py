@@ -1,0 +1,44 @@
+"""Benchmark: the design-choice ablations DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_bench_sld_ablation(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_sld_ablation,
+        kwargs=dict(models=("BERT-B", "ViT-B", "GPT-2-L")),
+        iterations=1, rounds=1,
+    )
+    for r in rows:
+        assert r.traffic_saving >= 1.0
+    print()
+    for r in rows:
+        print(f"SLD ablation {r.model}: {r.traffic_saving:.2f}x traffic "
+              f"saving from locality reuse")
+
+
+def test_bench_interleaving_ablation(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_interleaving_ablation,
+        kwargs=dict(models=("BERT-B", "GPT-2-L")),
+        iterations=1, rounds=1,
+    )
+    for r in rows:
+        assert r.slowdown_without_interleaving >= 1.0
+    print()
+    for r in rows:
+        print(f"interleaving ablation {r.model}: sequential mapping "
+              f"{r.slowdown_without_interleaving:.2f}x slower")
+
+
+def test_bench_locality_ablation(benchmark):
+    rows = benchmark.pedantic(
+        ablations.run_locality_ablation,
+        kwargs=dict(localities=(0.2, 0.5, 0.8), seq_len=256),
+        iterations=1, rounds=1,
+    )
+    assert rows[-1].energy_reduction >= rows[0].energy_reduction
+    print()
+    for r in rows:
+        print(f"locality={r.locality:.1f}: overlap {r.measured_overlap:.1%},"
+              f" energy reduction {r.energy_reduction:.2f}x")

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the end-to-end (attention + FFN) study."""
+
+from repro.experiments import ffn_end_to_end
+
+
+def test_bench_ffn(benchmark, bench_samples):
+    rows = benchmark(ffn_end_to_end.run, num_samples=bench_samples)
+    by_model = {r.model: r for r in rows}
+    # Paper: BERT-B 2.2x/1.8x, ViT-B ~1.1x/1.0x, Synth-2 7.7x/4.7x.
+    assert 1.5 < by_model["BERT-B"].end_to_end_energy_saving < 4.0
+    assert 1.3 < by_model["BERT-B"].end_to_end_speedup < 3.5
+    assert by_model["ViT-B"].end_to_end_speedup < 1.5
+    assert by_model["Synth-2"].end_to_end_speedup > 3.0
+    print()
+    print(ffn_end_to_end.format_table(rows))

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 1 (memory-energy share sweep)."""
+
+from repro.experiments import fig1_memory_energy
+
+
+def test_bench_fig1(benchmark):
+    rows = benchmark(
+        fig1_memory_energy.run,
+        seq_lengths=(32, 64, 128, 256, 512, 1024, 2048, 4096),
+        fractions=(0.2, 0.4, 0.6, 0.8, 1.0),
+    )
+    assert len(rows) == 40
+    at20 = [r for r in rows if r.capacity_fraction == 0.2]
+    # Paper headline: memory dominates (>60% avg) at 20% capacity.
+    avg = sum(r.memory_energy_fraction for r in at20) / len(at20)
+    assert avg > 0.55
+    print()
+    print(fig1_memory_energy.format_table(rows))

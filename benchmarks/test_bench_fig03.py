@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 3 (overlap vs random / Eq. 1)."""
+
+from repro.experiments import fig3_overlap
+
+
+def test_bench_fig3(benchmark, bench_samples):
+    rows = benchmark(
+        fig3_overlap.run,
+        models=("BERT-B", "ViT-B", "ALBERT-XXL"),
+        num_samples=bench_samples,
+    )
+    for r in rows:
+        assert r.real_overlap > r.random_overlap
+    bert = next(r for r in rows if r.model == "BERT-B")
+    assert bert.ratio_vs_random > 2.0  # the paper's 2-3x gap
+    print()
+    print(fig3_overlap.format_table(rows))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 5 (accuracy vs in-memory score bits)."""
+
+from repro.experiments import fig5_bit_sensitivity
+
+
+def test_bench_fig5(benchmark):
+    rows = benchmark.pedantic(
+        fig5_bit_sensitivity.run,
+        kwargs=dict(num_samples=24, seq_len=96),
+        iterations=1, rounds=1,
+    )
+    curves = fig5_bit_sensitivity.accuracy_curves(rows)
+    for task, curve in curves.items():
+        # The paper's shape: >=4-bit scores sit at baseline accuracy,
+        # 1-bit collapses.
+        assert curve[1] <= curve[8] + 1e-9, task
+        assert curve[4] >= curve[8] - 0.1, task
+    print()
+    print(fig5_bit_sensitivity.format_table(rows))

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (CORELET imbalance)."""
+
+from repro.experiments import fig8_imbalance
+
+
+def test_bench_fig8(benchmark, bench_samples):
+    rows = benchmark(
+        fig8_imbalance.run,
+        models=("BERT-B", "ViT-B", "GPT-2-L"),
+        corelet_counts=(2, 4, 8, 16),
+        num_samples=bench_samples,
+    )
+    for r in rows:
+        assert r.interleaved_imbalance <= r.sequential_imbalance
+    print()
+    print(fig8_imbalance.format_table(rows))

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 9 (accuracy under the four scenarios)."""
+
+from repro.experiments import fig9_accuracy
+
+
+def test_bench_fig9(benchmark):
+    rows = benchmark.pedantic(
+        fig9_accuracy.run,
+        kwargs=dict(num_samples=32, seq_len=96),
+        iterations=1, rounds=1,
+    )
+    acc_rows = [r for r in rows if r.metric == "accuracy"]
+    # SPRINT stays close to baseline (paper: 0.36% average degradation).
+    avg = fig9_accuracy.average_degradation(rows)
+    assert abs(avg) < 0.06
+    # Removing recompute is never better than SPRINT on average.
+    no_rec = sum(r.sprint_no_recompute for r in acc_rows)
+    with_rec = sum(r.sprint for r in acc_rows)
+    assert no_rec <= with_rec + 0.05 * len(acc_rows)
+    print()
+    print(fig9_accuracy.format_table(rows))

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 10 (data-movement reduction)."""
+
+from repro.experiments import fig10_data_movement
+
+
+def test_bench_fig10(benchmark, bench_samples):
+    rows = benchmark(
+        fig10_data_movement.run, num_samples=bench_samples
+    )
+    avg = fig10_data_movement.average_reductions(rows)
+    # Paper: 94.9/98.5/98.9% average SPRINT reduction for S/M/L.
+    assert avg["S-SPRINT"]["sprint"] > 0.90
+    assert avg["L-SPRINT"]["sprint"] >= avg["S-SPRINT"]["sprint"] - 0.02
+    # Mask-only always below the full SPRINT reduction.
+    for cfg in avg:
+        assert avg[cfg]["mask_only"] <= avg[cfg]["sprint"]
+    print()
+    print(fig10_data_movement.format_table(rows))

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 11 (speedup + pruning-only ablation)."""
+
+from repro.experiments import fig11_speedup
+
+
+def test_bench_fig11(benchmark, bench_samples):
+    rows = benchmark(fig11_speedup.run, num_samples=bench_samples)
+    g = fig11_speedup.geomeans(rows)
+    # Paper: 7.49/7.36/7.13x geomean, S >= M >= L ordering.
+    assert g["S-SPRINT"]["sprint"] >= g["M-SPRINT"]["sprint"]
+    assert g["M-SPRINT"]["sprint"] >= g["L-SPRINT"]["sprint"]
+    for cfg in g:
+        assert 4.0 < g[cfg]["sprint"] < 16.0
+        # Ablation: pruning-only is far weaker (paper 1.7-1.8x).
+        assert g[cfg]["pruning_only"] < g[cfg]["sprint"] / 2
+    # ViT-B is the minimum-benefit model (paper: 2.7-2.8x).
+    vit = [r.speedup for r in rows if r.model == "ViT-B"]
+    assert all(v < 4.0 for v in vit)
+    print()
+    print(fig11_speedup.format_table(rows))

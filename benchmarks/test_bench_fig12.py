@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 12 (energy reduction)."""
+
+from repro.experiments import fig12_energy
+
+
+def test_bench_fig12(benchmark, bench_samples):
+    rows = benchmark(fig12_energy.run, num_samples=bench_samples)
+    g = fig12_energy.geomeans(rows)
+    # Paper: 19.56/16.82/12.03x with S > M > L ordering.
+    assert g["S-SPRINT"] > g["M-SPRINT"] > g["L-SPRINT"]
+    assert 8.0 < g["L-SPRINT"] and g["S-SPRINT"] < 30.0
+    # Synth models invert the ordering (L benefits most).
+    synth = {
+        r.config: r.energy_reduction
+        for r in rows if r.model == "Synth-1"
+    }
+    assert synth["L-SPRINT"] > synth["S-SPRINT"]
+    print()
+    print(fig12_energy.format_table(rows))

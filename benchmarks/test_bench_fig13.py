@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 13 (M-SPRINT energy breakdown)."""
+
+from repro.experiments import fig13_breakdown
+
+
+def test_bench_fig13(benchmark, bench_samples):
+    rows = benchmark(fig13_breakdown.run, num_samples=bench_samples)
+    savings = fig13_breakdown.savings_by_model(rows)
+    # Paper: pruning-only ~1.9-2.0x (ViT 1.4x); SPRINT ~17-31x.
+    assert 1.7 < savings["BERT-B"]["pruning_only"] < 2.2
+    assert savings["ViT-B"]["pruning_only"] < 1.6
+    assert savings["BERT-B"]["sprint"] > 10.0
+    # Baseline spends ~47.8% on ReRAM reads (except ViT).
+    bert_base = next(
+        r for r in rows
+        if r.model == "BERT-B" and r.scenario == "baseline"
+    )
+    assert 0.4 < bert_base.fractions["reram_read"] < 0.7
+    print()
+    print(fig13_breakdown.format_table(rows))

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table III (comparison with prior work)."""
+
+from repro.experiments import table3_comparison
+
+
+def test_bench_table3(benchmark, bench_samples):
+    rows = benchmark(table3_comparison.run, num_samples=bench_samples)
+    msprint = next(r for r in rows if r.simulated)
+    prior = {r.name: r for r in rows if not r.simulated}
+    # Paper: M-SPRINT wins GOPs/s (3.5x over A3, 3.2x over LeOPArd,
+    # 5.0x over SpAtten) and GOPs/s/mm2, loses raw GOPs/J to A3.
+    assert msprint.gops_per_s > prior["A3"].gops_per_s
+    assert msprint.gops_per_s > prior["LeOPArd"].gops_per_s
+    assert msprint.gops_per_s_mm2 > prior["A3"].gops_per_s_mm2
+    assert prior["A3"].gops_per_j > msprint.gops_per_j
+    assert msprint.gops_per_j > prior["LeOPArd"].gops_per_j
+    print()
+    print(table3_comparison.format_table(rows))

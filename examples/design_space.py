@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Design-space exploration: beyond the paper's three configurations.
+
+The paper evaluates S/M/L-SPRINT; an adopter wants the whole frontier.
+This example sweeps CORELET count x on-chip cache on BERT-B, prints the
+grid with Pareto-optimal points starred, projects the die area of each
+point from the paper's Figure 14 layout, and answers the deployment
+question: "best configuration under a 2 mm^2 budget?"
+
+Usage::
+
+    python examples/design_space.py
+"""
+
+from repro.core.design_space import (
+    best_under_area,
+    format_table,
+    pareto_frontier,
+    sweep,
+)
+
+
+def main() -> None:
+    points = sweep(
+        "BERT-B",
+        corelet_counts=(1, 2, 4, 8),
+        cache_sizes_kb=(8, 16, 32, 64),
+        num_samples=1,
+    )
+    print(format_table(points))
+    print()
+
+    frontier = pareto_frontier(points)
+    print(f"Pareto frontier: {len(frontier)} of {len(points)} points")
+    print()
+
+    for budget in (1.0, 2.0, 4.0):
+        best = best_under_area(points, budget)
+        if best is None:
+            print(f"  {budget:.1f} mm^2 budget: nothing fits")
+        else:
+            print(
+                f"  {budget:.1f} mm^2 budget -> {best.num_corelets} "
+                f"CORELETs, {best.cache_kb} KB "
+                f"({best.area_mm2:.2f} mm^2, EDP {best.edp:.3g})"
+            )
+    print()
+    print("The paper's S-SPRINT (1 CORELET, 16 KB) sits on the frontier "
+          "for tight\nbudgets -- exactly its resource-constrained-edge "
+          "positioning.")
+
+
+if __name__ == "__main__":
+    main()

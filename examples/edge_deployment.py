@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Resource-constrained deployment: sizing on-chip memory for an edge NPU.
+
+Transformer inference on edge devices (paper section II-B) cannot assume
+buffers large enough for whole K/V matrices.  This example sweeps the
+fraction of the working set that fits on chip and contrasts how the
+baseline and SPRINT respond -- the design question an edge-NPU architect
+actually faces: "how much SRAM do I need before returns diminish?"
+
+Usage::
+
+    python examples/edge_deployment.py
+"""
+
+import numpy as np
+
+from repro.core.configs import SprintConfig
+from repro.core.system import ExecutionMode, SprintSystem
+from repro.models.zoo import get_model
+from repro.workloads.generator import generate_workload
+
+
+def config_with_cache(kb: int) -> SprintConfig:
+    return SprintConfig(
+        name=f"edge-{kb}KB", num_corelets=1, onchip_cache_kb=kb,
+        num_qkpu=1, num_vpu=1, num_softmax=1,
+        query_buffer_bytes=64, index_buffer_bytes=512,
+    )
+
+
+def main() -> None:
+    spec = get_model("BERT-B")
+    workload = generate_workload(
+        seq_len=spec.seq_len,
+        pruning_rate=spec.pruning_rate,
+        padding_ratio=spec.padding_ratio,
+        num_samples=2,
+        locality=spec.locality,
+        seed=3,
+    )
+    cache_sizes = (4, 8, 16, 32, 48, 64)
+
+    print(f"Edge sizing study on {spec.name} (s={spec.seq_len})")
+    print(f"{'cache':>6} {'coverage':>9} {'baseline uJ':>12} "
+          f"{'SPRINT uJ':>10} {'reduction':>10} {'SPRINT fetch/query':>19}")
+    for kb in cache_sizes:
+        config = config_with_cache(kb)
+        system = SprintSystem(config)
+        base = system.simulate_workload(
+            workload, ExecutionMode.BASELINE, spec.name
+        )
+        sprint = system.simulate_workload(
+            workload, ExecutionMode.SPRINT, spec.name
+        )
+        coverage = min(1.0, config.kv_capacity_vectors / spec.seq_len)
+        fetch_per_query = (
+            sprint.counts["key_fetches"] / max(sprint.counts["queries"], 1)
+        )
+        print(
+            f"{kb:>4}KB {coverage:>8.1%} "
+            f"{base.total_energy_pj / 1e6:>12.2f} "
+            f"{sprint.total_energy_pj / 1e6:>10.2f} "
+            f"{sprint.energy_reduction_vs(base):>9.2f}x "
+            f"{fetch_per_query:>18.2f}"
+        )
+
+    print()
+    print("Takeaway: the baseline needs the full working set on chip to "
+          "tame data\nmovement, while SPRINT's in-memory pruning + "
+          "locality reuse flattens the curve\n-- a few KB suffice "
+          "(the paper's 1.6x energy edge of 16 KB over 64 KB).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Long-sequence scaling: why SPRINT targets futuristic models.
+
+The paper motivates SPRINT with the trend toward multi-thousand-token
+sequences (GPT-class models, Synth-1/2 with 2K/4K tokens): on-chip
+buffers hold a shrinking sliver of the K/V working set, so the baseline
+drowns in data movement.  This example sweeps GPT-2-L, Synth-1, and
+Synth-2 across the three SPRINT configurations and shows how the energy
+benefit *grows* with sequence length -- and how, unlike the short-
+sequence models, the Synth models reward the *larger* configurations.
+
+Usage::
+
+    python examples/long_sequence_gpt.py
+"""
+
+from repro import (
+    ExecutionMode,
+    L_SPRINT,
+    M_SPRINT,
+    S_SPRINT,
+    SprintSystem,
+    get_model,
+)
+
+
+def main() -> None:
+    models = ("GPT-2-L", "Synth-1", "Synth-2")
+    configs = (S_SPRINT, M_SPRINT, L_SPRINT)
+
+    header = f"{'model':<10} {'seq':>5} " + "".join(
+        f"{c.name:>12} " for c in configs
+    )
+    print("Energy reduction vs iso-resource baseline (higher is better)")
+    print(header)
+    for name in models:
+        spec = get_model(name)
+        cells = []
+        for config in configs:
+            system = SprintSystem(config)
+            base = system.simulate_model(
+                spec, ExecutionMode.BASELINE, num_samples=1, seed=0
+            )
+            sprint = system.simulate_model(
+                spec, ExecutionMode.SPRINT, num_samples=1, seed=0
+            )
+            cells.append(f"{sprint.energy_reduction_vs(base):>11.2f}x")
+        print(f"{name:<10} {spec.seq_len:>5} " + " ".join(cells))
+
+    print()
+    print("Coverage of the K/V working set by the on-chip buffers:")
+    for name in models:
+        spec = get_model(name)
+        for config in configs:
+            coverage = min(
+                1.0, config.kv_capacity_vectors / spec.seq_len
+            )
+            print(f"  {name:<10} {config.name:<9} holds "
+                  f"{coverage:6.1%} of the {spec.seq_len}-token sequence")
+    print()
+    print("Note the inversion: for 2K-4K sequences even 64 KB covers only "
+          "a sliver,\nso the larger configs' extra reuse room wins "
+          "(paper section VII-A).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: simulate SPRINT vs the baseline on BERT-B.
+
+Runs one attention head of BERT-B (SQUAD statistics: 384 tokens, 74.6%
+pruning rate, 46% padding) through the S-SPRINT configuration and the
+iso-resource baseline, then prints the headline metrics the paper leads
+with: speedup, energy reduction, and data-movement reduction.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import ExecutionMode, S_SPRINT, SprintSystem, get_model
+
+
+def main() -> None:
+    spec = get_model("BERT-B")
+    system = SprintSystem(S_SPRINT)
+
+    print(f"Model    : {spec.name} ({spec.dataset}, s={spec.seq_len}, "
+          f"pruning rate {spec.pruning_rate:.1%}, "
+          f"padding {spec.padding_ratio:.0%})")
+    print(f"Hardware : {S_SPRINT.name} -- {S_SPRINT.num_corelets} CORELET, "
+          f"{S_SPRINT.onchip_cache_kb} KB on-chip K/V buffers")
+    print()
+
+    baseline = system.simulate_model(
+        spec, ExecutionMode.BASELINE, num_samples=3, seed=0
+    )
+    sprint = system.simulate_model(
+        spec, ExecutionMode.SPRINT, num_samples=3, seed=0
+    )
+
+    print(baseline.describe())
+    print()
+    print(sprint.describe())
+    print()
+    print(f"speedup                 : {sprint.speedup_vs(baseline):5.2f}x "
+          f"(paper: 8.98x for BERT-B / S-SPRINT)")
+    print(f"energy reduction        : "
+          f"{sprint.energy_reduction_vs(baseline):5.2f}x "
+          f"(paper: 22.92x)")
+    print(f"data-movement reduction : "
+          f"{sprint.data_movement_reduction_vs(baseline):6.1%} "
+          f"(paper: 98.3%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Reproduction of SPRINT (MICRO 2022).
+
+SPRINT accelerates transformer self-attention by pruning low-score
+query-key pairs *inside* ReRAM memory (approximate analog thresholding)
+and recomputing only the surviving scores on chip in full precision.
+
+Top-level convenience re-exports cover the most common entry points;
+each subpackage carries the full API:
+
+- :mod:`repro.attention`   -- attention math, runtime pruning, quantization
+- :mod:`repro.models`      -- numpy transformer zoo and synthetic tasks
+- :mod:`repro.reram`       -- ReRAM crossbar / transposable-array substrate
+- :mod:`repro.memory`      -- memory controller, commands, timing, SLD engine
+- :mod:`repro.accelerator` -- CORELET on-chip accelerator and baseline
+- :mod:`repro.energy`      -- Table II energy constants and accounting
+- :mod:`repro.workloads`   -- calibrated synthetic pruning/padding workloads
+- :mod:`repro.core`        -- the SPRINT system simulator (the contribution)
+- :mod:`repro.experiments` -- one module per paper figure/table
+"""
+
+from repro.core.configs import (
+    SprintConfig,
+    L_SPRINT,
+    M_SPRINT,
+    S_SPRINT,
+)
+from repro.core.system import ExecutionMode, SprintSystem
+from repro.models.zoo import MODEL_ZOO, ModelSpec, get_model
+
+__all__ = [
+    "SprintConfig",
+    "S_SPRINT",
+    "M_SPRINT",
+    "L_SPRINT",
+    "SprintSystem",
+    "ExecutionMode",
+    "ModelSpec",
+    "MODEL_ZOO",
+    "get_model",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,53 @@
+"""SPRINT on-chip accelerator: CORELETs, processing units, buffers.
+
+Implements paper section VI: N independent CORELETs, each a pipelined
+QK-PU (64-tap 8-bit dot product) -> Softmax (12-bit in, 8-bit out,
+two-LUT exponent) -> V-PU chain, with K/V/index buffers, stream-style
+Q handling, token interleaving for load balance, and a rotating pointer
+to bypass rare data misses.  The baseline design (same resources, no
+pruning / no SPRINT controller / no 2-D reduction) lives here too.
+"""
+
+from repro.accelerator.arithmetic import (
+    FixedPointFormat,
+    lut_exponential,
+    saturating_mac,
+)
+from repro.accelerator.buffers import BufferStats, IndexBuffer, SRAMBuffer
+from repro.accelerator.corelet import Corelet, CoreletStats
+from repro.accelerator.engine import EngineStats, SprintEngine
+from repro.accelerator.baseline import (
+    BaselineTraffic,
+    baseline_compute_cycles,
+    baseline_head_traffic,
+)
+from repro.accelerator.interleave import (
+    assign_tokens,
+    imbalance_ratio,
+    workload_imbalance,
+)
+from repro.accelerator.qkpu import QKProcessingUnit
+from repro.accelerator.softmax_unit import SoftmaxUnit
+from repro.accelerator.vpu import VProcessingUnit
+
+__all__ = [
+    "SprintEngine",
+    "EngineStats",
+    "FixedPointFormat",
+    "saturating_mac",
+    "lut_exponential",
+    "SRAMBuffer",
+    "IndexBuffer",
+    "BufferStats",
+    "QKProcessingUnit",
+    "VProcessingUnit",
+    "SoftmaxUnit",
+    "Corelet",
+    "CoreletStats",
+    "BaselineTraffic",
+    "baseline_head_traffic",
+    "baseline_compute_cycles",
+    "assign_tokens",
+    "imbalance_ratio",
+    "workload_imbalance",
+]

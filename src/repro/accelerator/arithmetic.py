@@ -1,0 +1,97 @@
+"""Fixed-point arithmetic helpers for the digital datapath (section VI).
+
+SPRINT computes in 8-bit precision except Softmax (12-bit inputs) and
+the final attention values (16-bit).  The exponent uses the two
+look-up-table decomposition of prior work ([54, 90]):
+``exp(x) = exp(hi) * exp(lo)`` where ``hi``/``lo`` are the high and low
+fields of the fixed-point input, each indexing a 64-entry table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point with ``total_bits`` and ``frac_bits``."""
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self):
+        if self.total_bits < 2 or not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError("invalid fixed-point format")
+
+    @property
+    def scale(self) -> float:
+        return float(2 ** self.frac_bits)
+
+    @property
+    def max_code(self) -> int:
+        return 2 ** (self.total_bits - 1) - 1
+
+    @property
+    def min_code(self) -> int:
+        return -(2 ** (self.total_bits - 1))
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        codes = np.round(np.asarray(x, dtype=np.float64) * self.scale)
+        return np.clip(codes, self.min_code, self.max_code).astype(np.int64)
+
+    def to_real(self, codes: np.ndarray) -> np.ndarray:
+        return np.asarray(codes, dtype=np.float64) / self.scale
+
+
+#: Datapath formats from section VI.
+SCORE_FORMAT = FixedPointFormat(total_bits=12, frac_bits=6)  # softmax input
+PROB_FORMAT = FixedPointFormat(total_bits=8, frac_bits=7)  # softmax output
+ATTENTION_FORMAT = FixedPointFormat(total_bits=16, frac_bits=8)  # final values
+
+
+def saturating_mac(
+    accumulator: int, a: int, b: int, total_bits: int = 17
+) -> int:
+    """One saturating multiply-accumulate step (adder-tree element)."""
+    hi = 2 ** (total_bits - 1) - 1
+    lo = -(2 ** (total_bits - 1))
+    return int(np.clip(accumulator + a * b, lo, hi))
+
+
+def build_exponent_luts(
+    fmt: FixedPointFormat = SCORE_FORMAT, entries: int = 64
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Build the two 64-entry exponent tables.
+
+    The 12-bit score code splits into a high field (coarse) and a low
+    field (fine); the tables hold ``exp`` of each field's real value.
+    Returns ``(hi_table, lo_table, lo_bits)``.
+    """
+    lo_bits = int(np.log2(entries))
+    hi_levels = entries
+    lo_levels = entries
+    # Scores entering softmax are <= 0 after max subtraction.
+    hi_step = (2 ** lo_bits) / fmt.scale
+    hi_table = np.exp(-np.arange(hi_levels) * hi_step)
+    lo_table = np.exp(-np.arange(lo_levels) / fmt.scale)
+    return hi_table, lo_table, lo_bits
+
+
+_HI_TABLE, _LO_TABLE, _LO_BITS = build_exponent_luts()
+
+
+def lut_exponential(score_codes: np.ndarray) -> np.ndarray:
+    """``exp(x)`` for non-positive fixed-point scores via two LUTs.
+
+    ``score_codes`` are codes in :data:`SCORE_FORMAT` of values <= 0
+    (softmax subtracts the row maximum first).  Each lookup costs two
+    table reads and one multiply, as the hardware does.
+    """
+    codes = np.asarray(score_codes, dtype=np.int64)
+    magnitude = np.clip(-codes, 0, 2 ** (SCORE_FORMAT.total_bits - 1) - 1)
+    hi_index = np.clip(magnitude >> _LO_BITS, 0, len(_HI_TABLE) - 1)
+    lo_index = magnitude & ((1 << _LO_BITS) - 1)
+    return _HI_TABLE[hi_index] * _LO_TABLE[lo_index]

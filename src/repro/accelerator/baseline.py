@@ -1,0 +1,103 @@
+"""The baseline design: same resources, no pruning, no SPRINT controller.
+
+Paper section VII (Baseline architecture): identical frequency, PE
+counts, on-chip capacity, and bit widths, but every key/value vector is
+fetched and every score computed.  With on-chip capacity for ``C``
+vectors out of ``s``, the first ``C`` keys/values are pinned on chip and
+the remaining ``s - C`` stream from main memory for *every* query --
+the data-communication cost Figure 1 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BaselineTraffic:
+    """Event counts for one attention head under the baseline design."""
+
+    key_fetches: int
+    value_fetches: int
+    query_fetches: int
+    qk_dot_products: int
+    softmax_rows: int
+    softmax_elements: int
+    v_mac_rows: int
+    initial_loads: int
+
+    @property
+    def total_vector_fetches(self) -> int:
+        return self.key_fetches + self.value_fetches + self.query_fetches
+
+
+def baseline_head_traffic(
+    seq_len: int,
+    capacity_vectors: int,
+    valid_len: int | None = None,
+    mask_aware: bool = False,
+) -> BaselineTraffic:
+    """Count baseline events for one head.
+
+    Parameters
+    ----------
+    seq_len:
+        Model sequence length ``s``.
+    capacity_vectors:
+        On-chip K-buffer capacity in vectors (V is symmetric).
+    valid_len:
+        Non-padded length; only used when ``mask_aware`` (the "Mask Only"
+        configuration of Figure 10 adds two-dimensional sequence
+        reduction to the baseline's fetch pattern).
+    mask_aware:
+        Apply the padded-region reduction.
+    """
+    if seq_len < 1:
+        raise ValueError("seq_len must be positive")
+    if capacity_vectors < 1:
+        raise ValueError("capacity_vectors must be positive")
+    effective = seq_len if not mask_aware else (valid_len or seq_len)
+    effective = min(effective, seq_len)
+    resident = min(capacity_vectors, effective)
+    streamed_per_query = effective - resident
+    queries = effective
+    # Initial fill of the pinned region (keys + values) is charged to
+    # the per-kind fetch counts, matching the system simulator.
+    initial = 2 * resident
+    key_fetches = queries * streamed_per_query + resident
+    value_fetches = queries * streamed_per_query + resident
+    query_fetches = queries  # each q streams in once
+    qk = queries * effective
+    return BaselineTraffic(
+        key_fetches=key_fetches,
+        value_fetches=value_fetches,
+        query_fetches=query_fetches,
+        qk_dot_products=qk,
+        softmax_rows=queries,
+        softmax_elements=qk,
+        v_mac_rows=qk,
+        initial_loads=initial,
+    )
+
+
+def baseline_compute_cycles(
+    seq_len: int,
+    head_dim: int,
+    num_corelets: int,
+    taps: int = 64,
+    valid_len: int | None = None,
+    mask_aware: bool = False,
+    dividers: int = 2,
+) -> int:
+    """Cycle estimate for the baseline head on ``num_corelets`` pipelines.
+
+    Every query scores every (effective) key; keys are interleaved across
+    CORELETs so the per-query critical path is ``ceil(n / N)`` keys.
+    """
+    effective = seq_len if not mask_aware else (valid_len or seq_len)
+    effective = min(effective, seq_len)
+    per_key = -(-head_dim // taps)
+    per_query_keys = -(-effective // num_corelets)
+    softmax = per_query_keys + -(-per_query_keys // dividers)
+    per_query = per_query_keys * per_key + softmax + per_query_keys * per_key
+    return effective * per_query

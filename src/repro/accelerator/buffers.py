@@ -1,0 +1,154 @@
+"""On-chip SRAM buffers: K-buf, V-buf, streaming Q-buf, index buffers.
+
+Table I sizes the total K/V capacity at 16/32/64 KB for S/M/L-SPRINT
+(8/16/32 banks, 128-bit port per bank).  SPRINT deliberately avoids
+double buffering (section VI, design choice): arrivals go to a small
+temporary buffer and a short stall covers the write into K-buf/V-buf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class BufferStats:
+    """Access counters for the energy model."""
+
+    reads: int = 0
+    writes: int = 0
+    evictions: int = 0
+    stall_cycles: int = 0
+
+
+class SRAMBuffer:
+    """Capacity-managed vector buffer with LRU replacement.
+
+    Tracks which token indices are resident -- this is the "look-up-table
+    recording which key and value vectors are currently present on chip"
+    of section VI.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        vector_bytes: int = 64,
+        banks: int = 8,
+        port_bits: int = 128,
+    ):
+        if capacity_bytes < vector_bytes:
+            raise ValueError("capacity must hold at least one vector")
+        self.capacity_bytes = capacity_bytes
+        self.vector_bytes = vector_bytes
+        self.banks = banks
+        self.port_bits = port_bits
+        self.capacity_vectors = capacity_bytes // vector_bytes
+        self.stats = BufferStats()
+        self._last_use: Dict[int, int] = {}
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_tokens(self) -> List[int]:
+        return sorted(self._last_use)
+
+    def occupancy(self) -> int:
+        return len(self._last_use)
+
+    def contains(self, token: int) -> bool:
+        return token in self._last_use
+
+    def accesses_per_vector(self) -> int:
+        """Buffer accesses needed to move one vector through the ports."""
+        return max(1, (self.vector_bytes * 8) // (self.port_bits * self.banks))
+
+    def touch(self, token: int) -> bool:
+        """Read a resident vector; returns False on miss."""
+        self._tick += 1
+        if token not in self._last_use:
+            return False
+        self._last_use[token] = self._tick
+        self.stats.reads += self.accesses_per_vector()
+        return True
+
+    def insert(self, token: int) -> Optional[int]:
+        """Insert a fetched vector, evicting LRU if full.
+
+        Returns the evicted token index, or None.
+        """
+        self._tick += 1
+        evicted = None
+        if token not in self._last_use and self.occupancy() >= self.capacity_vectors:
+            evicted = min(self._last_use, key=self._last_use.get)
+            del self._last_use[evicted]
+            self.stats.evictions += 1
+        self._last_use[token] = self._tick
+        self.stats.writes += self.accesses_per_vector()
+        # No double buffering: the write into the banked array stalls the
+        # pipeline for one port transaction (section VI design choice).
+        self.stats.stall_cycles += 1
+        return evicted
+
+    def flush(self) -> None:
+        self._last_use.clear()
+
+    def resident_mask(self, seq_len: int) -> np.ndarray:
+        mask = np.zeros(seq_len, dtype=bool)
+        for token in self._last_use:
+            if token < seq_len:
+                mask[token] = True
+        return mask
+
+
+class IndexBuffer:
+    """Unpruned-index FIFO with the rotating miss-bypass pointer.
+
+    Holds the key/value indices the controller marked unpruned; the
+    rotating pointer lets the CORELET skip an index whose data has not
+    arrived and return to it later (section VI, handling data misses).
+    """
+
+    def __init__(self, capacity_entries: int = 512):
+        self.capacity = capacity_entries
+        self._entries: List[int] = []
+        self._pointer = 0
+        self.stats = BufferStats()
+
+    def load(self, indices) -> None:
+        indices = list(indices)
+        if len(indices) > self.capacity:
+            raise ValueError(
+                f"{len(indices)} indices exceed index-buffer capacity "
+                f"{self.capacity}"
+            )
+        self._entries = indices
+        self._pointer = 0
+        self.stats.writes += len(indices)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def next_available(self, available) -> Optional[int]:
+        """Rotate to the next index whose data is available.
+
+        ``available`` is a callable ``token -> bool``.  Returns None when
+        every remaining entry is unavailable (a true stall).
+        """
+        if not self._entries:
+            return None
+        n = len(self._entries)
+        for step in range(n):
+            pos = (self._pointer + step) % n
+            token = self._entries[pos]
+            if token is not None and available(token):
+                self._entries[pos] = None
+                self._pointer = (pos + 1) % n
+                self.stats.reads += 1
+                return token
+        return None
+
+    def pending(self) -> List[int]:
+        return [t for t in self._entries if t is not None]

@@ -1,0 +1,140 @@
+"""A CORELET: one complete self-attention pipeline (section VI).
+
+Each CORELET owns a QK-PU, a Softmax unit, a V-PU, slices of the K/V
+buffers, and its index buffers with the rotating miss-bypass pointer.
+Queries stream through (Q-buf holds just the active query); keys
+assigned to this CORELET by the interleaver are scored, normalized,
+and reduced against their value vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.attention.quantization import symmetric_quantize
+from repro.accelerator.buffers import IndexBuffer, SRAMBuffer
+from repro.accelerator.qkpu import QKProcessingUnit
+from repro.accelerator.softmax_unit import SoftmaxUnit
+from repro.accelerator.vpu import VProcessingUnit
+
+
+@dataclass
+class CoreletStats:
+    """Per-CORELET aggregate counters."""
+
+    queries: int = 0
+    keys_scored: int = 0
+    values_reduced: int = 0
+    compute_cycles: int = 0
+    miss_bypasses: int = 0
+
+
+class Corelet:
+    """One independent attention pipeline.
+
+    Parameters
+    ----------
+    corelet_id:
+        Index within the accelerator.
+    head_dim:
+        Per-head embedding size d (64 across the paper's models).
+    kv_capacity_bytes:
+        This CORELET's share of the on-chip K buffer (V is symmetric).
+    """
+
+    def __init__(
+        self,
+        corelet_id: int,
+        head_dim: int = 64,
+        kv_capacity_bytes: int = 8 * 1024,
+        index_capacity: int = 4096,
+    ):
+        self.corelet_id = corelet_id
+        self.head_dim = head_dim
+        self.qkpu = QKProcessingUnit(taps=64)
+        self.softmax = SoftmaxUnit(dividers=2)
+        self.vpu = VProcessingUnit(taps=64)
+        self.k_buffer = SRAMBuffer(kv_capacity_bytes, vector_bytes=head_dim)
+        self.v_buffer = SRAMBuffer(kv_capacity_bytes, vector_bytes=head_dim)
+        self.key_index_buffer = IndexBuffer(index_capacity)
+        self.value_index_buffer = IndexBuffer(index_capacity)
+        self.stats = CoreletStats()
+        self._key_data: Dict[int, np.ndarray] = {}
+        self._value_data: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def load_vector(self, token: int, key: np.ndarray, value: np.ndarray) -> None:
+        """Accept one fetched (key, value) pair from the controller."""
+        evicted_k = self.k_buffer.insert(token)
+        evicted_v = self.v_buffer.insert(token)
+        if evicted_k is not None:
+            self._key_data.pop(evicted_k, None)
+        if evicted_v is not None:
+            self._value_data.pop(evicted_v, None)
+        self._key_data[token] = np.asarray(key, dtype=np.float64)
+        self._value_data[token] = np.asarray(value, dtype=np.float64)
+
+    def resident_tokens(self):
+        return self.k_buffer.resident_tokens
+
+    def process_query(
+        self,
+        query: np.ndarray,
+        unpruned_tokens,
+        scale: Optional[float] = None,
+    ) -> np.ndarray:
+        """Score, normalize, and reduce one query against resident keys.
+
+        Tokens whose data is missing are bypassed via the rotating
+        pointer and counted as misses; the result uses whatever subset
+        was available (the controller's prefetching makes true misses
+        rare, section VI).
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.head_dim,):
+            raise ValueError(f"query must be ({self.head_dim},)")
+        if scale is None:
+            scale = 1.0 / np.sqrt(self.head_dim)
+        self.key_index_buffer.load(list(unpruned_tokens))
+        ordered = []
+        while True:
+            token = self.key_index_buffer.next_available(
+                lambda t: t in self._key_data
+            )
+            if token is None:
+                break
+            ordered.append(token)
+        missing = len(self.key_index_buffer.pending())
+        self.stats.miss_bypasses += missing
+        if not ordered:
+            self.stats.queries += 1
+            return np.zeros(self.head_dim)
+        keys = np.stack([self._key_data[t] for t in ordered])
+        values = np.stack([self._value_data[t] for t in ordered])
+        for t in ordered:
+            self.k_buffer.touch(t)
+            self.v_buffer.touch(t)
+        # The digital datapath computes in 8-bit: quantize operands to
+        # codes, integer dot products, rescale to real score units.
+        q_quant = symmetric_quantize(query, bits=8)
+        k_quant = symmetric_quantize(keys, bits=8)
+        int_scores = np.array(
+            [self.qkpu.dot(q_quant.codes, k_codes) for k_codes in k_quant.codes],
+            dtype=np.float64,
+        )
+        scores = int_scores * (q_quant.scale * k_quant.scale)
+        probabilities = self.softmax.normalize(scores * scale)
+        out = self.vpu.weighted_sum(probabilities, values)
+        n = len(ordered)
+        self.stats.queries += 1
+        self.stats.keys_scored += n
+        self.stats.values_reduced += n
+        self.stats.compute_cycles += (
+            n * self.qkpu.cycles_per_key(self.head_dim)
+            + self.softmax.cycles(n)
+            + n * self.vpu.cycles_per_value(self.head_dim)
+        )
+        return out

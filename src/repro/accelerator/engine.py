@@ -1,0 +1,200 @@
+"""Functional co-simulation engine: the full SPRINT machine on tensors.
+
+Ties together the three hardware layers on *real* query/key/value
+matrices for one attention head:
+
+1. :class:`repro.reram.thresholding.InMemoryThresholdingUnit` produces
+   the per-query binary pruning vectors in (noisy) analog;
+2. :class:`repro.memory.controller.SprintMemoryController` turns them
+   into delta fetches via SLD + residency and schedules the commands;
+3. a set of :class:`repro.accelerator.corelet.Corelet` pipelines
+   recompute the surviving scores in 8-bit digital and reduce against
+   the value vectors, with token interleaving.
+
+This is the integration-grade path (slow, exact); the event-count
+simulator in :mod:`repro.core.system` is the fast path for the paper's
+sweeps.  Outputs of the two are cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.accelerator.corelet import Corelet
+from repro.accelerator.interleave import assign_tokens
+from repro.attention.pruning import calibrate_threshold
+from repro.memory.controller import SprintMemoryController
+from repro.reram.cell import MLCCellModel
+from repro.reram.noise import OutputNoiseModel
+from repro.reram.thresholding import InMemoryThresholdingUnit
+
+
+@dataclass
+class EngineStats:
+    """Aggregates from one head's worth of execution."""
+
+    queries: int = 0
+    vectors_fetched: int = 0
+    vectors_reused: int = 0
+    keys_recomputed: int = 0
+    memory_latency_cycles: int = 0
+    compute_cycles: int = 0
+
+
+class SprintEngine:
+    """One attention head's full SPRINT execution on real tensors.
+
+    Parameters
+    ----------
+    seq_len, head_dim:
+        Problem dimensions.
+    num_corelets:
+        Parallel CORELET pipelines (token-interleaved key assignment).
+    kv_capacity_vectors:
+        On-chip K-buffer capacity in vectors (V symmetric).
+    pruning_rate:
+        Target rate used to calibrate the learned threshold from the
+        stored keys' score distribution.
+    ideal_analog:
+        ``True`` disables analog noise/variation (for exactness tests).
+    """
+
+    def __init__(
+        self,
+        seq_len: int,
+        head_dim: int = 64,
+        num_corelets: int = 1,
+        kv_capacity_vectors: int = 128,
+        pruning_rate: float = 0.75,
+        ideal_analog: bool = False,
+        seed: int = 0,
+    ):
+        if num_corelets < 1:
+            raise ValueError("num_corelets must be positive")
+        self.seq_len = seq_len
+        self.head_dim = head_dim
+        self.num_corelets = num_corelets
+        self.pruning_rate = pruning_rate
+        self.ideal_analog = ideal_analog
+        cell = MLCCellModel(variation_sigma=0.0 if ideal_analog else 0.02)
+        noise = OutputNoiseModel(
+            equivalent_bits=20.0 if ideal_analog else 5.0
+        )
+        self.thresholding = InMemoryThresholdingUnit(
+            seq_len=seq_len, head_dim=head_dim,
+            array_rows=min(64, head_dim), array_cols=128,
+            cell=cell, noise=noise, seed=seed,
+        )
+        self.controller = SprintMemoryController(
+            seq_len=seq_len, capacity_vectors=kv_capacity_vectors
+        )
+        per_corelet_bytes = max(
+            head_dim, kv_capacity_vectors * head_dim // num_corelets
+        )
+        self.corelets = [
+            Corelet(i, head_dim=head_dim,
+                    kv_capacity_bytes=per_corelet_bytes,
+                    index_capacity=max(seq_len, 512))
+            for i in range(num_corelets)
+        ]
+        self._assignment = assign_tokens(seq_len, num_corelets, "interleaved")
+        self.stats = EngineStats()
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        threshold: Optional[float] = None,
+        calibration_queries: Optional[np.ndarray] = None,
+    ) -> None:
+        """Program keys into ReRAM and set the learned threshold.
+
+        Without an explicit ``threshold``, one is calibrated from the
+        score distribution of ``calibration_queries`` (or the keys
+        against themselves, mimicking self-attention statistics).
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.shape != (self.seq_len, self.head_dim):
+            raise ValueError("keys shape mismatch")
+        if values.shape != (self.seq_len, self.head_dim):
+            raise ValueError("values shape mismatch")
+        self._keys = keys
+        self._values = values
+        self.thresholding.store_keys(keys)
+        if threshold is None:
+            probes = (
+                np.asarray(calibration_queries, dtype=np.float64)
+                if calibration_queries is not None
+                else keys
+            )
+            threshold = calibrate_threshold(
+                probes @ keys.T, self.pruning_rate
+            )
+        self._threshold = float(threshold)
+
+    # ------------------------------------------------------------------
+    def process_query(self, query: np.ndarray) -> np.ndarray:
+        """Run one query end to end; returns the attention output."""
+        if self._keys is None or self._threshold is None:
+            raise RuntimeError("call load() first")
+        query = np.asarray(query, dtype=np.float64)
+        pruning = self.thresholding.prune_query(
+            query, self._threshold, ideal=self.ideal_analog
+        )
+        traffic = self.controller.process_query(
+            pruning, self.stats.queries
+        )
+        for token in traffic.fetch_indices:
+            corelet = self.corelets[self._assignment[token]]
+            corelet.load_vector(
+                int(token), self._keys[token], self._values[token]
+            )
+        unpruned = np.nonzero(pruning == 0)[0]
+        partial = np.zeros(self.head_dim)
+        weights_total = 0.0
+        scale = 1.0 / np.sqrt(self.head_dim)
+        outputs = []
+        for cid, corelet in enumerate(self.corelets):
+            mine = [int(t) for t in unpruned if self._assignment[t] == cid]
+            if not mine:
+                continue
+            outputs.append((len(mine), corelet.process_query(
+                query, mine, scale=scale
+            )))
+        # Merge per-CORELET partial softmax outputs weighted by their
+        # token counts (each CORELET normalized over its own subset; the
+        # merge approximates the global normalization the hardware's
+        # shared accumulation FIFO performs exactly).
+        total = sum(n for n, _ in outputs)
+        if total == 0:
+            result = partial
+        else:
+            result = sum((n / total) * out for n, out in outputs)
+        self.stats.queries += 1
+        self.stats.vectors_fetched += len(traffic.fetch_indices)
+        self.stats.vectors_reused += len(traffic.reuse_indices)
+        self.stats.keys_recomputed += len(unpruned)
+        self.stats.memory_latency_cycles += traffic.latency_cycles
+        self.stats.compute_cycles += max(
+            (c.stats.compute_cycles for c in self.corelets), default=0
+        )
+        return result
+
+    def process_all(self, queries: np.ndarray) -> np.ndarray:
+        """Stream every query through the engine; ``(s, d)`` outputs."""
+        queries = np.asarray(queries, dtype=np.float64)
+        return np.stack([self.process_query(q) for q in queries])
+
+    # ------------------------------------------------------------------
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.stats.vectors_fetched + self.stats.vectors_reused
+        return self.stats.vectors_reused / total if total else 0.0

@@ -1,0 +1,86 @@
+"""Token-to-CORELET assignment and workload-imbalance metrics (Fig. 8).
+
+SPRINT assigns *adjacent* key tokens to *different* CORELETs
+("token interleaving": key ``4n+i`` goes to CORELET ``i`` with four
+CORELETs).  Because unpruned indices cluster spatially, interleaving
+spreads each query's surviving keys evenly, whereas a sequential block
+mapping leaves some CORELETs idle.  The imbalance ratio divides the
+maximum by the minimum unpruned-token count per CORELET, averaged over
+queries (1.0 = ideal balance).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+Strategy = Literal["interleaved", "sequential"]
+
+
+def assign_tokens(
+    seq_len: int, num_corelets: int, strategy: Strategy = "interleaved"
+) -> np.ndarray:
+    """CORELET id for every token index.
+
+    ``interleaved``: token ``i`` -> CORELET ``i mod N``.
+    ``sequential``: tokens split into N contiguous blocks.
+    """
+    if num_corelets < 1:
+        raise ValueError("num_corelets must be positive")
+    tokens = np.arange(seq_len)
+    if strategy == "interleaved":
+        return tokens % num_corelets
+    if strategy == "sequential":
+        block = -(-seq_len // num_corelets)
+        return np.minimum(tokens // block, num_corelets - 1)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def per_query_corelet_counts(
+    keep_mask: np.ndarray, num_corelets: int, strategy: Strategy
+) -> np.ndarray:
+    """``(num_queries, num_corelets)`` unpruned-token counts."""
+    keep = np.asarray(keep_mask, dtype=bool)
+    assignment = assign_tokens(keep.shape[1], num_corelets, strategy)
+    counts = np.zeros((keep.shape[0], num_corelets), dtype=np.int64)
+    for c in range(num_corelets):
+        counts[:, c] = keep[:, assignment == c].sum(axis=1)
+    return counts
+
+
+def imbalance_ratio(counts: np.ndarray) -> float:
+    """Mean over queries of max/min assigned tokens per CORELET.
+
+    Queries with zero total work (fully padded) are skipped; a CORELET
+    with zero tokens while others have work clamps the denominator to 1,
+    mirroring the paper's treatment (a ratio of 1 means ideal balance).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    totals = counts.sum(axis=1)
+    active = totals > 0
+    if not np.any(active):
+        return 1.0
+    act = counts[active]
+    ratios = act.max(axis=1) / np.maximum(act.min(axis=1), 1.0)
+    return float(np.mean(ratios))
+
+
+def workload_imbalance(
+    keep_mask: np.ndarray, num_corelets: int, strategy: Strategy = "interleaved"
+) -> float:
+    """Figure 8 metric for one keep mask."""
+    counts = per_query_corelet_counts(keep_mask, num_corelets, strategy)
+    return imbalance_ratio(counts)
+
+
+def worst_case_tokens(
+    keep_mask: np.ndarray, num_corelets: int, strategy: Strategy = "interleaved"
+) -> np.ndarray:
+    """Per-query max tokens on any CORELET (the pipeline's critical path).
+
+    The paper reports each layer's delay as the worst case across
+    CORELETs (section VII, performance simulator).
+    """
+    counts = per_query_corelet_counts(keep_mask, num_corelets, strategy)
+    return counts.max(axis=1)

@@ -1,0 +1,58 @@
+"""QK processing unit: 1-D 64-way 8x8-bit MAC array (Table I).
+
+Computes the 1 x d dot product between a query and one key per issue.
+With d = 64 and a 64-tap array, one key's score finishes per cycle; the
+MSB and LSB halves of the key are combined digitally before the adder
+tree, recovering the full-precision 8-bit score SPRINT recomputes on
+chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class QKPUStats:
+    dot_products: int = 0
+    macs: int = 0
+    cycles: int = 0
+
+
+class QKProcessingUnit:
+    """One 64-tap 8-bit dot-product engine."""
+
+    def __init__(self, taps: int = 64):
+        if taps < 1:
+            raise ValueError("taps must be positive")
+        self.taps = taps
+        self.stats = QKPUStats()
+
+    def cycles_per_key(self, head_dim: int) -> int:
+        """Issue cycles to cover a ``head_dim``-long dot product."""
+        return -(-head_dim // self.taps)
+
+    def dot(self, q_codes: np.ndarray, k_codes: np.ndarray) -> int:
+        """Full-precision integer dot product of 8-bit code vectors."""
+        q = np.asarray(q_codes, dtype=np.int64)
+        k = np.asarray(k_codes, dtype=np.int64)
+        if q.shape != k.shape or q.ndim != 1:
+            raise ValueError("q and k must be equal-length vectors")
+        self.stats.dot_products += 1
+        self.stats.macs += q.size
+        self.stats.cycles += self.cycles_per_key(q.size)
+        return int(q @ k)
+
+    def dot_batch(self, q_codes: np.ndarray, k_matrix: np.ndarray) -> np.ndarray:
+        """Score one query against many keys (rows of ``k_matrix``)."""
+        q = np.asarray(q_codes, dtype=np.int64)
+        k = np.asarray(k_matrix, dtype=np.int64)
+        if k.ndim != 2 or k.shape[1] != q.size:
+            raise ValueError("k_matrix must be (n, d) with d matching q")
+        n = k.shape[0]
+        self.stats.dot_products += n
+        self.stats.macs += n * q.size
+        self.stats.cycles += n * self.cycles_per_key(q.size)
+        return k @ q

@@ -1,0 +1,71 @@
+"""Softmax unit: 12-bit input, 8-bit output, two 64-byte LUTs, dividers.
+
+Follows the arithmetic of section VI: streaming exponentials via the
+two-LUT decomposition into an accumulation FIFO, then normalization
+through two divider units to balance pipeline throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.arithmetic import (
+    PROB_FORMAT,
+    SCORE_FORMAT,
+    lut_exponential,
+)
+
+
+@dataclass
+class SoftmaxStats:
+    rows: int = 0
+    lut_accesses: int = 0
+    multiplies: int = 0
+    divides: int = 0
+
+
+class SoftmaxUnit:
+    """Fixed-point streaming softmax over one query's unpruned scores."""
+
+    def __init__(self, dividers: int = 2):
+        if dividers < 1:
+            raise ValueError("dividers must be positive")
+        self.dividers = dividers
+        self.stats = SoftmaxStats()
+
+    def normalize(self, scores: np.ndarray) -> np.ndarray:
+        """Softmax over the (already pruned) score vector.
+
+        Scores are quantized to the 12-bit softmax input format after
+        subtracting the running maximum (keeping LUT inputs <= 0), the
+        exponentials come from the two LUTs (two table reads and one
+        multiply each), and the normalization divides each exponential
+        by the accumulated sum.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1:
+            raise ValueError("scores must be a vector")
+        if scores.size == 0:
+            return scores.copy()
+        shifted = scores - float(np.max(scores))
+        codes = SCORE_FORMAT.quantize(shifted)
+        exps = lut_exponential(codes)
+        n = scores.size
+        self.stats.rows += 1
+        self.stats.lut_accesses += 2 * n
+        self.stats.multiplies += n
+        self.stats.divides += n
+        total = float(np.sum(exps))
+        probabilities = exps / total if total > 0 else np.full(n, 1.0 / n)
+        # Quantize to the 8-bit probability output format.
+        return PROB_FORMAT.to_real(PROB_FORMAT.quantize(probabilities))
+
+    def cycles(self, n: int) -> int:
+        """Pipeline cycles for one row of ``n`` unpruned scores."""
+        if n <= 0:
+            return 0
+        exp_cycles = n  # one exponential per cycle (2 LUT reads, 1 mult)
+        divide_cycles = -(-n // self.dividers)
+        return exp_cycles + divide_cycles

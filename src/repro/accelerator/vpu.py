@@ -1,0 +1,49 @@
+"""V processing unit: weighted sum of value vectors (section VI).
+
+Multiplies each unpruned value vector by its softmax probability and
+accumulates -- a 64-tap 8-bit MAC array identical in shape to the QK-PU,
+with a 16-bit accumulator for the final attention values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class VPUStats:
+    weighted_rows: int = 0
+    macs: int = 0
+    cycles: int = 0
+
+
+class VProcessingUnit:
+    """Probability-weighted accumulation over value vectors."""
+
+    def __init__(self, taps: int = 64):
+        if taps < 1:
+            raise ValueError("taps must be positive")
+        self.taps = taps
+        self.stats = VPUStats()
+
+    def cycles_per_value(self, head_dim: int) -> int:
+        return -(-head_dim // self.taps)
+
+    def weighted_sum(
+        self, probabilities: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """``sum_i p_i * v_i`` over the unpruned set.
+
+        ``probabilities`` is ``(n,)``; ``values`` is ``(n, d)``.
+        """
+        p = np.asarray(probabilities, dtype=np.float64)
+        v = np.asarray(values, dtype=np.float64)
+        if v.ndim != 2 or p.shape != (v.shape[0],):
+            raise ValueError("probabilities must match values rows")
+        n, d = v.shape
+        self.stats.weighted_rows += n
+        self.stats.macs += n * d
+        self.stats.cycles += n * self.cycles_per_value(d)
+        return p @ v

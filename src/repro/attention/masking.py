@@ -1,0 +1,53 @@
+"""Padding masks and two-dimensional sequence reduction (paper II-C3, VI).
+
+Transformer inputs shorter than the model's maximum sequence length are
+padded; the padded rows *and* columns of the score matrix contribute
+nothing.  SPRINT's memory controller filters read requests for masked
+regions, reducing computation in both dimensions ("two-dimensional
+sequence reduction").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.attention.functional import NEG_INFINITY
+
+
+def padding_mask(seq_len: int, valid_len: int) -> np.ndarray:
+    """Boolean ``(s, s)`` mask: ``True`` where both tokens are real.
+
+    ``valid_len`` tokens at the head of the sequence are real; the tail is
+    padding (the grey stripes of the paper's Figure 2).
+    """
+    if not 0 <= valid_len <= seq_len:
+        raise ValueError("valid_len must be in [0, seq_len]")
+    valid = np.zeros(seq_len, dtype=bool)
+    valid[:valid_len] = True
+    return np.outer(valid, valid)
+
+
+def apply_padding_mask(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Nullify masked score entries with a large negative value."""
+    scores = np.asarray(scores, dtype=np.float64)
+    if mask.shape != scores.shape:
+        raise ValueError("mask shape must match scores shape")
+    return np.where(mask, scores, NEG_INFINITY)
+
+
+def two_dimensional_reduction(seq_len: int, valid_len: int) -> Tuple[int, int, float]:
+    """Work remaining after skipping padded rows and columns.
+
+    Returns ``(useful_queries, useful_keys_per_query, saved_fraction)``
+    where ``saved_fraction`` is the fraction of the ``s x s`` score
+    computations eliminated.  With the SQUAD-like 46% padding of BERT-B
+    the saving approaches ``1 - 0.54**2``.
+    """
+    if not 0 <= valid_len <= seq_len:
+        raise ValueError("valid_len must be in [0, seq_len]")
+    total = seq_len * seq_len
+    useful = valid_len * valid_len
+    saved = 1.0 - useful / total if total else 0.0
+    return valid_len, valid_len, saved

@@ -1,0 +1,38 @@
+"""The SPRINT system: configurations, simulator, and reports."""
+
+from repro.core.configs import (
+    BASELINE_SUFFIX,
+    L_SPRINT,
+    M_SPRINT,
+    S_SPRINT,
+    SPRINT_CONFIGS,
+    SprintConfig,
+)
+from repro.core.design_space import (
+    DesignPoint,
+    best_under_area,
+    pareto_frontier,
+    sweep,
+)
+from repro.core.multihead import ModelReport, MultiHeadSimulator
+from repro.core.results import HeadReport, SimulationReport
+from repro.core.system import ExecutionMode, SprintSystem
+
+__all__ = [
+    "DesignPoint",
+    "sweep",
+    "pareto_frontier",
+    "best_under_area",
+    "MultiHeadSimulator",
+    "ModelReport",
+    "SprintConfig",
+    "S_SPRINT",
+    "M_SPRINT",
+    "L_SPRINT",
+    "SPRINT_CONFIGS",
+    "BASELINE_SUFFIX",
+    "SprintSystem",
+    "ExecutionMode",
+    "SimulationReport",
+    "HeadReport",
+]

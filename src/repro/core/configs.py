@@ -1,0 +1,105 @@
+"""Hardware configurations of Table I (S-/M-/L-SPRINT).
+
+All three share the memory system (16 x 64-bit channels @ 1 GHz per
+CORELET, 256x128 standard ReRAM bitcells, 64x128 transposable arrays
+with 4-bit MLC) and scale the on-chip side: CORELET count, K/V buffer
+capacity, processing units, and the query/index buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SprintConfig:
+    """One column of Table I."""
+
+    name: str
+    num_corelets: int
+    onchip_cache_kb: int  # total K/V buffer capacity
+    num_qkpu: int
+    num_vpu: int
+    num_softmax: int
+    query_buffer_bytes: int
+    index_buffer_bytes: int
+    # Shared memory-system parameters.
+    channels: int = 16
+    channel_bits: int = 64
+    frequency_ghz: float = 1.0
+    standard_array: tuple = (256, 128)
+    transposable_array: tuple = (64, 128)
+    mlc_bits: int = 4
+    head_dim: int = 64
+    mac_taps: int = 64
+
+    @property
+    def vector_bytes(self) -> int:
+        """Bytes per 8-bit embedding vector (d elements)."""
+        return self.head_dim
+
+    @property
+    def k_buffer_bytes(self) -> int:
+        """Half the on-chip cache holds keys, half values."""
+        return self.onchip_cache_kb * 1024 // 2
+
+    @property
+    def v_buffer_bytes(self) -> int:
+        return self.onchip_cache_kb * 1024 // 2
+
+    @property
+    def kv_capacity_vectors(self) -> int:
+        """Key vectors the K buffer holds (V is symmetric)."""
+        return self.k_buffer_bytes // self.vector_bytes
+
+    @property
+    def sram_banks(self) -> int:
+        """8/16/32 banks for 16/32/64 KB (Table I)."""
+        return self.onchip_cache_kb // 2
+
+    def vector_fetch_cycles(self, vectors: int) -> int:
+        """Cycles to move ``vectors`` embedding vectors over the channels.
+
+        One vector is ``vector_bytes`` over a ``channel_bits``-wide bus;
+        adjacent vectors ride different channels (section V-A layout).
+        """
+        if vectors <= 0:
+            return 0
+        per_vector = -(-self.vector_bytes * 8 // self.channel_bits)
+        waves = -(-vectors // self.channels)
+        return waves * per_vector
+
+
+S_SPRINT = SprintConfig(
+    name="S-SPRINT", num_corelets=1, onchip_cache_kb=16,
+    num_qkpu=1, num_vpu=1, num_softmax=1,
+    query_buffer_bytes=64, index_buffer_bytes=512,
+)
+
+M_SPRINT = SprintConfig(
+    name="M-SPRINT", num_corelets=2, onchip_cache_kb=32,
+    num_qkpu=2, num_vpu=2, num_softmax=2,
+    query_buffer_bytes=128, index_buffer_bytes=1024,
+)
+
+L_SPRINT = SprintConfig(
+    name="L-SPRINT", num_corelets=4, onchip_cache_kb=64,
+    num_qkpu=4, num_vpu=4, num_softmax=4,
+    query_buffer_bytes=256, index_buffer_bytes=2048,
+)
+
+SPRINT_CONFIGS = {c.name: c for c in (S_SPRINT, M_SPRINT, L_SPRINT)}
+
+#: Baselines share the exact config (iso-setup, section VII) minus the
+#: SPRINT features; experiments name them e.g. "S-Baseline".
+BASELINE_SUFFIX = "-Baseline"
+
+
+def get_config(name: str) -> SprintConfig:
+    """Look up a configuration by name ('S-SPRINT', 'M-SPRINT', ...)."""
+    if name in SPRINT_CONFIGS:
+        return SPRINT_CONFIGS[name]
+    short = {"S": S_SPRINT, "M": M_SPRINT, "L": L_SPRINT}
+    if name.upper() in short:
+        return short[name.upper()]
+    raise KeyError(f"unknown config {name!r}")

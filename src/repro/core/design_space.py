@@ -1,0 +1,143 @@
+"""Design-space exploration over CORELET count and on-chip capacity.
+
+The paper fixes three configurations (S/M/L); an adopter of the design
+wants the full frontier: for a target workload, which (CORELETs, cache)
+points are Pareto-optimal in (latency, energy, area)?  This module
+sweeps the space on the event-count simulator and extracts the
+frontier, plus a first-order area model anchored to the paper's
+Figure 14 layout (S-SPRINT = 1.18 x 0.8 mm2 at 16 KB / 1 CORELET).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.configs import SprintConfig
+from repro.core.system import ExecutionMode, SprintSystem
+from repro.energy.area import S_SPRINT_AREA_MM2
+from repro.models.zoo import ModelSpec, get_model
+
+#: First-order area model (65 nm): the S-SPRINT layout splits roughly
+#: half SRAM / half logic; both scale linearly in their resource.
+_BASE_LOGIC_MM2 = S_SPRINT_AREA_MM2 * 0.5
+_BASE_SRAM_MM2_PER_KB = (S_SPRINT_AREA_MM2 * 0.5) / 16.0
+#: ReRAM in-memory thresholding overhead: ~6% of S-SPRINT (Figure 14).
+_RERAM_OVERHEAD_MM2 = S_SPRINT_AREA_MM2 * 0.06
+
+
+def estimate_area_mm2(num_corelets: int, cache_kb: int) -> float:
+    """Die area of a (CORELETs, cache) point, Figure 14-anchored."""
+    if num_corelets < 1 or cache_kb < 1:
+        raise ValueError("resources must be positive")
+    logic = _BASE_LOGIC_MM2 * num_corelets
+    sram = _BASE_SRAM_MM2_PER_KB * cache_kb
+    return logic + sram + _RERAM_OVERHEAD_MM2
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    num_corelets: int
+    cache_kb: int
+    cycles: float
+    energy_pj: float
+    area_mm2: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (pJ x cycles)."""
+        return self.energy_pj * self.cycles
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance in (cycles, energy, area)."""
+        no_worse = (
+            self.cycles <= other.cycles
+            and self.energy_pj <= other.energy_pj
+            and self.area_mm2 <= other.area_mm2
+        )
+        strictly_better = (
+            self.cycles < other.cycles
+            or self.energy_pj < other.energy_pj
+            or self.area_mm2 < other.area_mm2
+        )
+        return no_worse and strictly_better
+
+
+def make_config(num_corelets: int, cache_kb: int) -> SprintConfig:
+    """A SPRINT configuration at an arbitrary design point."""
+    return SprintConfig(
+        name=f"DSE-{num_corelets}c-{cache_kb}KB",
+        num_corelets=num_corelets,
+        onchip_cache_kb=cache_kb,
+        num_qkpu=num_corelets,
+        num_vpu=num_corelets,
+        num_softmax=num_corelets,
+        query_buffer_bytes=64 * num_corelets,
+        index_buffer_bytes=512 * num_corelets,
+    )
+
+
+def sweep(
+    model: ModelSpec | str = "BERT-B",
+    corelet_counts: Sequence[int] = (1, 2, 4, 8),
+    cache_sizes_kb: Sequence[int] = (8, 16, 32, 64),
+    mode: ExecutionMode = ExecutionMode.SPRINT,
+    num_samples: int = 1,
+    seed: int = 1,
+) -> List[DesignPoint]:
+    """Evaluate the full (CORELETs x cache) grid on one model."""
+    spec = get_model(model) if isinstance(model, str) else model
+    points: List[DesignPoint] = []
+    for n in corelet_counts:
+        for kb in cache_sizes_kb:
+            config = make_config(n, kb)
+            report = SprintSystem(config).simulate_model(
+                spec, mode, num_samples=num_samples, seed=seed
+            )
+            points.append(
+                DesignPoint(
+                    num_corelets=n,
+                    cache_kb=kb,
+                    cycles=report.cycles,
+                    energy_pj=report.total_energy_pj,
+                    area_mm2=estimate_area_mm2(n, kb),
+                )
+            )
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by cycles."""
+    frontier = [
+        p for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.cycles)
+
+
+def best_under_area(
+    points: Sequence[DesignPoint], area_budget_mm2: float
+) -> Optional[DesignPoint]:
+    """Lowest-EDP point that fits an area budget (None if none fit)."""
+    feasible = [p for p in points if p.area_mm2 <= area_budget_mm2]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda p: p.edp)
+
+
+def format_table(points: Sequence[DesignPoint]) -> str:
+    frontier = set(id(p) for p in pareto_frontier(points))
+    lines = [
+        "Design-space exploration (SPRINT mode)",
+        f"{'corelets':>8} {'cache':>7} {'cycles':>12} {'energy uJ':>10} "
+        f"{'area mm2':>9} {'EDP':>12} {'pareto':>7}",
+    ]
+    for p in sorted(points, key=lambda p: (p.num_corelets, p.cache_kb)):
+        lines.append(
+            f"{p.num_corelets:>8d} {p.cache_kb:>5d}KB {p.cycles:>12,.0f} "
+            f"{p.energy_pj / 1e6:>10.2f} {p.area_mm2:>9.2f} "
+            f"{p.edp:>12.3g} {'*' if id(p) in frontier else '':>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Simulation result containers and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.energy.model import EnergyBreakdown
+
+
+@dataclass
+class HeadReport:
+    """Events, cycles, and energy for one attention head on one input."""
+
+    mode: str
+    cycles: int = 0
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    counts: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def main_memory_vector_reads(self) -> float:
+        return (
+            self.counts.get("key_fetches", 0.0)
+            + self.counts.get("value_fetches", 0.0)
+            + self.counts.get("query_fetches", 0.0)
+        )
+
+    def data_movement_bytes(self, vector_bytes: int = 64) -> float:
+        """Main-memory -> processor traffic (Figure 10 metric)."""
+        return self.main_memory_vector_reads * vector_bytes
+
+
+@dataclass
+class SimulationReport:
+    """Mean over a workload's samples for one (model, config, mode)."""
+
+    model: str
+    config: str
+    mode: str
+    cycles: float = 0.0
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    counts: Dict[str, float] = field(default_factory=dict)
+    samples: int = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_heads(
+        cls, model: str, config: str, mode: str, heads
+    ) -> "SimulationReport":
+        heads = list(heads)
+        if not heads:
+            raise ValueError("at least one head report required")
+        n = len(heads)
+        energy = EnergyBreakdown()
+        counts: Dict[str, float] = {}
+        cycles = 0.0
+        for h in heads:
+            cycles += h.cycles
+            energy = energy.merged(h.energy)
+            for k, v in h.counts.items():
+                counts[k] = counts.get(k, 0.0) + v
+        return cls(
+            model=model,
+            config=config,
+            mode=mode,
+            cycles=cycles / n,
+            energy=energy.scaled(1.0 / n),
+            counts={k: v / n for k, v in counts.items()},
+            samples=n,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    def data_movement_bytes(self, vector_bytes: int = 64) -> float:
+        reads = (
+            self.counts.get("key_fetches", 0.0)
+            + self.counts.get("value_fetches", 0.0)
+            + self.counts.get("query_fetches", 0.0)
+        )
+        return reads * vector_bytes
+
+    def speedup_vs(self, baseline: "SimulationReport") -> float:
+        if self.cycles <= 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+    def energy_reduction_vs(self, baseline: "SimulationReport") -> float:
+        if self.total_energy_pj <= 0:
+            return float("inf")
+        return baseline.total_energy_pj / self.total_energy_pj
+
+    def data_movement_reduction_vs(
+        self, baseline: "SimulationReport", vector_bytes: int = 64
+    ) -> float:
+        base = baseline.data_movement_bytes(vector_bytes)
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.data_movement_bytes(vector_bytes) / base
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.model} / {self.config} / {self.mode}:",
+            f"  cycles            : {self.cycles:,.0f}",
+            f"  energy            : {self.total_energy_pj / 1e6:,.3f} uJ",
+            f"  memory fraction   : {self.energy.memory_fraction():.1%}",
+            f"  data movement     : {self.data_movement_bytes() / 1024:,.1f} KiB",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Per-query execution traces for analysis and debugging.
+
+The aggregate reports of :mod:`repro.core.results` answer "how fast /
+how much energy"; a trace answers "what happened on query 57".  The
+:class:`TraceRecorder` captures one event row per query -- unpruned
+count, fetch/reuse split, compute vs memory cycles, which side bound
+the latency -- and offers simple timeline analyses (bound histogram,
+burstiness, worst queries).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.configs import SprintConfig
+from repro.core.system import PIPELINE_OVERHEAD_CYCLES, simulate_sld_traffic
+from repro.memory.timing import DEFAULT_TIMING
+from repro.workloads.generator import WorkloadSample
+
+
+@dataclass(frozen=True)
+class QueryTraceEvent:
+    """One query's execution record."""
+
+    query: int
+    unpruned: int
+    fetched: int
+    reused: int
+    compute_cycles: int
+    memory_cycles: int
+
+    @property
+    def latency_cycles(self) -> int:
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def bound(self) -> str:
+        """Which side determined the latency."""
+        if self.memory_cycles > self.compute_cycles:
+            return "memory"
+        return "compute"
+
+
+@dataclass
+class TraceRecorder:
+    """Record and analyze per-query events for one head's execution."""
+
+    events: List[QueryTraceEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def trace_sprint(
+        cls,
+        sample: WorkloadSample,
+        config: SprintConfig,
+        timing=DEFAULT_TIMING,
+    ) -> "TraceRecorder":
+        """Trace the SPRINT execution of one workload sample.
+
+        Mirrors :meth:`repro.core.system.SprintSystem._simulate_sprint`
+        but keeps every per-query record instead of summing.
+        """
+        valid = sample.valid_len
+        keep = sample.keep_mask[:valid, :valid]
+        fetches, reuses = simulate_sld_traffic(
+            keep, config.kv_capacity_vectors
+        )
+        n = config.num_corelets
+        per_key = -(-config.head_dim // config.mac_taps)
+        counts = np.stack(
+            [keep[:, c::n].sum(axis=1) for c in range(n)], axis=1
+        )
+        worst = counts.max(axis=1)
+        unpruned = keep.sum(axis=1)
+        softmax_tokens = -(-unpruned // n)
+        softmax = softmax_tokens + -(-softmax_tokens // 2)
+        compute = (
+            worst * per_key * 2 + softmax + PIPELINE_OVERHEAD_CYCLES
+        )
+        recorder = cls()
+        for q in range(valid):
+            memory = (
+                config.vector_fetch_cycles(2 * int(fetches[q]))
+                + timing.t_axth
+            )
+            recorder.events.append(
+                QueryTraceEvent(
+                    query=q,
+                    unpruned=int(unpruned[q]),
+                    fetched=int(fetches[q]),
+                    reused=int(reuses[q]),
+                    compute_cycles=int(compute[q]),
+                    memory_cycles=int(memory),
+                )
+            )
+        return recorder
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        return sum(e.latency_cycles for e in self.events)
+
+    def bound_fractions(self) -> Dict[str, float]:
+        """Fraction of queries bound by compute vs memory."""
+        if not self.events:
+            return {"compute": 0.0, "memory": 0.0}
+        total = len(self.events)
+        memory = sum(1 for e in self.events if e.bound == "memory")
+        return {
+            "memory": memory / total,
+            "compute": (total - memory) / total,
+        }
+
+    def worst_queries(self, top: int = 5) -> List[QueryTraceEvent]:
+        return sorted(
+            self.events, key=lambda e: e.latency_cycles, reverse=True
+        )[:top]
+
+    def fetch_burstiness(self) -> float:
+        """Coefficient of variation of per-query fetch counts.
+
+        High burstiness means the SLD reuse concentrates traffic into
+        few queries (the cold-start fetches) -- the prefetch-friendly
+        pattern section VI relies on.
+        """
+        if not self.events:
+            return 0.0
+        fetches = np.array([e.fetched for e in self.events], dtype=float)
+        mean = fetches.mean()
+        return float(fetches.std() / mean) if mean > 0 else 0.0
+
+    def reuse_fraction(self) -> float:
+        fetched = sum(e.fetched for e in self.events)
+        reused = sum(e.reused for e in self.events)
+        total = fetched + reused
+        return reused / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialize the trace (for offline plotting)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["query", "unpruned", "fetched", "reused",
+             "compute_cycles", "memory_cycles", "bound"]
+        )
+        for e in self.events:
+            writer.writerow(
+                [e.query, e.unpruned, e.fetched, e.reused,
+                 e.compute_cycles, e.memory_cycles, e.bound]
+            )
+        return buffer.getvalue()
+
+    def summary(self) -> str:
+        bounds = self.bound_fractions()
+        return (
+            f"{len(self.events)} queries, {self.total_cycles:,} cycles, "
+            f"reuse {self.reuse_fraction():.1%}, "
+            f"memory-bound {bounds['memory']:.1%}, "
+            f"fetch burstiness {self.fetch_burstiness():.2f}"
+        )

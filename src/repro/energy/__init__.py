@@ -1,0 +1,21 @@
+"""Energy, area, and throughput models (paper Tables II and III)."""
+
+from repro.energy.constants import EnergyConstants, TABLE_II
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.area import (
+    PriorWork,
+    PRIOR_WORK,
+    AcceleratorMetrics,
+    dennard_scale_energy,
+)
+
+__all__ = [
+    "EnergyConstants",
+    "TABLE_II",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "PriorWork",
+    "PRIOR_WORK",
+    "AcceleratorMetrics",
+    "dennard_scale_energy",
+]

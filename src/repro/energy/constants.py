@@ -1,0 +1,62 @@
+"""Energy constants of the paper's Table II and section VII.
+
+All values in picojoules, from the paper's 65 nm post-layout
+simulations, the ARM memory compiler, and published ReRAM
+characterizations ([21], [51], [89]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Per-event energies (pJ) for SPRINT's microarchitectural units."""
+
+    #: QK-PU / V-PU 64-tap 8-bit dot product (one key or value vector).
+    dot_product_64tap_pj: float = 192.56
+    #: Key/Value buffer access: 4 banks x 128-bit = 512 bits moved.
+    kv_buffer_access_pj: float = 256.0
+    #: Bits moved per charged buffer access.
+    kv_buffer_access_bits: int = 512
+    #: Softmax per element: 2 LUT accesses + multiply + division.
+    softmax_element_pj: float = 89.8
+    #: Analog comparators for one 128-column array evaluation.
+    comparator_128col_pj: float = 5.34
+    #: One analog comparator (41 fJ, [89]).
+    comparator_single_pj: float = 0.041
+    #: One in-memory dot-product pass over a 64x128 crossbar (DAC incl.).
+    inmemory_array_op_pj: float = 833.6
+    #: In-ReRAM MAC including DAC, 65 nm ([21]).
+    inmemory_mac_pj: float = 0.10
+    #: Standard ReRAM read, per 512-bit access (3.1 pJ/bit, [51]).
+    reram_read_512b_pj: float = 1587.2
+    #: Standard ReRAM write, per 512-bit access (24.4 pJ/bit).
+    reram_write_512b_pj: float = 12492.8
+    #: Bits per charged ReRAM access.
+    reram_access_bits: int = 512
+
+    @property
+    def reram_read_per_bit_pj(self) -> float:
+        return self.reram_read_512b_pj / self.reram_access_bits
+
+    @property
+    def reram_write_per_bit_pj(self) -> float:
+        return self.reram_write_512b_pj / self.reram_access_bits
+
+    def reram_read_vector_pj(self, vector_bytes: int = 64) -> float:
+        """Energy to read one embedding vector (d bytes) from ReRAM."""
+        return self.reram_read_per_bit_pj * vector_bytes * 8
+
+    def reram_write_vector_pj(self, vector_bytes: int = 64) -> float:
+        return self.reram_write_per_bit_pj * vector_bytes * 8
+
+    def kv_buffer_vector_pj(self, vector_bytes: int = 64) -> float:
+        """Energy for one vector's worth of K/V buffer traffic."""
+        bits = vector_bytes * 8
+        return self.kv_buffer_access_pj * bits / self.kv_buffer_access_bits
+
+
+#: The canonical Table II instance.
+TABLE_II = EnergyConstants()

@@ -1,0 +1,138 @@
+"""Event-driven energy accounting with a categorized breakdown.
+
+The simulator multiplies event counts by Table II constants, exactly as
+the paper's methodology describes (section VII: "we multiply the average
+number of operations ... by their corresponding energy consumption").
+Categories match Figure 13's breakdown: ReRAM read / ReRAM write /
+in-ReRAM pruning / on-chip read / on-chip write / QK-PU / V-PU /
+Softmax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.energy.constants import TABLE_II, EnergyConstants
+
+#: Canonical breakdown categories, Figure 13 order.
+CATEGORIES = (
+    "reram_read",
+    "reram_write",
+    "inmemory_pruning",
+    "onchip_read",
+    "onchip_write",
+    "qkpu",
+    "vpu",
+    "softmax",
+)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Picojoule totals per category."""
+
+    pj: Dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+
+    def add(self, category: str, picojoules: float) -> None:
+        if category not in self.pj:
+            raise KeyError(f"unknown energy category {category!r}")
+        self.pj[category] += picojoules
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.pj.values())
+
+    @property
+    def total_joules(self) -> float:
+        return self.total_pj * 1e-12
+
+    def fraction(self, category: str) -> float:
+        total = self.total_pj
+        return self.pj[category] / total if total > 0 else 0.0
+
+    def memory_fraction(self) -> float:
+        """Share spent on main-memory accesses (reads + writes)."""
+        mem = self.pj["reram_read"] + self.pj["reram_write"]
+        total = self.total_pj
+        return mem / total if total > 0 else 0.0
+
+    def read_fraction(self) -> float:
+        """Share spent on main-memory *reads* (the Figure 1 metric).
+
+        Reads are the capacity-dependent cost: key/value streaming
+        repeats per query when buffers are short, while the one-time
+        embedding writes belong to the projection GEMMs that produced
+        Q/K/V.  This accounting reproduces Figure 1's end points (~8%
+        at S=32 with full buffering, >60% at 20% capacity).
+        """
+        total = self.total_pj
+        return self.pj["reram_read"] / total if total > 0 else 0.0
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        out = EnergyBreakdown()
+        for k, v in self.pj.items():
+            out.pj[k] = v * factor
+        return out
+
+    def merged(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        out = EnergyBreakdown()
+        for k in out.pj:
+            out.pj[k] = self.pj.get(k, 0.0) + other.pj.get(k, 0.0)
+        return out
+
+
+class EnergyModel:
+    """Translate event counts into an :class:`EnergyBreakdown`."""
+
+    def __init__(
+        self,
+        constants: EnergyConstants = TABLE_II,
+        vector_bytes: int = 64,
+    ):
+        self.constants = constants
+        self.vector_bytes = vector_bytes
+        self.breakdown = EnergyBreakdown()
+
+    # -- main memory ----------------------------------------------------
+    def count_reram_vector_reads(self, n: float) -> None:
+        self.breakdown.add(
+            "reram_read", n * self.constants.reram_read_vector_pj(self.vector_bytes)
+        )
+
+    def count_reram_vector_writes(self, n: float) -> None:
+        self.breakdown.add(
+            "reram_write", n * self.constants.reram_write_vector_pj(self.vector_bytes)
+        )
+
+    # -- in-memory pruning ----------------------------------------------
+    def count_inmemory_array_ops(self, n: float) -> None:
+        self.breakdown.add(
+            "inmemory_pruning", n * self.constants.inmemory_array_op_pj
+        )
+
+    def count_comparator_ops(self, n_columns: float) -> None:
+        self.breakdown.add(
+            "inmemory_pruning", n_columns * self.constants.comparator_single_pj
+        )
+
+    # -- on-chip buffers --------------------------------------------------
+    def count_buffer_vector_reads(self, n: float) -> None:
+        self.breakdown.add(
+            "onchip_read", n * self.constants.kv_buffer_vector_pj(self.vector_bytes)
+        )
+
+    def count_buffer_vector_writes(self, n: float) -> None:
+        self.breakdown.add(
+            "onchip_write", n * self.constants.kv_buffer_vector_pj(self.vector_bytes)
+        )
+
+    # -- compute ----------------------------------------------------------
+    def count_qk_dot_products(self, n: float) -> None:
+        self.breakdown.add("qkpu", n * self.constants.dot_product_64tap_pj)
+
+    def count_v_mac_rows(self, n: float) -> None:
+        self.breakdown.add("vpu", n * self.constants.dot_product_64tap_pj)
+
+    def count_softmax_elements(self, n: float) -> None:
+        self.breakdown.add("softmax", n * self.constants.softmax_element_pj)

@@ -1,0 +1,114 @@
+"""End-to-end (attention + FFN) speedup/energy, section VII's last study.
+
+SPRINT repurposes the QK-PU/V-PU as dot-product engines for the
+feed-forward network, with the K/V buffers caching FFN weights.  Its
+end-to-end benefit on the FFN side comes from the two-dimensional
+sequence reduction alone (padded tokens skip the FFN entirely), so
+models without padding (ViT) see ~1x while Synth-2 (50% padding, huge
+sequence) reaches several-fold.  Paper: BERT-B 2.2x energy / 1.8x speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.configs import M_SPRINT, SprintConfig
+from repro.core.system import ExecutionMode
+from repro.energy.constants import TABLE_II
+from repro.experiments.sweep import grid
+from repro.models.zoo import get_model
+
+DEFAULT_MODELS = ("BERT-B", "BERT-L", "ViT-B", "Synth-2")
+
+
+@dataclass(frozen=True)
+class FfnRow:
+    model: str
+    config: str
+    end_to_end_speedup: float
+    end_to_end_energy_saving: float
+    attention_speedup: float
+    ffn_speedup: float
+
+
+def _ffn_cycles(tokens: int, embed_dim: int, config: SprintConfig) -> float:
+    """Cycles to push ``tokens`` through the two FFN matmuls.
+
+    FFN is e -> 4e -> e; each token costs ``2 * e * 4e`` MACs, executed
+    on ``2 * num_corelets`` 64-tap engines (QK-PU + V-PU repurposed).
+    """
+    macs = tokens * 2.0 * embed_dim * 4 * embed_dim
+    engines = 2 * config.num_corelets
+    return macs / (config.mac_taps * engines)
+
+
+def _ffn_energy_pj(tokens: int, embed_dim: int) -> float:
+    """FFN energy: dot-product engines plus weight-buffer traffic."""
+    macs = tokens * 2.0 * embed_dim * 4 * embed_dim
+    dot_ops = macs / 64.0
+    # Weights stream through the K/V buffers (16 KB working set reused
+    # across tokens); charge one buffer access per 64-element tile.
+    buffer_pj = dot_ops * TABLE_II.kv_buffer_vector_pj(64) / 4.0
+    return dot_ops * TABLE_II.dot_product_64tap_pj + buffer_pj
+
+
+def run(
+    models: Sequence[str] = DEFAULT_MODELS,
+    config: SprintConfig = M_SPRINT,
+    num_samples: int = 2,
+    seed: int = 1,
+) -> List[FfnRow]:
+    modes = (ExecutionMode.BASELINE, ExecutionMode.SPRINT)
+    reports = grid(models, (config,), modes, num_samples, seed)
+    rows: List[FfnRow] = []
+    for model in models:
+        spec = get_model(model)
+        base = reports[(model, config.name, ExecutionMode.BASELINE.value)]
+        sprint = reports[(model, config.name, ExecutionMode.SPRINT.value)]
+        heads = spec.num_heads
+        attn_base_cycles = base.cycles * heads
+        attn_sprint_cycles = sprint.cycles * heads
+        attn_base_pj = base.total_energy_pj * heads
+        attn_sprint_pj = sprint.total_energy_pj * heads
+        # FFN: baseline runs every token, SPRINT only the valid ones.
+        ffn_base_cycles = _ffn_cycles(spec.seq_len, spec.embed_dim, config)
+        ffn_sprint_cycles = _ffn_cycles(spec.valid_len, spec.embed_dim, config)
+        ffn_base_pj = _ffn_energy_pj(spec.seq_len, spec.embed_dim)
+        ffn_sprint_pj = _ffn_energy_pj(spec.valid_len, spec.embed_dim)
+        rows.append(
+            FfnRow(
+                model=model,
+                config=config.name,
+                end_to_end_speedup=(attn_base_cycles + ffn_base_cycles)
+                / (attn_sprint_cycles + ffn_sprint_cycles),
+                end_to_end_energy_saving=(attn_base_pj + ffn_base_pj)
+                / (attn_sprint_pj + ffn_sprint_pj),
+                attention_speedup=attn_base_cycles / attn_sprint_cycles,
+                ffn_speedup=ffn_base_cycles / ffn_sprint_cycles,
+            )
+        )
+    return rows
+
+
+def format_table(rows: List[FfnRow]) -> str:
+    lines = [
+        "End-to-end (attention + FFN) benefit of M-SPRINT",
+        f"{'model':<10} {'energy saving':>14} {'speedup':>9} "
+        f"{'attn-only':>10} {'ffn-only':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.model:<10} {r.end_to_end_energy_saving:>13.2f}x "
+            f"{r.end_to_end_speedup:>8.2f}x {r.attention_speedup:>9.2f}x "
+            f"{r.ffn_speedup:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Figure 10: main-memory data-movement reduction vs S-Baseline.
+
+Two optimization levels are reported per (model, config): "Mask Only"
+(two-dimensional sequence reduction alone) and "SPRINT" (runtime pruning
+on top).  Reductions are normalized to the *S-Baseline* traffic, as in
+the paper.  Headline averages: 94.9 / 98.5 / 98.9 % for S/M/L-SPRINT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.configs import SprintConfig
+from repro.core.system import ExecutionMode
+from repro.experiments.sweep import ALL_CONFIGS, ALL_MODELS, grid
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    model: str
+    config: str
+    mask_only_reduction: float
+    sprint_reduction: float
+
+
+def run(
+    models: Sequence[str] = ALL_MODELS,
+    configs: Sequence[SprintConfig] = ALL_CONFIGS,
+    num_samples: int = 2,
+    seed: int = 1,
+) -> List[Fig10Row]:
+    modes = (
+        ExecutionMode.BASELINE,
+        ExecutionMode.MASK_ONLY,
+        ExecutionMode.SPRINT,
+    )
+    reports = grid(models, configs, modes, num_samples, seed)
+    rows: List[Fig10Row] = []
+    s_name = configs[0].name  # S-SPRINT: the normalization baseline
+    for model in models:
+        base = reports[(model, s_name, ExecutionMode.BASELINE.value)]
+        base_bytes = base.data_movement_bytes()
+        for config in configs:
+            mask = reports[(model, config.name, ExecutionMode.MASK_ONLY.value)]
+            sprint = reports[(model, config.name, ExecutionMode.SPRINT.value)]
+            rows.append(
+                Fig10Row(
+                    model=model,
+                    config=config.name,
+                    mask_only_reduction=1.0
+                    - mask.data_movement_bytes() / base_bytes,
+                    sprint_reduction=1.0
+                    - sprint.data_movement_bytes() / base_bytes,
+                )
+            )
+    return rows
+
+
+def average_reductions(rows: List[Fig10Row]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for config in sorted({r.config for r in rows}):
+        sel = [r for r in rows if r.config == config]
+        out[config] = {
+            "mask_only": float(np.mean([r.mask_only_reduction for r in sel])),
+            "sprint": float(np.mean([r.sprint_reduction for r in sel])),
+        }
+    return out
+
+
+def format_table(rows: List[Fig10Row]) -> str:
+    lines = [
+        "Figure 10: data-movement reduction vs S-Baseline",
+        f"{'model':<12} {'config':<9} {'mask only':>10} {'SPRINT':>8}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.model:<12} {r.config:<9} {r.mask_only_reduction:>9.1%} "
+            f"{r.sprint_reduction:>7.1%}"
+        )
+    for config, avg in average_reductions(rows).items():
+        lines.append(
+            f"average {config}: mask only {avg['mask_only']:.1%}, "
+            f"SPRINT {avg['sprint']:.1%}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,98 @@
+"""Figure 11: speedup over the iso-resource baseline (plus ablation).
+
+Per (model, config) the speedup is SPRINT cycles vs the same config's
+baseline cycles.  The ablation rows reproduce the paper's "runtime
+pruning without in-memory computing" study (1.8/1.7/1.7x average).
+Paper geomeans: 7.49 / 7.36 / 7.13 for S/M/L-SPRINT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.configs import SprintConfig
+from repro.core.system import ExecutionMode
+from repro.experiments.sweep import ALL_CONFIGS, ALL_MODELS, grid
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    model: str
+    config: str
+    speedup: float
+    pruning_only_speedup: float
+
+
+def run(
+    models: Sequence[str] = ALL_MODELS,
+    configs: Sequence[SprintConfig] = ALL_CONFIGS,
+    num_samples: int = 2,
+    seed: int = 1,
+) -> List[Fig11Row]:
+    modes = (
+        ExecutionMode.BASELINE,
+        ExecutionMode.PRUNING_ONLY,
+        ExecutionMode.SPRINT,
+    )
+    reports = grid(models, configs, modes, num_samples, seed)
+    rows: List[Fig11Row] = []
+    for model in models:
+        for config in configs:
+            base = reports[(model, config.name, ExecutionMode.BASELINE.value)]
+            sprint = reports[(model, config.name, ExecutionMode.SPRINT.value)]
+            pruning = reports[
+                (model, config.name, ExecutionMode.PRUNING_ONLY.value)
+            ]
+            rows.append(
+                Fig11Row(
+                    model=model,
+                    config=config.name,
+                    speedup=sprint.speedup_vs(base),
+                    pruning_only_speedup=pruning.speedup_vs(base),
+                )
+            )
+    return rows
+
+
+def geomeans(rows: List[Fig11Row]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for config in sorted({r.config for r in rows}):
+        sel = [r for r in rows if r.config == config]
+        out[config] = {
+            "sprint": float(
+                np.exp(np.mean([np.log(r.speedup) for r in sel]))
+            ),
+            "pruning_only": float(
+                np.exp(np.mean([np.log(r.pruning_only_speedup) for r in sel]))
+            ),
+        }
+    return out
+
+
+def format_table(rows: List[Fig11Row]) -> str:
+    lines = [
+        "Figure 11: speedup vs iso-resource baseline",
+        f"{'model':<12} {'config':<9} {'SPRINT':>8} {'pruning-only':>13}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.model:<12} {r.config:<9} {r.speedup:>7.2f}x "
+            f"{r.pruning_only_speedup:>12.2f}x"
+        )
+    for config, g in geomeans(rows).items():
+        lines.append(
+            f"geomean {config}: SPRINT {g['sprint']:.2f}x, "
+            f"pruning-only {g['pruning_only']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""Figure 12: total energy reduction over the iso-resource baseline.
+
+Includes on-chip accelerator and ReRAM main memory.  Paper geomeans:
+19.56 / 16.82 / 12.03x for S/M/L-SPRINT, with the ordering *inverting*
+on the Synth models (L > M > S) because even 64 KB holds only a sliver
+of a 2K-4K sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.configs import SprintConfig
+from repro.core.system import ExecutionMode
+from repro.experiments.sweep import ALL_CONFIGS, ALL_MODELS, grid
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    model: str
+    config: str
+    energy_reduction: float
+    sprint_energy_pj: float
+    baseline_energy_pj: float
+
+
+def run(
+    models: Sequence[str] = ALL_MODELS,
+    configs: Sequence[SprintConfig] = ALL_CONFIGS,
+    num_samples: int = 2,
+    seed: int = 1,
+) -> List[Fig12Row]:
+    modes = (ExecutionMode.BASELINE, ExecutionMode.SPRINT)
+    reports = grid(models, configs, modes, num_samples, seed)
+    rows: List[Fig12Row] = []
+    for model in models:
+        for config in configs:
+            base = reports[(model, config.name, ExecutionMode.BASELINE.value)]
+            sprint = reports[(model, config.name, ExecutionMode.SPRINT.value)]
+            rows.append(
+                Fig12Row(
+                    model=model,
+                    config=config.name,
+                    energy_reduction=sprint.energy_reduction_vs(base),
+                    sprint_energy_pj=sprint.total_energy_pj,
+                    baseline_energy_pj=base.total_energy_pj,
+                )
+            )
+    return rows
+
+
+def geomeans(rows: List[Fig12Row]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for config in sorted({r.config for r in rows}):
+        sel = [r.energy_reduction for r in rows if r.config == config]
+        out[config] = float(np.exp(np.mean(np.log(sel))))
+    return out
+
+
+def format_table(rows: List[Fig12Row]) -> str:
+    lines = [
+        "Figure 12: energy reduction vs iso-resource baseline",
+        f"{'model':<12} {'config':<9} {'reduction':>10} "
+        f"{'SPRINT uJ':>10} {'base uJ':>10}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.model:<12} {r.config:<9} {r.energy_reduction:>9.2f}x "
+            f"{r.sprint_energy_pj / 1e6:>9.2f} "
+            f"{r.baseline_energy_pj / 1e6:>9.2f}"
+        )
+    for config, g in geomeans(rows).items():
+        lines.append(f"geomean {config}: {g:.2f}x")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,103 @@
+"""Figure 13: M-SPRINT energy breakdown, normalized to the baseline.
+
+Per model, three stacked bars: baseline (=100%), pruning-only, and full
+SPRINT (in-ReRAM pruning), split into the eight Figure 13 categories.
+Paper headlines: baseline spends ~47.8% on ReRAM reads (except ViT);
+pruning-only lands around 1.9-2.0x savings (ViT 1.4x); SPRINT's bar is
+dominated by ReRAM *writes* with in-memory pruning overhead ~4%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.configs import M_SPRINT, SprintConfig
+from repro.core.system import ExecutionMode
+from repro.energy.model import CATEGORIES
+from repro.experiments.sweep import ALL_MODELS, grid
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    model: str
+    scenario: str  # baseline | pruning_only | sprint
+    #: Each category's share of the *baseline* total (so the baseline
+    #: scenario's fractions sum to 1.0 and the others to 1/savings).
+    fractions: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_fraction(self) -> float:
+        return sum(self.fractions.values())
+
+    @property
+    def savings(self) -> float:
+        total = self.total_fraction
+        return 1.0 / total if total > 0 else float("inf")
+
+
+def run(
+    models: Sequence[str] = ALL_MODELS,
+    config: SprintConfig = M_SPRINT,
+    num_samples: int = 2,
+    seed: int = 1,
+) -> List[Fig13Row]:
+    modes = (
+        ExecutionMode.BASELINE,
+        ExecutionMode.PRUNING_ONLY,
+        ExecutionMode.SPRINT,
+    )
+    reports = grid(models, (config,), modes, num_samples, seed)
+    rows: List[Fig13Row] = []
+    for model in models:
+        base = reports[(model, config.name, ExecutionMode.BASELINE.value)]
+        base_total = base.total_energy_pj
+        for mode, label in (
+            (ExecutionMode.BASELINE, "baseline"),
+            (ExecutionMode.PRUNING_ONLY, "pruning_only"),
+            (ExecutionMode.SPRINT, "sprint"),
+        ):
+            report = reports[(model, config.name, mode.value)]
+            fractions = {
+                cat: report.energy.pj[cat] / base_total for cat in CATEGORIES
+            }
+            rows.append(
+                Fig13Row(model=model, scenario=label, fractions=fractions)
+            )
+    return rows
+
+
+def savings_by_model(rows: List[Fig13Row]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for r in rows:
+        if r.scenario == "baseline":
+            continue
+        out.setdefault(r.model, {})[r.scenario] = r.savings
+    return out
+
+
+def format_table(rows: List[Fig13Row]) -> str:
+    header = f"{'model':<12} {'scenario':<13}" + "".join(
+        f"{c[:9]:>10}" for c in CATEGORIES
+    ) + f"{'total':>8}"
+    lines = ["Figure 13: M-SPRINT energy breakdown (fraction of baseline)",
+             header]
+    for r in rows:
+        vals = "".join(f"{r.fractions[c]:>10.4f}" for c in CATEGORIES)
+        lines.append(
+            f"{r.model:<12} {r.scenario:<13}{vals}{r.total_fraction:>8.4f}"
+        )
+    for model, s in savings_by_model(rows).items():
+        lines.append(
+            f"{model}: pruning-only {s['pruning_only']:.2f}x, "
+            f"SPRINT {s['sprint']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

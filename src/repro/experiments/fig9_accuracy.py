@@ -1,0 +1,127 @@
+"""Figure 9: task quality under the four hardware scenarios.
+
+Per benchmark model: (1) software baseline, (2) ideal runtime pruning,
+(3) SPRINT without on-chip recompute, (4) full SPRINT.  Classification
+models report accuracy (higher better); the GPT-2-L stand-in reports
+perplexity (lower better).  The paper's findings: SPRINT degrades
+accuracy by 0.36% on average, while dropping the recompute costs ~4%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.attention.policies import (
+    ExactPolicy,
+    RuntimePruningPolicy,
+    SprintPolicy,
+)
+from repro.models.tasks import (
+    evaluate_accuracy,
+    evaluate_perplexity,
+    make_classification_task,
+    make_lm_task,
+)
+from repro.models.zoo import get_model
+
+DEFAULT_MODELS = (
+    "BERT-B", "BERT-L", "ALBERT-XL", "ALBERT-XXL", "ViT-B", "GPT-2-L",
+)
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    model: str
+    metric: str
+    baseline: float
+    runtime_pruning: float
+    sprint_no_recompute: float
+    sprint: float
+
+    @property
+    def sprint_degradation(self) -> float:
+        """Absolute quality drop of SPRINT vs baseline (sign-corrected)."""
+        if self.metric == "perplexity":
+            return self.sprint - self.baseline
+        return self.baseline - self.sprint
+
+
+def run(
+    models: Sequence[str] = DEFAULT_MODELS,
+    num_samples: int = 32,
+    seq_len: int = 96,
+    seed: int = 17,
+) -> List[Fig9Row]:
+    rows: List[Fig9Row] = []
+    for index, name in enumerate(models):
+        spec = get_model(name)
+        rate = spec.pruning_rate
+        policies = {
+            "baseline": ExactPolicy(),
+            "runtime_pruning": RuntimePruningPolicy(rate),
+            "no_recompute": SprintPolicy(rate, recompute=False),
+            "sprint": SprintPolicy(rate, recompute=True),
+        }
+        if spec.is_generative:
+            task = make_lm_task(
+                num_samples=num_samples, seq_len=seq_len, seed=seed + index
+            )
+            vals = {
+                k: evaluate_perplexity(task, p) for k, p in policies.items()
+            }
+            metric = "perplexity"
+        else:
+            task = make_classification_task(
+                num_samples=num_samples, seq_len=seq_len, seed=seed + index
+            )
+            vals = {
+                k: evaluate_accuracy(task, p) for k, p in policies.items()
+            }
+            metric = "accuracy"
+        rows.append(
+            Fig9Row(
+                model=name,
+                metric=metric,
+                baseline=vals["baseline"],
+                runtime_pruning=vals["runtime_pruning"],
+                sprint_no_recompute=vals["no_recompute"],
+                sprint=vals["sprint"],
+            )
+        )
+    return rows
+
+
+def average_degradation(rows: List[Fig9Row]) -> float:
+    """Mean absolute accuracy degradation (classification rows only)."""
+    acc = [r.sprint_degradation for r in rows if r.metric == "accuracy"]
+    return float(np.mean(acc)) if acc else 0.0
+
+
+def format_table(rows: List[Fig9Row]) -> str:
+    lines = [
+        "Figure 9: task quality under the four scenarios",
+        f"{'model':<12} {'metric':<11} {'baseline':>9} {'pruning':>9} "
+        f"{'w/o rec.':>9} {'SPRINT':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.model:<12} {r.metric:<11} {r.baseline:>9.4f} "
+            f"{r.runtime_pruning:>9.4f} {r.sprint_no_recompute:>9.4f} "
+            f"{r.sprint:>9.4f}"
+        )
+    lines.append(
+        f"avg accuracy degradation (SPRINT vs baseline): "
+        f"{average_degradation(rows):+.4f}"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,102 @@
+"""The paper's reported numbers, for measured-vs-paper comparison.
+
+Values transcribed from the arXiv version's figures/tables (the figure
+source data is embedded in the PDF).  Used only for reporting -- the
+simulator never reads these.
+"""
+
+from __future__ import annotations
+
+#: Figure 1: average % of energy on memory accesses at 20% capacity.
+FIG1_MEMORY_FRACTION_AT_20PCT = 0.60
+
+#: Figure 3: observed overlap is 2-3x the random expectation.
+FIG3_OVERLAP_RATIO_RANGE = (2.0, 3.0)
+FIG3_OBSERVED = {
+    # dataset -> (real overlap %, random overlap %)
+    "BERT-B/SQUAD": (0.856, 0.233),
+    "ViT-B/CIFAR": (0.739, 0.222),
+    "ALBERT-XXL/SQUAD": (0.876, 0.215),
+}
+
+#: Figure 5: accuracy vs in-memory score bits (BERT-MRPC column).
+FIG5_BERT_MRPC = {
+    1: 0.0, 2: 0.409, 3: 0.789, 4: 0.865,
+    5: 0.858, 6: 0.863, 7: 0.865, 8: 0.868,
+}
+
+#: Figure 9: task accuracy under the four scenarios.
+FIG9_ACCURACY = {
+    # model: (baseline, runtime pruning, sprint w/o recompute, sprint)
+    "BERT-B": (0.80198, 0.7994, 0.77588, 0.79877),
+    "BERT-L": (0.8351, 0.8330, 0.81447, 0.83387),
+    "ALBERT-XL": (0.85714, 0.85146, 0.80917, 0.84910),
+    "ALBERT-XXL": (0.87351, 0.87280, 0.79220, 0.87058),
+    "ViT-B": (0.9873, 0.9797, 0.9445, 0.9847),
+}
+#: GPT-2-L perplexity (lower is better).
+FIG9_GPT2_PERPLEXITY = (17.55, 17.48, 23.3682, 17.65)
+#: Average absolute accuracy degradation of SPRINT vs baseline.
+FIG9_AVG_DEGRADATION = 0.0036
+
+#: Figure 10: average data-movement reduction vs S-Baseline.
+FIG10_AVG_REDUCTION = {
+    # config: (mask only, sprint)
+    "S-SPRINT": (0.652, 0.949),
+    "M-SPRINT": (0.845, 0.985),
+    "L-SPRINT": (0.922, 0.989),
+}
+
+#: Figure 11: speedup geomeans and per-model values.
+FIG11_GEOMEAN = {"S-SPRINT": 7.49, "M-SPRINT": 7.36, "L-SPRINT": 7.13}
+FIG11_PER_MODEL = {
+    "BERT-B": (8.98, 8.86, 8.64),
+    "BERT-L": (10.38, 10.09, 9.56),
+    "ALBERT-XL": (7.50, 7.38, 7.15),
+    "ALBERT-XXL": (9.22, 9.00, 8.61),
+    "ViT-B": (2.79, 2.76, 2.72),
+    "GPT-2-L": (8.58, 8.45, 8.16),
+    "Synth-1": (8.0, 7.89, 7.70),
+    "Synth-2": (8.0, 7.89, 7.70),
+}
+#: Ablation: pruning-only speedup (no in-memory support).
+FIG11_PRUNING_ONLY_GEOMEAN = {"S-SPRINT": 1.8, "M-SPRINT": 1.7, "L-SPRINT": 1.7}
+
+#: Figure 12: energy-reduction geomeans and per-model values.
+FIG12_GEOMEAN = {"S-SPRINT": 19.56, "M-SPRINT": 16.82, "L-SPRINT": 12.03}
+FIG12_PER_MODEL = {
+    "BERT-B": (22.92, 17.19, 8.55),
+    "BERT-L": (28.46, 20.54, 9.91),
+    "ALBERT-XL": (23.47, 17.61, 8.74),
+    "ALBERT-XXL": (26.77, 19.90, 9.65),
+    "ViT-B": (2.75, 2.06, 2.06),
+    "GPT-2-L": (30.13, 31.63, 29.74),
+    "Synth-1": (26.00, 29.72, 32.41),
+    "Synth-2": (24.21, 26.75, 30.79),
+}
+
+#: Figure 13: M-SPRINT energy ratios vs baseline (pruning-only, SPRINT).
+FIG13_RATIOS = {
+    "BERT-B": (1.92, 17.19),
+    "BERT-L": (1.94, 20.54),
+    "ALBERT-XL": (1.92, 17.61),
+    "ALBERT-XXL": (1.93, 19.90),
+    "ViT-B": (1.40, 2.10),
+    "GPT-2-L": (1.98, 31.63),
+    "Synth-1": (1.95, 29.72),
+    "Synth-2": (1.96, 26.75),
+}
+#: Baseline's ReRAM-read share of total energy (avg, excluding ViT).
+FIG13_BASELINE_READ_SHARE = 0.478
+
+#: End-to-end incl. FFN (energy saving, speedup).
+FFN_END_TO_END = {
+    "BERT-B": (2.2, 1.8),
+    "BERT-L": (2.4, 2.0),
+    "ViT-B": (1.1, 1.0),
+    "Synth-2": (7.7, 4.7),
+}
+
+#: Misc claims used by tests and EXPERIMENTS.md.
+AVG_FETCH_FRACTION_BETWEEN_QUERIES = 0.021  # section VI
+VIT_LOCALITY_DEFICIT = 2.6  # ViT has 2.6x fewer spatial localities

@@ -1,0 +1,90 @@
+"""Run every experiment and print paper-style tables.
+
+``sprint-experiments`` (console script) or ``python -m
+repro.experiments.runner`` runs the full set; pass experiment names
+(e.g. ``fig11 table3``) to run a subset, ``--fast`` for smaller sample
+counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    ablations,
+    ffn_end_to_end,
+    fig1_memory_energy,
+    fig2_heatmap,
+    fig3_overlap,
+    fig5_bit_sensitivity,
+    fig8_imbalance,
+    fig9_accuracy,
+    fig10_data_movement,
+    fig11_speedup,
+    fig12_energy,
+    fig13_breakdown,
+    sensitivity,
+    table3_comparison,
+)
+
+#: name -> (run kwargs for fast mode, module)
+EXPERIMENTS: Dict[str, Tuple[dict, object]] = {
+    "fig1": ({"seq_lengths": (32, 128, 512)}, fig1_memory_energy),
+    "fig2": ({}, fig2_heatmap),
+    "fig3": ({"num_samples": 1}, fig3_overlap),
+    "fig5": ({"num_samples": 16}, fig5_bit_sensitivity),
+    "fig8": ({"num_samples": 1}, fig8_imbalance),
+    "fig9": ({"num_samples": 16}, fig9_accuracy),
+    "fig10": ({"num_samples": 1}, fig10_data_movement),
+    "fig11": ({"num_samples": 1}, fig11_speedup),
+    "fig12": ({"num_samples": 1}, fig12_energy),
+    "fig13": ({"num_samples": 1}, fig13_breakdown),
+    "ffn": ({"num_samples": 1}, ffn_end_to_end),
+    "table3": ({"num_samples": 1}, table3_comparison),
+    "ablations": ({}, ablations),
+    "sensitivity": ({}, sensitivity),
+}
+
+
+def run_experiment(name: str, fast: bool = False) -> str:
+    """Run one experiment by short name and return its formatted table."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    fast_kwargs, module = EXPERIMENTS[name]
+    kwargs = fast_kwargs if fast else {}
+    rows = module.run(**kwargs)
+    return module.format_table(rows)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the SPRINT paper's figures and tables."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help="subset to run (default: all): " + ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller sample counts for a quick pass",
+    )
+    args = parser.parse_args(argv)
+    for name in args.experiments:
+        start = time.time()
+        print("=" * 72)
+        print(run_experiment(name, fast=args.fast))
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+        sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Sensitivity sweeps: how SPRINT's benefit scales with the inputs.
+
+Two studies that extend the paper's evaluation along its own axes:
+
+1. **Pruning-rate sweep** -- the learned thresholds achieve 64-76%
+   across the paper's models; how do speedup/energy scale if a model
+   prunes more or less aggressively?  (This is the knob the threshold
+   margin of section III-A trades away.)
+2. **Sequence-length sweep** -- the paper projects "futuristic" 2K/4K
+   sequences with two synthetic models; this sweep traces the whole
+   curve from 128 to 4096 at fixed hardware, showing where the benefit
+   saturates and why (capacity coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.configs import S_SPRINT, SprintConfig
+from repro.core.system import ExecutionMode, SprintSystem
+from repro.workloads.generator import generate_workload
+
+
+@dataclass(frozen=True)
+class PruningRateRow:
+    pruning_rate: float
+    speedup: float
+    energy_reduction: float
+    unpruned_per_query: float
+
+
+def run_pruning_rate_sweep(
+    rates: Sequence[float] = (0.3, 0.5, 0.65, 0.75, 0.85, 0.95),
+    seq_len: int = 384,
+    padding_ratio: float = 0.0,
+    config: SprintConfig = S_SPRINT,
+    seed: int = 1,
+) -> List[PruningRateRow]:
+    """SPRINT benefit as a function of achieved pruning rate."""
+    system = SprintSystem(config)
+    rows: List[PruningRateRow] = []
+    for rate in rates:
+        workload = generate_workload(
+            seq_len, rate, padding_ratio=padding_ratio,
+            num_samples=1, seed=seed,
+        )
+        base = system.simulate_workload(
+            workload, ExecutionMode.BASELINE, "sweep"
+        )
+        sprint = system.simulate_workload(
+            workload, ExecutionMode.SPRINT, "sweep"
+        )
+        rows.append(
+            PruningRateRow(
+                pruning_rate=rate,
+                speedup=sprint.speedup_vs(base),
+                energy_reduction=sprint.energy_reduction_vs(base),
+                unpruned_per_query=sprint.counts["unpruned_total"]
+                / max(sprint.counts["queries"], 1),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class SequenceLengthRow:
+    seq_len: int
+    coverage: float  # on-chip capacity / sequence length
+    speedup: float
+    energy_reduction: float
+    data_movement_reduction: float
+
+
+def run_sequence_length_sweep(
+    seq_lens: Sequence[int] = (128, 256, 512, 1024, 2048, 4096),
+    pruning_rate: float = 0.75,
+    config: SprintConfig = S_SPRINT,
+    seed: int = 1,
+) -> List[SequenceLengthRow]:
+    """SPRINT benefit vs sequence length at fixed hardware."""
+    system = SprintSystem(config)
+    rows: List[SequenceLengthRow] = []
+    for s in seq_lens:
+        workload = generate_workload(
+            s, pruning_rate, padding_ratio=0.0, num_samples=1, seed=seed
+        )
+        base = system.simulate_workload(
+            workload, ExecutionMode.BASELINE, "sweep"
+        )
+        sprint = system.simulate_workload(
+            workload, ExecutionMode.SPRINT, "sweep"
+        )
+        rows.append(
+            SequenceLengthRow(
+                seq_len=s,
+                coverage=min(1.0, config.kv_capacity_vectors / s),
+                speedup=sprint.speedup_vs(base),
+                energy_reduction=sprint.energy_reduction_vs(base),
+                data_movement_reduction=sprint.data_movement_reduction_vs(
+                    base
+                ),
+            )
+        )
+    return rows
+
+
+def format_tables(
+    rate_rows: List[PruningRateRow],
+    length_rows: List[SequenceLengthRow],
+) -> str:
+    lines = [
+        "Sensitivity sweeps",
+        "",
+        "1. Pruning-rate sweep (S-SPRINT, s=384):",
+        f"   {'rate':>5} {'speedup':>8} {'energy':>8} {'unpruned/q':>11}",
+    ]
+    for r in rate_rows:
+        lines.append(
+            f"   {r.pruning_rate:>5.0%} {r.speedup:>7.2f}x "
+            f"{r.energy_reduction:>7.2f}x {r.unpruned_per_query:>11.1f}"
+        )
+    lines.append("2. Sequence-length sweep (S-SPRINT, 75% pruning):")
+    lines.append(
+        f"   {'s':>5} {'coverage':>9} {'speedup':>8} {'energy':>8} "
+        f"{'traffic cut':>12}"
+    )
+    for r in length_rows:
+        lines.append(
+            f"   {r.seq_len:>5d} {r.coverage:>8.1%} {r.speedup:>7.2f}x "
+            f"{r.energy_reduction:>7.2f}x {r.data_movement_reduction:>11.1%}"
+        )
+    return "\n".join(lines)
+
+
+def run():
+    return run_pruning_rate_sweep(), run_sequence_length_sweep()
+
+
+def format_table(rows) -> str:
+    return format_tables(*rows)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

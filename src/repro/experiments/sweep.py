@@ -1,0 +1,67 @@
+"""Shared model x config x mode simulation sweep with memoization.
+
+Figures 10-13 all consume the same grid of simulation reports; this
+module runs each (model, config, mode, samples, seed) cell once per
+process and caches the result.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Sequence, Tuple
+
+from repro.core.configs import L_SPRINT, M_SPRINT, S_SPRINT, SprintConfig
+from repro.core.results import SimulationReport
+from repro.core.system import ExecutionMode, SprintSystem
+from repro.models.zoo import get_model
+
+ALL_MODELS = (
+    "BERT-B", "BERT-L", "ALBERT-XL", "ALBERT-XXL",
+    "ViT-B", "GPT-2-L", "Synth-1", "Synth-2",
+)
+ALL_CONFIGS: Tuple[SprintConfig, ...] = (S_SPRINT, M_SPRINT, L_SPRINT)
+
+
+def samples_for(model_name: str, requested: int) -> int:
+    """Cap sample count for the very long Synth sequences (speed)."""
+    spec = get_model(model_name)
+    if spec.seq_len > 1024:
+        return max(1, requested // 2)
+    return requested
+
+
+@lru_cache(maxsize=None)
+def simulate(
+    model_name: str,
+    config_name: str,
+    mode_value: str,
+    num_samples: int = 2,
+    seed: int = 1,
+) -> SimulationReport:
+    """One memoized simulation cell."""
+    config = {c.name: c for c in ALL_CONFIGS}[config_name]
+    system = SprintSystem(config)
+    return system.simulate_model(
+        get_model(model_name),
+        ExecutionMode(mode_value),
+        num_samples=samples_for(model_name, num_samples),
+        seed=seed,
+    )
+
+
+def grid(
+    models: Sequence[str],
+    configs: Sequence[SprintConfig],
+    modes: Sequence[ExecutionMode],
+    num_samples: int = 2,
+    seed: int = 1,
+) -> Dict[Tuple[str, str, str], SimulationReport]:
+    """Run (and cache) the full grid; keys are (model, config, mode)."""
+    out: Dict[Tuple[str, str, str], SimulationReport] = {}
+    for model in models:
+        for config in configs:
+            for mode in modes:
+                out[(model, config.name, mode.value)] = simulate(
+                    model, config.name, mode.value, num_samples, seed
+                )
+    return out

@@ -1,0 +1,152 @@
+"""Table III: throughput / energy / area efficiency vs prior accelerators.
+
+Computes M-SPRINT's GOPs/s, GOPs/J, GOPs/s/mm2, and GOPs/s/J/mm2 from
+the simulator (effective dense-attention operations divided by measured
+time/energy, the accounting pruning accelerators use) and tabulates them
+against the published A3 / SpAtten / LeOPArd rows, including the Dennard
+re-scaling of the 40 nm designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.configs import M_SPRINT, SprintConfig
+from repro.core.system import ExecutionMode
+from repro.energy.area import (
+    M_SPRINT_AREA_MM2,
+    PRIOR_WORK,
+    AcceleratorMetrics,
+    dennard_scale_energy,
+)
+from repro.experiments.sweep import ALL_MODELS, grid
+from repro.models.zoo import get_model
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    name: str
+    process_nm: int
+    area_mm2: float
+    gops_per_s: float
+    gops_per_j: float
+    gops_per_s_mm2: float
+    gops_per_s_j_mm2: float
+    memory_cost_included: bool
+    simulated: bool
+
+
+def effective_attention_ops(seq_len: int, head_dim: int) -> float:
+    """Dense-equivalent operations of one attention head.
+
+    ``Q.K^T`` and ``P.V`` are each ``2 * s^2 * d`` ops (MAC = 2), plus
+    ~5 ops per score for softmax (exp, add, divide and friends).
+    """
+    return 2.0 * 2.0 * seq_len ** 2 * head_dim + 5.0 * seq_len ** 2
+
+
+def simulate_msprint_metrics(
+    models: Sequence[str] = ALL_MODELS,
+    config: SprintConfig = M_SPRINT,
+    num_samples: int = 2,
+    seed: int = 1,
+) -> AcceleratorMetrics:
+    """Aggregate effective throughput/efficiency over the benchmark suite."""
+    reports = grid(models, (config,), (ExecutionMode.SPRINT,), num_samples, seed)
+    total_ops = 0.0
+    total_seconds = 0.0
+    total_joules = 0.0
+    for model in models:
+        spec = get_model(model)
+        report = reports[(model, config.name, ExecutionMode.SPRINT.value)]
+        total_ops += effective_attention_ops(spec.seq_len, config.head_dim)
+        total_seconds += report.cycles / (config.frequency_ghz * 1e9)
+        total_joules += report.energy.total_joules
+    return AcceleratorMetrics(
+        ops=total_ops,
+        seconds=total_seconds,
+        joules=total_joules,
+        area_mm2=M_SPRINT_AREA_MM2,
+    )
+
+
+def run(
+    models: Sequence[str] = ALL_MODELS,
+    num_samples: int = 2,
+    seed: int = 1,
+) -> List[Table3Row]:
+    rows: List[Table3Row] = []
+    for name, prior in PRIOR_WORK.items():
+        if name == "M-SPRINT":
+            continue
+        rows.append(
+            Table3Row(
+                name=prior.name,
+                process_nm=prior.process_nm,
+                area_mm2=prior.area_mm2,
+                gops_per_s=prior.gops_per_s,
+                gops_per_j=prior.gops_per_j,
+                gops_per_s_mm2=prior.gops_per_s_mm2,
+                gops_per_s_j_mm2=prior.gops_per_s_j_mm2,
+                memory_cost_included=prior.memory_cost_included,
+                simulated=False,
+            )
+        )
+    metrics = simulate_msprint_metrics(models, num_samples=num_samples, seed=seed)
+    rows.append(
+        Table3Row(
+            name="M-SPRINT (simulated)",
+            process_nm=65,
+            area_mm2=metrics.area_mm2,
+            gops_per_s=metrics.gops_per_s,
+            gops_per_j=metrics.gops_per_j,
+            gops_per_s_mm2=metrics.gops_per_s_mm2,
+            gops_per_s_j_mm2=metrics.gops_per_s_j_mm2,
+            memory_cost_included=True,
+            simulated=True,
+        )
+    )
+    return rows
+
+
+def dennard_scaled_gops_per_j(
+    rows: List[Table3Row], to_nm: int = 40
+) -> Dict[str, float]:
+    """GOPs/J of the simulated rows re-scaled to ``to_nm`` (paper's 3873.5)."""
+    out: Dict[str, float] = {}
+    for r in rows:
+        if not r.simulated or r.gops_per_j <= 0:
+            continue
+        joules_per_gop = 1.0 / r.gops_per_j
+        scaled = dennard_scale_energy(joules_per_gop, r.process_nm, to_nm)
+        out[r.name] = 1.0 / scaled
+    return out
+
+
+def format_table(rows: List[Table3Row]) -> str:
+    lines = [
+        "Table III: comparison with prior accelerators",
+        f"{'design':<22} {'nm':>4} {'mm2':>6} {'GOPs/s':>9} {'GOPs/J':>9} "
+        f"{'GOPs/s/mm2':>11} {'GOPs/s/J/mm2':>13} {'mem?':>5}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<22} {r.process_nm:>4d} {r.area_mm2:>6.2f} "
+            f"{r.gops_per_s:>9.1f} {r.gops_per_j:>9.1f} "
+            f"{r.gops_per_s_mm2:>11.1f} {r.gops_per_s_j_mm2:>13.1f} "
+            f"{'yes' if r.memory_cost_included else 'no':>5}"
+        )
+    for name, val in dennard_scaled_gops_per_j(rows).items():
+        lines.append(f"{name} Dennard-scaled to 40nm: {val:.1f} GOPs/J")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

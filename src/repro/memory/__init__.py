@@ -1,0 +1,40 @@
+"""SPRINT memory subsystem: commands, timing, layout, controller engines.
+
+Implements paper section V: the ReRAM main-memory command protocol with
+the two new commands (``CopyQ``, ``ReadP``) and the ``tAxTh`` timing
+constraint, bank/row-buffer state machines, the channel-interleaved K/V
+data layout, and the controller frontend engines -- Spatial Locality
+Detection (SLD), Memory Request Generator (MRG), and Key Index Generator
+(KIG).
+"""
+
+from repro.memory.commands import CommandKind, MemoryCommand, MemoryRequest
+from repro.memory.controller import ControllerStats, SprintMemoryController
+from repro.memory.dram import Bank, Channel, MemoryDevice
+from repro.memory.layout import KVLayout, PhysicalAddress
+from repro.memory.mrg import KeyIndexGenerator, MemoryRequestGenerator
+from repro.memory.scheduler import CommandScheduler
+from repro.memory.sld import SpatialLocalityDetector, SLDOutput
+from repro.memory.timing import TimingParameters
+from repro.memory.frontend import ControllerFrontend, FrontendStats
+
+__all__ = [
+    "ControllerFrontend",
+    "FrontendStats",
+    "CommandKind",
+    "MemoryCommand",
+    "MemoryRequest",
+    "TimingParameters",
+    "Bank",
+    "Channel",
+    "MemoryDevice",
+    "KVLayout",
+    "PhysicalAddress",
+    "SpatialLocalityDetector",
+    "SLDOutput",
+    "MemoryRequestGenerator",
+    "KeyIndexGenerator",
+    "CommandScheduler",
+    "SprintMemoryController",
+    "ControllerStats",
+]

@@ -1,0 +1,70 @@
+"""Memory command set, including SPRINT's CopyQ and ReadP (section V-C).
+
+``CopyQ`` copies query-vector elements into the in-memory query buffer
+(a one-bit flag marks the start of in-memory thresholding); ``ReadP``
+reads the resulting binary pruning vector back through the bank row
+buffers.  Both obey read/write-like timing, except CopyQ skips tRP/tRCD
+because it targets an isolated buffer rather than a memory row.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CommandKind(enum.Enum):
+    """Every command the SPRINT controller can issue."""
+
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+    COPY_Q = "CopyQ"
+    READ_P = "ReadP"
+
+    def touches_row(self) -> bool:
+        """Whether the command interacts with a DRAM/ReRAM row."""
+        return self in (
+            CommandKind.ACTIVATE,
+            CommandKind.PRECHARGE,
+            CommandKind.READ,
+            CommandKind.WRITE,
+            CommandKind.READ_P,
+        )
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A request from the accelerator, pre-address-translation.
+
+    ``token_index`` identifies the key/value vector; ``is_write`` is used
+    when initially laying out embeddings.  ``kind_hint`` distinguishes
+    normal data movement from thresholding control traffic.
+    """
+
+    token_index: int
+    is_write: bool = False
+    kind_hint: Optional[CommandKind] = None
+    query_index: int = 0
+
+
+@dataclass
+class MemoryCommand:
+    """A scheduled command bound to a physical location."""
+
+    kind: CommandKind
+    channel: int
+    bank: int
+    row: int = 0
+    column: int = 0
+    issue_cycle: int = 0
+    #: Set by CopyQ to trigger in-memory thresholding (section V-C).
+    start_compute: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.kind.value}@c{self.channel}b{self.bank}"
+            f"r{self.row}col{self.column}+{self.issue_cycle}"
+        )

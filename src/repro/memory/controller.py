@@ -1,0 +1,179 @@
+"""The SPRINT memory controller: frontend engines + backend scheduler.
+
+The frontend accepts one binary pruning vector per query (produced by
+the in-memory thresholding), runs the SLD engine against the on-chip
+buffer residency model, generates fetch requests through the per-channel
+MRGs, and hands them to the backend :class:`CommandScheduler`.  The
+controller also owns the CopyQ/ReadP exchange that triggers thresholding
+for the *next* query (section V-C execution flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.memory.dram import MemoryDevice
+from repro.memory.layout import KVLayout
+from repro.memory.mrg import generate_all_requests
+from repro.memory.scheduler import CommandScheduler
+from repro.memory.sld import SpatialLocalityDetector
+from repro.memory.timing import TimingParameters
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate statistics over a controller's lifetime."""
+
+    queries: int = 0
+    vectors_fetched: int = 0
+    vectors_reused: int = 0
+    evictions: int = 0
+    copyq_commands: int = 0
+    readp_commands: int = 0
+    total_latency_cycles: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.vectors_fetched + self.vectors_reused
+        return self.vectors_reused / total if total else 0.0
+
+
+@dataclass
+class QueryTraffic:
+    """Per-query outcome handed back to the accelerator."""
+
+    fetch_indices: np.ndarray
+    reuse_indices: np.ndarray
+    latency_cycles: int
+    pruning_ready_cycle: int
+
+
+class SprintMemoryController:
+    """Frontend + backend for one attention head's K/V traffic.
+
+    Parameters
+    ----------
+    seq_len:
+        Sequence length (pruning vectors have this many bits).
+    capacity_vectors:
+        How many key vectors the on-chip K buffer holds (the V buffer is
+        symmetric and shares indices, so one residency set suffices).
+    """
+
+    def __init__(
+        self,
+        seq_len: int,
+        capacity_vectors: int,
+        layout: Optional[KVLayout] = None,
+        timing: Optional[TimingParameters] = None,
+        enable_sld: bool = True,
+    ):
+        if capacity_vectors < 1:
+            raise ValueError("capacity_vectors must be positive")
+        self.seq_len = seq_len
+        self.capacity = capacity_vectors
+        self.layout = layout or KVLayout()
+        self.timing = timing or TimingParameters()
+        self.enable_sld = enable_sld
+        self.device = MemoryDevice(
+            num_channels=self.layout.num_channels,
+            banks_per_channel=self.layout.banks_per_channel,
+        )
+        self.scheduler = CommandScheduler(
+            device=self.device, layout=self.layout, timing=self.timing
+        )
+        self.sld = SpatialLocalityDetector(seq_len)
+        self.stats = ControllerStats()
+        self._resident = np.zeros(seq_len, dtype=bool)
+        self._last_use = np.full(seq_len, -1, dtype=np.int64)
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def reset_residency(self) -> None:
+        """Flush the on-chip buffers (e.g. between attention heads)."""
+        self._resident[:] = False
+        self._last_use[:] = -1
+        self.sld.reset()
+
+    def resident_mask(self) -> np.ndarray:
+        return self._resident.copy()
+
+    def process_query(
+        self, pruning_vector: np.ndarray, query_index: int = 0
+    ) -> QueryTraffic:
+        """Handle one query's pruning vector end to end.
+
+        Schedules the CopyQ/ReadP exchange, computes the fetch delta via
+        SLD + residency, schedules the data reads, updates residency with
+        LRU eviction, and returns the traffic summary.
+        """
+        pruning = np.asarray(pruning_vector, dtype=np.uint8)
+        if pruning.shape != (self.seq_len,):
+            raise ValueError(f"pruning vector must have length {self.seq_len}")
+        # CopyQ/ReadP on every channel that holds K MSB columns; pruning
+        # bits for s keys need ceil(s/64) 64-bit bursts total.
+        readp_bursts = max(1, -(-self.seq_len // 64 // self.layout.num_channels))
+        ready = 0
+        for channel in range(self.layout.num_channels):
+            ready = max(
+                ready,
+                self.scheduler.schedule_thresholding(
+                    channel=channel,
+                    bank=0,
+                    start_cycle=self._clock,
+                    copyq_bursts=1,
+                    readp_bursts=readp_bursts,
+                ),
+            )
+            self.stats.copyq_commands += 1
+            self.stats.readp_commands += readp_bursts
+        if self.enable_sld:
+            out = self.sld.step(pruning, resident=self._resident)
+            request_vector = out.memory_request_vector
+            reuse_vector = out.spatial_locality_vector
+        else:
+            # Without SLD every unpruned key is re-fetched each query.
+            request_vector = (pruning == 0).astype(np.uint8)
+            reuse_vector = np.zeros_like(request_vector)
+        requests = generate_all_requests(
+            self.layout, request_vector, query_index
+        )
+        done = self.scheduler.schedule_requests(requests, start_cycle=ready)
+        fetch_indices = np.array([r.token_index for r in requests], dtype=np.int64)
+        reuse_indices = np.nonzero(reuse_vector)[0]
+        self._update_residency(fetch_indices, reuse_indices)
+        latency = done - self._clock
+        self._clock = done
+        self.stats.queries += 1
+        self.stats.vectors_fetched += len(fetch_indices)
+        self.stats.vectors_reused += len(reuse_indices)
+        self.stats.total_latency_cycles += max(latency, 0)
+        return QueryTraffic(
+            fetch_indices=fetch_indices,
+            reuse_indices=reuse_indices,
+            latency_cycles=max(latency, 0),
+            pruning_ready_cycle=ready,
+        )
+
+    # ------------------------------------------------------------------
+    def _update_residency(
+        self, fetched: np.ndarray, reused: np.ndarray
+    ) -> None:
+        tick = self.stats.queries + 1
+        self._last_use[reused] = tick
+        for token in fetched:
+            if self._resident.sum() >= self.capacity:
+                self._evict_one(tick)
+            self._resident[token] = True
+            self._last_use[token] = tick
+
+    def _evict_one(self, tick: int) -> None:
+        resident_idx = np.nonzero(self._resident)[0]
+        if resident_idx.size == 0:
+            return
+        victim = resident_idx[np.argmin(self._last_use[resident_idx])]
+        self._resident[victim] = False
+        self.stats.evictions += 1

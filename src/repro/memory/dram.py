@@ -1,0 +1,109 @@
+"""Bank / channel state machines with row-buffer tracking.
+
+The scheduler consults these models to decide whether a column access
+enjoys row-buffer locality (open-row hit) or must pay the
+PRECHARGE + ACTIVATE penalty (section V, Background).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.memory.commands import CommandKind
+from repro.memory.timing import TimingParameters
+
+
+@dataclass
+class Bank:
+    """One memory bank with a single open-row buffer."""
+
+    index: int
+    open_row: Optional[int] = None
+    ready_cycle: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def access(
+        self, row: int, cycle: int, timing: TimingParameters
+    ) -> int:
+        """Perform a column access to ``row``; returns completion cycle.
+
+        Issues the implicit PRE/ACT pair on a row-buffer miss.
+        """
+        start = max(cycle, self.ready_cycle)
+        if self.open_row == row:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+            if self.open_row is not None:
+                start += timing.command_latency(CommandKind.PRECHARGE)
+            start += timing.command_latency(CommandKind.ACTIVATE)
+            self.open_row = row
+        done = start + timing.command_latency(CommandKind.READ)
+        self.ready_cycle = done
+        return done
+
+
+@dataclass
+class Channel:
+    """A channel: shared data bus plus its banks."""
+
+    index: int
+    num_banks: int = 8
+    banks: List[Bank] = field(default_factory=list)
+    bus_free_cycle: int = 0
+    activate_history: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.banks:
+            self.banks = [Bank(index=i) for i in range(self.num_banks)]
+
+    def bank(self, index: int) -> Bank:
+        return self.banks[index % self.num_banks]
+
+    def reserve_bus(self, cycle: int, occupancy: int) -> int:
+        """Serialize data-bus usage; returns the granted start cycle."""
+        start = max(cycle, self.bus_free_cycle)
+        self.bus_free_cycle = start + occupancy
+        return start
+
+    def note_activate(self, cycle: int, timing: TimingParameters) -> int:
+        """Enforce tRRD/tFAW across this channel's activates.
+
+        Returns the earliest cycle the activate may issue.
+        """
+        start = cycle
+        if self.activate_history:
+            start = max(start, self.activate_history[-1] + timing.t_rrd)
+            if len(self.activate_history) >= 4:
+                start = max(start, self.activate_history[-4] + timing.t_faw)
+        self.activate_history.append(start)
+        if len(self.activate_history) > 16:
+            self.activate_history = self.activate_history[-8:]
+        return start
+
+
+@dataclass
+class MemoryDevice:
+    """The whole off-chip memory: channels of banks."""
+
+    num_channels: int = 16
+    banks_per_channel: int = 8
+    channels: List[Channel] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.channels:
+            self.channels = [
+                Channel(index=i, num_banks=self.banks_per_channel)
+                for i in range(self.num_channels)
+            ]
+
+    def channel(self, index: int) -> Channel:
+        return self.channels[index % self.num_channels]
+
+    def row_hit_rate(self) -> float:
+        hits = sum(b.row_hits for c in self.channels for b in c.banks)
+        misses = sum(b.row_misses for c in self.channels for b in c.banks)
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,140 @@
+"""Controller frontend: multi-accelerator request arbitration (section V-B).
+
+"The frontend engine communicates with multiple on-chip accelerators,
+accepting memory requests" -- with several CORELETs (or several
+accelerator tiles) sharing the memory system, their request streams
+must be queued and arbitrated before the backend scheduler sees them.
+This module provides bounded per-client queues and two arbitration
+policies (round-robin and oldest-first), plus fairness statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.memory.commands import MemoryRequest
+
+
+@dataclass
+class FrontendStats:
+    accepted: int = 0
+    rejected_full: int = 0
+    issued: int = 0
+    per_client_issued: Dict[int, int] = field(default_factory=dict)
+
+    def fairness(self) -> float:
+        """min/max issued across clients (1.0 = perfectly fair)."""
+        if not self.per_client_issued:
+            return 1.0
+        counts = list(self.per_client_issued.values())
+        hi = max(counts)
+        return (min(counts) / hi) if hi else 1.0
+
+
+class ControllerFrontend:
+    """Bounded request queues + arbitration for multiple clients.
+
+    Parameters
+    ----------
+    num_clients:
+        Accelerators (CORELETs/tiles) sharing the controller.
+    queue_depth:
+        Per-client queue capacity; enqueue fails when full (the client
+        stalls, as real request queues do).
+    policy:
+        ``"round_robin"`` (default) or ``"oldest_first"``.
+    """
+
+    POLICIES = ("round_robin", "oldest_first")
+
+    def __init__(
+        self,
+        num_clients: int,
+        queue_depth: int = 16,
+        policy: str = "round_robin",
+    ):
+        if num_clients < 1:
+            raise ValueError("num_clients must be positive")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}")
+        self.num_clients = num_clients
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self.stats = FrontendStats()
+        self._queues: List[Deque[Tuple[int, MemoryRequest]]] = [
+            deque() for _ in range(num_clients)
+        ]
+        self._next_client = 0
+        self._arrival = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, client: int, request: MemoryRequest) -> bool:
+        """Accept a request from ``client``; False if its queue is full."""
+        if not 0 <= client < self.num_clients:
+            raise IndexError(f"client {client} out of range")
+        queue = self._queues[client]
+        if len(queue) >= self.queue_depth:
+            self.stats.rejected_full += 1
+            return False
+        queue.append((self._arrival, request))
+        self._arrival += 1
+        self.stats.accepted += 1
+        return True
+
+    def occupancy(self, client: int) -> int:
+        return len(self._queues[client])
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    # ------------------------------------------------------------------
+    def issue(self) -> Optional[Tuple[int, MemoryRequest]]:
+        """Arbitrate and pop one request; None when all queues empty."""
+        if self.pending() == 0:
+            return None
+        if self.policy == "round_robin":
+            picked = self._issue_round_robin()
+        else:
+            picked = self._issue_oldest_first()
+        if picked is not None:
+            client, _ = picked
+            self.stats.issued += 1
+            self.stats.per_client_issued[client] = (
+                self.stats.per_client_issued.get(client, 0) + 1
+            )
+        return picked
+
+    def issue_all(self) -> List[Tuple[int, MemoryRequest]]:
+        """Drain every queued request in arbitration order."""
+        out = []
+        while True:
+            picked = self.issue()
+            if picked is None:
+                return out
+            out.append(picked)
+
+    # ------------------------------------------------------------------
+    def _issue_round_robin(self) -> Optional[Tuple[int, MemoryRequest]]:
+        for offset in range(self.num_clients):
+            client = (self._next_client + offset) % self.num_clients
+            if self._queues[client]:
+                _, request = self._queues[client].popleft()
+                self._next_client = (client + 1) % self.num_clients
+                return client, request
+        return None
+
+    def _issue_oldest_first(self) -> Optional[Tuple[int, MemoryRequest]]:
+        best_client = None
+        best_arrival = None
+        for client, queue in enumerate(self._queues):
+            if queue and (best_arrival is None or queue[0][0] < best_arrival):
+                best_arrival = queue[0][0]
+                best_client = client
+        if best_client is None:
+            return None
+        _, request = self._queues[best_client].popleft()
+        return best_client, request

@@ -1,0 +1,55 @@
+"""Data layout organization (paper section V-A).
+
+Key (and value) vectors are stored *non-interleaved* -- each vector in
+one memory-mat column -- and **neighbouring vectors are distributed
+across different channels/banks**, because spatial locality makes
+adjacent unpruned indices likely to be fetched together; spreading them
+across channels turns that into bandwidth instead of bank conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhysicalAddress:
+    """Where one embedding vector lives."""
+
+    channel: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class KVLayout:
+    """Channel-interleaved placement of key/value vectors.
+
+    Token ``i`` maps to channel ``i mod num_channels``; within a channel,
+    consecutive resident tokens round-robin across banks and fill rows of
+    ``columns_per_row`` vectors (one vector per mat column).
+    """
+
+    num_channels: int = 16
+    banks_per_channel: int = 8
+    columns_per_row: int = 128
+    vector_bytes: int = 64  # d=64 one-byte elements
+
+    def address_of(self, token_index: int) -> PhysicalAddress:
+        if token_index < 0:
+            raise ValueError("token_index must be non-negative")
+        channel = token_index % self.num_channels
+        within = token_index // self.num_channels
+        bank = within % self.banks_per_channel
+        slot = within // self.banks_per_channel
+        row = slot // self.columns_per_row
+        column = slot % self.columns_per_row
+        return PhysicalAddress(channel=channel, bank=bank, row=row, column=column)
+
+    def tokens_per_channel(self, seq_len: int, channel: int) -> int:
+        """How many of ``seq_len`` tokens land on ``channel``."""
+        if channel >= self.num_channels:
+            return 0
+        full, rem = divmod(seq_len, self.num_channels)
+        return full + (1 if channel < rem else 0)

@@ -1,0 +1,85 @@
+"""Memory Request Generator and Key Index Generator engines (section V-C).
+
+Each per-channel MRG walks its channel's slice of the memory-request
+vector with a **base register** (the starting key index on that channel)
+and a shared **up counter** that advances by the number of channels --
+reproducing the paper's address-generation microarchitecture.  The KIG
+has the identical structure but walks the *spatial locality vector* to
+hand the accelerator the indices it can start computing on immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.memory.commands import MemoryRequest
+from repro.memory.layout import KVLayout
+
+
+@dataclass
+class MemoryRequestGenerator:
+    """Per-channel request generation from a binary request vector."""
+
+    layout: KVLayout
+    channel: int
+
+    def __post_init__(self):
+        if not 0 <= self.channel < self.layout.num_channels:
+            raise ValueError("channel out of range for layout")
+        #: The paper's base register: first token index on this channel.
+        self.base_register = self.channel
+
+    def generate(
+        self, request_vector: np.ndarray, query_index: int = 0
+    ) -> List[MemoryRequest]:
+        """Produce requests for this channel's '1' entries.
+
+        The up counter starts at zero and increments by the channel count
+        each cycle; ``base + counter`` is the token index examined.
+        """
+        vector = np.asarray(request_vector).astype(np.uint8)
+        requests: List[MemoryRequest] = []
+        counter = 0
+        while self.base_register + counter < vector.size:
+            token = self.base_register + counter
+            if vector[token]:
+                requests.append(
+                    MemoryRequest(token_index=token, query_index=query_index)
+                )
+            counter += self.layout.num_channels
+        return requests
+
+
+@dataclass
+class KeyIndexGenerator:
+    """Same microarchitecture as the MRG, fed the locality vector.
+
+    Emits the key indices already resident on chip so the accelerator can
+    bootstrap score computation while fetches are in flight.
+    """
+
+    layout: KVLayout
+    channel: int
+
+    def __post_init__(self):
+        self._mrg = MemoryRequestGenerator(self.layout, self.channel)
+
+    def generate(self, spatial_locality_vector: np.ndarray) -> List[int]:
+        return [
+            r.token_index
+            for r in self._mrg.generate(spatial_locality_vector)
+        ]
+
+
+def generate_all_requests(
+    layout: KVLayout, request_vector: np.ndarray, query_index: int = 0
+) -> List[MemoryRequest]:
+    """Run every channel's MRG and merge the per-channel request lists."""
+    requests: List[MemoryRequest] = []
+    for channel in range(layout.num_channels):
+        mrg = MemoryRequestGenerator(layout, channel)
+        requests.extend(mrg.generate(request_vector, query_index))
+    return sorted(requests, key=lambda r: r.token_index)

@@ -1,0 +1,113 @@
+"""Backend command scheduler honoring the timing table (section V-B/C).
+
+A simplified FR-FCFS-style scheduler: requests are translated into
+commands per the layout, row hits proceed without ACTIVATE, and the new
+``CopyQ``/``ReadP`` pair enforces ``tAxTh`` between the start-compute
+flag and the pruning-vector read.  Other commands are blocked on a bank
+while its crossbar computes, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.memory.commands import CommandKind, MemoryCommand, MemoryRequest
+from repro.memory.dram import MemoryDevice
+from repro.memory.layout import KVLayout
+from repro.memory.timing import TimingParameters
+
+
+@dataclass
+class CommandScheduler:
+    """Issues commands against the device model and tracks completion."""
+
+    device: MemoryDevice
+    layout: KVLayout
+    timing: TimingParameters = field(default_factory=TimingParameters)
+    issued: List[MemoryCommand] = field(default_factory=list)
+    #: Per-(channel, bank) cycle until which in-memory thresholding
+    #: blocks other commands.
+    _compute_busy_until: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def schedule_requests(
+        self, requests: List[MemoryRequest], start_cycle: int = 0
+    ) -> int:
+        """Schedule data reads/writes; returns the last completion cycle."""
+        done = start_cycle
+        for request in requests:
+            addr = self.layout.address_of(request.token_index)
+            kind = CommandKind.WRITE if request.is_write else CommandKind.READ
+            done = max(done, self._issue_column(kind, addr, start_cycle))
+        return done
+
+    def schedule_thresholding(
+        self,
+        channel: int,
+        bank: int,
+        start_cycle: int = 0,
+        copyq_bursts: int = 1,
+        readp_bursts: int = 1,
+    ) -> int:
+        """Schedule one CopyQ(+start) ... ReadP exchange on a bank.
+
+        Returns the cycle the pruning vector is available on chip.
+        """
+        chan = self.device.channel(channel)
+        cycle = start_cycle
+        # CopyQ bursts: isolated buffer, only bus occupancy + tCL apply.
+        for i in range(copyq_bursts):
+            bus_start = chan.reserve_bus(
+                cycle, self.timing.bus_occupancy(CommandKind.COPY_Q)
+            )
+            cmd = MemoryCommand(
+                kind=CommandKind.COPY_Q,
+                channel=channel,
+                bank=bank,
+                issue_cycle=bus_start,
+                start_compute=(i == copyq_bursts - 1),
+            )
+            self.issued.append(cmd)
+            cycle = bus_start + self.timing.command_latency(CommandKind.COPY_Q)
+        # tAxTh: crossbar computes; block the bank.
+        compute_done = cycle + self.timing.t_axth
+        self._compute_busy_until[(channel, bank)] = compute_done
+        # ReadP follows full read timing through the row buffer.
+        cycle = compute_done
+        for _ in range(readp_bursts):
+            bus_start = chan.reserve_bus(
+                cycle, self.timing.bus_occupancy(CommandKind.READ_P)
+            )
+            self.issued.append(
+                MemoryCommand(
+                    kind=CommandKind.READ_P,
+                    channel=channel,
+                    bank=bank,
+                    issue_cycle=bus_start,
+                )
+            )
+            cycle = bus_start + self.timing.command_latency(CommandKind.READ_P)
+        return cycle
+
+    # ------------------------------------------------------------------
+    def _issue_column(self, kind, addr, cycle: int) -> int:
+        chan = self.device.channel(addr.channel)
+        bank = chan.bank(addr.bank)
+        # Respect in-flight in-memory thresholding on this bank.
+        blocked = self._compute_busy_until.get((addr.channel, addr.bank), 0)
+        start = max(cycle, blocked)
+        if bank.open_row != addr.row:
+            start = chan.note_activate(start, self.timing)
+        bus_start = chan.reserve_bus(start, self.timing.bus_occupancy(kind))
+        done = bank.access(addr.row, bus_start, self.timing)
+        self.issued.append(
+            MemoryCommand(
+                kind=kind,
+                channel=addr.channel,
+                bank=addr.bank,
+                row=addr.row,
+                column=addr.column,
+                issue_cycle=bus_start,
+            )
+        )
+        return done

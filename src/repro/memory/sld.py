@@ -1,0 +1,90 @@
+"""Spatial Locality Detection engine (paper section V-C, Eqs. 4-5).
+
+Given the binary pruning vectors of the previous and current query
+('1' -> pruned), the SLD engine computes:
+
+- **memory request vector** (Eq. 4): keys unpruned *now* but pruned for
+  the previous query -- these must be fetched from memory;
+- **spatial locality vector** (Eq. 5): keys unpruned for *both* queries
+  -- already in the on-chip K buffer, so score computation can
+  bootstrap on them immediately.
+
+The engine additionally consults the buffer residency set maintained by
+the controller frontend, because with capacity eviction "unpruned last
+query" is necessary but not sufficient for on-chip presence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SLDOutput:
+    """Result of one SLD evaluation for a query transition."""
+
+    memory_request_vector: np.ndarray  # '1' -> must fetch
+    spatial_locality_vector: np.ndarray  # '1' -> reuse from on-chip buffer
+
+    @property
+    def fetch_count(self) -> int:
+        return int(self.memory_request_vector.sum())
+
+    @property
+    def reuse_count(self) -> int:
+        return int(self.spatial_locality_vector.sum())
+
+
+class SpatialLocalityDetector:
+    """Stateful SLD engine tracking the previous pruning vector."""
+
+    def __init__(self, seq_len: int):
+        if seq_len < 1:
+            raise ValueError("seq_len must be positive")
+        self.seq_len = seq_len
+        # Before the first query nothing is on chip: treat everything as
+        # pruned previously so every unpruned key becomes a fetch.
+        self._previous = np.ones(seq_len, dtype=np.uint8)
+
+    def reset(self) -> None:
+        self._previous = np.ones(self.seq_len, dtype=np.uint8)
+
+    def step(
+        self,
+        pruning_vector: np.ndarray,
+        resident: Optional[np.ndarray] = None,
+    ) -> SLDOutput:
+        """Advance to the next query's pruning vector.
+
+        Parameters
+        ----------
+        pruning_vector:
+            ``P^t``, '1' -> pruned, length ``seq_len``.
+        resident:
+            Optional boolean mask of keys currently in the on-chip K
+            buffer.  When given it overrides the Eq. 4/5 approximation
+            (which assumes everything unpruned last query is still
+            resident) with ground truth from the buffer model.
+        """
+        current = np.asarray(pruning_vector, dtype=np.uint8)
+        if current.shape != (self.seq_len,):
+            raise ValueError(
+                f"pruning vector must have length {self.seq_len}"
+            )
+        unpruned_now = current == 0
+        if resident is None:
+            unpruned_prev = self._previous == 0
+            on_chip = unpruned_prev
+        else:
+            on_chip = np.asarray(resident, dtype=bool)
+            if on_chip.shape != (self.seq_len,):
+                raise ValueError("resident mask must have length seq_len")
+        request = (unpruned_now & ~on_chip).astype(np.uint8)  # Eq. 4
+        reuse = (unpruned_now & on_chip).astype(np.uint8)  # Eq. 5
+        self._previous = current.copy()
+        return SLDOutput(
+            memory_request_vector=request, spatial_locality_vector=reuse
+        )

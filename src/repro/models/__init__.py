@@ -1,0 +1,37 @@
+"""Transformer model zoo and synthetic evaluation tasks (pure numpy).
+
+The paper evaluates fine-tuned HuggingFace checkpoints; this environment
+has no network or PyTorch, so the zoo carries each model's *published*
+architectural and pruning statistics (sequence length, pruning rate,
+padding fraction, metric) and the accuracy experiments run on a numpy
+transformer with planted attention structure -- see DESIGN.md section 2
+for why this preserves the behaviour under study.
+"""
+
+from repro.models.zoo import MODEL_ZOO, ModelSpec, get_model, list_models
+from repro.models.projection import FeedForward, LinearLayer, QKVProjection
+from repro.models.transformer import TransformerClassifier, TransformerConfig
+from repro.models.tasks import (
+    SyntheticTask,
+    evaluate_accuracy,
+    evaluate_perplexity,
+    make_classification_task,
+    make_lm_task,
+)
+
+__all__ = [
+    "LinearLayer",
+    "QKVProjection",
+    "FeedForward",
+    "ModelSpec",
+    "MODEL_ZOO",
+    "get_model",
+    "list_models",
+    "TransformerConfig",
+    "TransformerClassifier",
+    "SyntheticTask",
+    "make_classification_task",
+    "make_lm_task",
+    "evaluate_accuracy",
+    "evaluate_perplexity",
+]

@@ -1,0 +1,172 @@
+"""Projection and feed-forward layers with an 8-bit inference path.
+
+The attention substrate consumes pre-projected Q/K/V; this module
+provides the projection GEMMs that produce them -- and the feed-forward
+network SPRINT repurposes its processing units for (paper section VII,
+end-to-end study) -- in both float and quantized-int8 execution, with
+operation counts for the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.attention.quantization import symmetric_quantize
+
+
+@dataclass
+class LayerStats:
+    macs: int = 0
+    dot_products_64tap: int = 0
+
+    def merge(self, other: "LayerStats") -> None:
+        self.macs += other.macs
+        self.dot_products_64tap += other.dot_products_64tap
+
+
+class LinearLayer:
+    """A dense layer with symmetric int8 weights.
+
+    ``forward`` runs in float (reference); ``forward_quantized`` runs
+    the int8 path the accelerator executes: int8 activation x int8
+    weight products accumulated in wide integers, rescaled at the end.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        taps: int = 64,
+    ):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be 2-D (in, out)")
+        self.bias = (
+            np.zeros(self.weight.shape[1])
+            if bias is None
+            else np.asarray(bias, dtype=np.float64)
+        )
+        if self.bias.shape != (self.weight.shape[1],):
+            raise ValueError("bias shape mismatch")
+        self.taps = taps
+        self._w_quant = symmetric_quantize(self.weight, bits=8)
+        self.stats = LayerStats()
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def _count(self, rows: int) -> None:
+        macs = rows * self.in_features * self.out_features
+        self.stats.macs += macs
+        self.stats.dot_products_64tap += -(-macs // self.taps)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._count(x.shape[0] if x.ndim == 2 else 1)
+        return x @ self.weight + self.bias
+
+    def forward_quantized(self, x: np.ndarray) -> np.ndarray:
+        """Int8 x int8 inference with integer accumulation."""
+        x = np.asarray(x, dtype=np.float64)
+        x_quant = symmetric_quantize(x, bits=8)
+        self._count(x.shape[0] if x.ndim == 2 else 1)
+        acc = x_quant.codes.astype(np.int64) @ self._w_quant.codes.astype(
+            np.int64
+        )
+        return acc * (x_quant.scale * self._w_quant.scale) + self.bias
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        """Max |float - quantized| output deviation on ``x``."""
+        return float(
+            np.max(np.abs(self.forward(x) - self.forward_quantized(x)))
+        )
+
+
+class QKVProjection:
+    """The three projection GEMMs feeding one attention layer."""
+
+    def __init__(
+        self,
+        w_q: np.ndarray,
+        w_k: np.ndarray,
+        w_v: np.ndarray,
+        taps: int = 64,
+    ):
+        self.q = LinearLayer(w_q, taps=taps)
+        self.k = LinearLayer(w_k, taps=taps)
+        self.v = LinearLayer(w_v, taps=taps)
+
+    @classmethod
+    def random(
+        cls, embed_dim: int, proj_dim: Optional[int] = None, seed: int = 0
+    ) -> "QKVProjection":
+        rng = np.random.default_rng(seed)
+        proj_dim = proj_dim or embed_dim
+        scale = 1.0 / np.sqrt(embed_dim)
+        return cls(
+            rng.normal(0, scale, (embed_dim, proj_dim)),
+            rng.normal(0, scale, (embed_dim, proj_dim)),
+            rng.normal(0, scale, (embed_dim, proj_dim)),
+        )
+
+    def forward(
+        self, x: np.ndarray, quantized: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        f = "forward_quantized" if quantized else "forward"
+        return (
+            getattr(self.q, f)(x),
+            getattr(self.k, f)(x),
+            getattr(self.v, f)(x),
+        )
+
+    def total_stats(self) -> LayerStats:
+        stats = LayerStats()
+        for layer in (self.q, self.k, self.v):
+            stats.merge(layer.stats)
+        return stats
+
+
+class FeedForward:
+    """The e -> 4e -> e FFN block of a transformer layer.
+
+    SPRINT executes this on its QK-PU/V-PU engines with FFN weights
+    cached in the K/V buffers (section VII, end-to-end study); the
+    stats feed the same energy accounting.
+    """
+
+    def __init__(
+        self, embed_dim: int, hidden_dim: Optional[int] = None, seed: int = 0
+    ):
+        rng = np.random.default_rng(seed)
+        hidden_dim = hidden_dim or 4 * embed_dim
+        self.up = LinearLayer(
+            rng.normal(0, 1.0 / np.sqrt(embed_dim), (embed_dim, hidden_dim))
+        )
+        self.down = LinearLayer(
+            rng.normal(0, 1.0 / np.sqrt(hidden_dim), (hidden_dim, embed_dim))
+        )
+
+    def forward(self, x: np.ndarray, quantized: bool = False) -> np.ndarray:
+        f = "forward_quantized" if quantized else "forward"
+        hidden = np.maximum(getattr(self.up, f)(x), 0.0)  # ReLU
+        return getattr(self.down, f)(hidden)
+
+    def macs_per_token(self) -> int:
+        return (
+            self.up.in_features * self.up.out_features
+            + self.down.in_features * self.down.out_features
+        )
+
+    def total_stats(self) -> LayerStats:
+        stats = LayerStats()
+        stats.merge(self.up.stats)
+        stats.merge(self.down.stats)
+        return stats

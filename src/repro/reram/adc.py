@@ -1,0 +1,78 @@
+"""Data converters and the analog comparator (paper section III).
+
+SPRINT's key circuit decision: instead of digitizing every analog score
+with a 5-bit ADC and comparing digitally, an **analog comparator** per
+bitline compares the column current against the threshold voltage and a
+**1-bit ADC** digitizes the single pruning bit.  A 5-bit ADC costs >20x
+the power and >30x the area of the 1-bit design ([136, 139]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class DAC:
+    """Digital-to-analog converter driving the wordlines.
+
+    Converts unsigned ``bits``-bit codes to voltages in ``[0, v_ref]``.
+    Conversion count is tracked for the energy model.
+    """
+
+    bits: int = 4
+    v_ref: float = 1.0
+    conversions: int = 0
+
+    def convert(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        full = 2 ** self.bits - 1
+        if np.any(codes < 0) or np.any(codes > full):
+            raise ValueError(f"codes must be in [0, {full}]")
+        self.conversions += int(codes.size)
+        return codes.astype(np.float64) * (self.v_ref / full)
+
+
+@dataclass
+class ADC:
+    """Analog-to-digital converter with ``bits`` precision.
+
+    The relative power/area cost versus a 1-bit design follows the
+    paper's cited survey: both grow super-linearly in resolution.
+    """
+
+    bits: int = 1
+    v_ref: float = 1.0
+    conversions: int = 0
+
+    #: Power of a b-bit ADC relative to 1-bit, from the flash-ADC scaling
+    #: the paper cites (>30x for 5-bit vs 1-bit power, >20x area).
+    POWER_VS_1BIT = {1: 1.0, 2: 3.0, 3: 7.5, 4: 15.0, 5: 32.0, 6: 64.0}
+
+    def convert(self, voltages: np.ndarray) -> np.ndarray:
+        voltages = np.asarray(voltages, dtype=np.float64)
+        self.conversions += int(voltages.size)
+        levels = 2 ** self.bits - 1
+        clipped = np.clip(voltages, 0.0, self.v_ref)
+        return np.round(clipped / self.v_ref * levels).astype(np.int64)
+
+    def relative_power(self) -> float:
+        return self.POWER_VS_1BIT.get(self.bits, 2.0 ** self.bits)
+
+
+@dataclass
+class AnalogComparator:
+    """Per-bitline comparator producing the 1-bit pruning decision.
+
+    Output convention matches the memory controller ('1' -> pruned, i.e.
+    the analog score fell *below* the threshold voltage).
+    """
+
+    comparisons: int = 0
+
+    def compare(self, analog_scores: np.ndarray, v_threshold: float) -> np.ndarray:
+        analog_scores = np.asarray(analog_scores, dtype=np.float64)
+        self.comparisons += int(analog_scores.size)
+        return (analog_scores < v_threshold).astype(np.uint8)

@@ -1,0 +1,133 @@
+"""A ReRAM crossbar array performing analog vector-matrix multiplication.
+
+The behavioural model follows Eq. 2 of the paper: matrix elements map to
+memristor conductances, the input vector drives the wordlines as DAC
+voltages, and each bitline's summed current is the dot product of the
+input with that column.  Non-idealities enter in two places: per-cell
+programming variation (:class:`repro.reram.cell.MLCCellModel`) and
+aggregate output-referred noise (:class:`repro.reram.noise.OutputNoiseModel`).
+
+Signed operands use the standard differential-column trick (positive and
+negative conductance planes whose currents subtract), which behaviourally
+reduces to signed effective weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.reram.cell import MLCCellModel
+from repro.reram.noise import OutputNoiseModel
+
+
+@dataclass
+class CrossbarStats:
+    """Event counters consumed by the energy model."""
+
+    vmm_ops: int = 0
+    analog_macs: int = 0
+    programs: int = 0
+    transposed_reads: int = 0
+
+    def merge(self, other: "CrossbarStats") -> None:
+        self.vmm_ops += other.vmm_ops
+        self.analog_macs += other.analog_macs
+        self.programs += other.programs
+        self.transposed_reads += other.transposed_reads
+
+
+class CrossbarArray:
+    """One ``rows x cols`` crossbar storing signed multi-bit codes.
+
+    Parameters
+    ----------
+    rows, cols:
+        Physical array dimensions (wordlines x bitlines).  SPRINT's
+        transposable arrays are 64 x 128 (Table I).
+    cell:
+        MLC cell model; magnitude codes must fit ``cell.bits_per_cell``.
+    noise:
+        Output noise model applied to every analog VMM result.
+    seed:
+        Seed for programming variation and noise (deterministic runs).
+    """
+
+    def __init__(
+        self,
+        rows: int = 64,
+        cols: int = 128,
+        cell: Optional[MLCCellModel] = None,
+        noise: Optional[OutputNoiseModel] = None,
+        seed: int = 0,
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.cell = cell or MLCCellModel()
+        self.noise = noise or OutputNoiseModel()
+        self._rng = np.random.default_rng(seed)
+        self.stats = CrossbarStats()
+        self._codes = np.zeros((rows, cols), dtype=np.int64)
+        self._effective = np.zeros((rows, cols), dtype=np.float64)
+        self._programmed = False
+
+    # ------------------------------------------------------------------
+    def program(self, codes: np.ndarray, ideal: bool = False) -> None:
+        """Program signed codes into the array (with variation).
+
+        ``codes`` may be smaller than the array; the remainder stays zero
+        ("Not Used" cells in the paper's Figure 6).
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2:
+            raise ValueError("codes must be a 2-D matrix")
+        r, c = codes.shape
+        if r > self.rows or c > self.cols:
+            raise ValueError(
+                f"codes shape {codes.shape} exceeds array "
+                f"({self.rows}x{self.cols})"
+            )
+        half = 2 ** (self.cell.bits_per_cell - 1)
+        if np.any(codes > half - 1) or np.any(codes < -half):
+            raise ValueError(
+                f"signed codes out of {self.cell.bits_per_cell}-bit range"
+            )
+        self._codes[:] = 0
+        self._effective[:] = 0.0
+        self._codes[:r, :c] = codes
+        magnitude = np.abs(codes)
+        conduct = self.cell.program(magnitude, rng=self._rng, ideal=ideal)
+        # Map conductance back to an effective magnitude on the level grid:
+        # programming variation becomes multiplicative weight error.
+        span = self.cell.g_max - self.cell.g_min
+        eff_mag = (conduct - self.cell.g_min) / span * (self.cell.level_count - 1)
+        self._effective[:r, :c] = np.sign(codes) * eff_mag
+        self.stats.programs += int(codes.size)
+        self._programmed = True
+
+    def vmm(self, input_codes: np.ndarray, ideal: bool = False) -> np.ndarray:
+        """Analog VMM: one input element per wordline, one output per bitline."""
+        if not self._programmed:
+            raise RuntimeError("array not programmed")
+        v = np.asarray(input_codes, dtype=np.float64)
+        if v.ndim != 1:
+            raise ValueError("input must be a 1-D vector")
+        if v.size > self.rows:
+            raise ValueError(f"input length {v.size} exceeds {self.rows} rows")
+        padded = np.zeros(self.rows, dtype=np.float64)
+        padded[: v.size] = v
+        out = padded @ self._effective
+        self.stats.vmm_ops += 1
+        self.stats.analog_macs += self.rows * self.cols
+        if ideal:
+            return out
+        full_scale = float(np.max(np.abs(out))) * 2.0 if out.size else 0.0
+        return self.noise.apply(out, full_scale=full_scale, rng=self._rng)
+
+    def stored_codes(self) -> np.ndarray:
+        """Digital view of the stored codes (for verification)."""
+        return self._codes.copy()

@@ -1,0 +1,163 @@
+"""Device-side data placement across standard and transposable ReRAM.
+
+Paper section V-A: the MSB half of every key vector must live in
+*transposable* arrays (for in-memory thresholding + transposed reads),
+while the LSB halves, queries, and values live in *standard* arrays --
+and the user should be able to express this "without exposing the
+physical underlying structure of the memory subsystem" via device-side
+allocation APIs.  :class:`BankAllocator` is that API: callers allocate
+matrices by *kind* and get back region descriptors; the allocator
+enforces bank-type constraints, capacity, and the channel-interleaved
+vector placement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class BankType(enum.Enum):
+    STANDARD = "standard"
+    TRANSPOSABLE = "transposable"
+
+
+class MatrixKind(enum.Enum):
+    """What the region will hold; determines the legal bank type."""
+
+    QUERY = "Q"
+    KEY_MSB = "K_MSB"
+    KEY_LSB = "K_LSB"
+    VALUE = "V"
+
+    @property
+    def required_bank_type(self) -> BankType:
+        if self is MatrixKind.KEY_MSB:
+            return BankType.TRANSPOSABLE
+        return BankType.STANDARD
+
+
+@dataclass(frozen=True)
+class Region:
+    """One allocated matrix region."""
+
+    kind: MatrixKind
+    bank_type: BankType
+    start_column: int
+    num_vectors: int
+    bytes_per_vector: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_vectors * self.bytes_per_vector
+
+    @property
+    def end_column(self) -> int:
+        return self.start_column + self.num_vectors
+
+
+@dataclass
+class _BankPool:
+    bank_type: BankType
+    capacity_vectors: int
+    next_column: int = 0
+
+    @property
+    def free_vectors(self) -> int:
+        return self.capacity_vectors - self.next_column
+
+    def take(self, num_vectors: int) -> int:
+        if num_vectors > self.free_vectors:
+            raise MemoryError(
+                f"{self.bank_type.value} pool exhausted: need "
+                f"{num_vectors}, have {self.free_vectors}"
+            )
+        start = self.next_column
+        self.next_column += num_vectors
+        return start
+
+
+class BankAllocator:
+    """Allocate Q/K/V matrix regions with bank-type enforcement.
+
+    Parameters
+    ----------
+    standard_capacity_vectors:
+        Column capacity of the standard ReRAM pool (K_LSB + Q + V).
+    transposable_capacity_vectors:
+        Column capacity of the transposable pool (K_MSB only; Table I's
+        64x128 arrays tiled as needed).
+    vector_bytes:
+        Bytes per stored vector (d single-byte elements; MSB/LSB halves
+        each store d/2 bytes worth of information but occupy one column
+        of 4-bit cells per element -- accounted as d cells here).
+    """
+
+    def __init__(
+        self,
+        standard_capacity_vectors: int = 1 << 20,
+        transposable_capacity_vectors: int = 1 << 16,
+        vector_bytes: int = 64,
+    ):
+        self.vector_bytes = vector_bytes
+        self._pools = {
+            BankType.STANDARD: _BankPool(
+                BankType.STANDARD, standard_capacity_vectors
+            ),
+            BankType.TRANSPOSABLE: _BankPool(
+                BankType.TRANSPOSABLE, transposable_capacity_vectors
+            ),
+        }
+        self._regions: List[Region] = []
+
+    # ------------------------------------------------------------------
+    def allocate(self, kind: MatrixKind, num_vectors: int) -> Region:
+        """Allocate a region for ``num_vectors`` vectors of ``kind``."""
+        if num_vectors < 1:
+            raise ValueError("num_vectors must be positive")
+        bank_type = kind.required_bank_type
+        start = self._pools[bank_type].take(num_vectors)
+        region = Region(
+            kind=kind,
+            bank_type=bank_type,
+            start_column=start,
+            num_vectors=num_vectors,
+            bytes_per_vector=self.vector_bytes,
+        )
+        self._regions.append(region)
+        return region
+
+    def allocate_attention_head(self, seq_len: int) -> Dict[str, Region]:
+        """Allocate the full Q / K_MSB / K_LSB / V set for one head.
+
+        This is the high-level call a runtime makes per head before
+        computation starts (the static MSB/LSB separation of V-A).
+        """
+        return {
+            "Q": self.allocate(MatrixKind.QUERY, seq_len),
+            "K_MSB": self.allocate(MatrixKind.KEY_MSB, seq_len),
+            "K_LSB": self.allocate(MatrixKind.KEY_LSB, seq_len),
+            "V": self.allocate(MatrixKind.VALUE, seq_len),
+        }
+
+    # ------------------------------------------------------------------
+    def regions(self, kind: Optional[MatrixKind] = None) -> List[Region]:
+        if kind is None:
+            return list(self._regions)
+        return [r for r in self._regions if r.kind == kind]
+
+    def free_vectors(self, bank_type: BankType) -> int:
+        return self._pools[bank_type].free_vectors
+
+    def utilization(self, bank_type: BankType) -> float:
+        pool = self._pools[bank_type]
+        if pool.capacity_vectors == 0:
+            return 0.0
+        return pool.next_column / pool.capacity_vectors
+
+    def reset(self) -> None:
+        """Free everything (e.g. between layers)."""
+        for pool in self._pools.values():
+            pool.next_column = 0
+        self._regions.clear()

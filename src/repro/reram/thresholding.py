@@ -1,0 +1,193 @@
+"""The full in-memory thresholding dataflow (paper section III-B).
+
+:class:`InMemoryThresholdingUnit` owns a tiled bank of transposable
+arrays holding the 4-bit MSBs of a head's key matrix (one key vector per
+column), and answers per-query pruning requests:
+
+1. quantize ``q`` to 8 bits, take the 4 MSBs;
+2. drive them through the DACs of every column tile (row tiles split
+   long key vectors across adjacent arrays and merge currents, the
+   scaling fix of section V-A);
+3. analog-compare each merged column current with the scaled threshold;
+4. return the 1-bit-per-key pruning vector.
+
+The unit keeps event counters (:class:`ThresholdingStats`) matching the
+energy-model categories, and reports the ``tAxTh`` latency the memory
+controller must respect between ``CopyQ`` and ``ReadP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.attention.quantization import split_msb_lsb, symmetric_quantize
+from repro.reram.cell import MLCCellModel
+from repro.reram.noise import OutputNoiseModel
+from repro.reram.transposable import TransposableArray
+
+#: Cycles one in-memory thresholding takes (paper section V-C: <8).
+T_AX_TH_CYCLES = 8
+
+
+@dataclass
+class ThresholdingStats:
+    """Aggregated event counts across all tiles of the unit."""
+
+    queries_processed: int = 0
+    inmemory_array_ops: int = 0
+    analog_macs: int = 0
+    comparator_ops: int = 0
+    adc_1bit_conversions: int = 0
+    dac_conversions: int = 0
+
+
+class InMemoryThresholdingUnit:
+    """Tiled transposable-ReRAM thresholding for one attention head.
+
+    Parameters
+    ----------
+    seq_len:
+        Number of key vectors (columns across the column tiles).
+    head_dim:
+        Key vector length ``d`` (rows across the row tiles).
+    array_rows, array_cols:
+        Physical tile size; Table I uses 64 x 128 transposable arrays.
+    msb_bits:
+        MSBs of each 8-bit key element kept in the transposable arrays.
+    """
+
+    def __init__(
+        self,
+        seq_len: int,
+        head_dim: int = 64,
+        array_rows: int = 64,
+        array_cols: int = 128,
+        msb_bits: int = 4,
+        cell: Optional[MLCCellModel] = None,
+        noise: Optional[OutputNoiseModel] = None,
+        seed: int = 0,
+    ):
+        if seq_len < 1 or head_dim < 1:
+            raise ValueError("seq_len and head_dim must be positive")
+        self.seq_len = seq_len
+        self.head_dim = head_dim
+        self.array_rows = array_rows
+        self.array_cols = array_cols
+        self.msb_bits = msb_bits
+        self.row_tiles = -(-head_dim // array_rows)
+        self.col_tiles = -(-seq_len // array_cols)
+        cell = cell or MLCCellModel(bits_per_cell=msb_bits)
+        noise = noise or OutputNoiseModel()
+        self.tiles: List[List[TransposableArray]] = [
+            [
+                TransposableArray(
+                    rows=array_rows,
+                    cols=array_cols,
+                    cell=cell,
+                    noise=noise,
+                    seed=seed + 97 * r + c,
+                )
+                for c in range(self.col_tiles)
+            ]
+            for r in range(self.row_tiles)
+        ]
+        self.stats = ThresholdingStats()
+        self._key_scale: Optional[float] = None
+        self._query_scale: Optional[float] = None
+        self._lsb_shift = 8 - msb_bits
+
+    # ------------------------------------------------------------------
+    def store_keys(self, keys: np.ndarray) -> None:
+        """Quantize ``(s, d)`` keys to 8b, program MSBs column-wise."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.shape != (self.seq_len, self.head_dim):
+            raise ValueError(
+                f"keys must be ({self.seq_len}, {self.head_dim}), "
+                f"got {keys.shape}"
+            )
+        quantized = symmetric_quantize(keys, bits=8)
+        self._key_scale = quantized.scale
+        msb, _ = split_msb_lsb(quantized.codes, bits=8, msb_bits=self.msb_bits)
+        # Column-major placement: key i -> column (i mod cols) of tile
+        # (i // cols); rows split across row tiles.
+        k_t = msb.T  # (d, s)
+        for r in range(self.row_tiles):
+            row_slice = slice(r * self.array_rows, (r + 1) * self.array_rows)
+            for c in range(self.col_tiles):
+                col_slice = slice(c * self.array_cols, (c + 1) * self.array_cols)
+                self.tiles[r][c].program(np.ascontiguousarray(k_t[row_slice, col_slice]))
+
+    def prune_query(
+        self, query: np.ndarray, threshold: float, ideal: bool = False
+    ) -> np.ndarray:
+        """Return the binary pruning vector for one query ('1' -> pruned).
+
+        ``threshold`` is in *score* units (the same units as ``q . k``);
+        the unit rescales it into MSB-code analog units internally, which
+        is what the controller's CopyQ command carries.
+        """
+        if self._key_scale is None:
+            raise RuntimeError("store_keys must be called first")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.head_dim,):
+            raise ValueError(f"query must be ({self.head_dim},)")
+        q_quant = symmetric_quantize(query, bits=8)
+        self._query_scale = q_quant.scale
+        q_msb, _ = split_msb_lsb(q_quant.codes, bits=8, msb_bits=self.msb_bits)
+        # q ~= q_msb * 2^lsb * q_scale, k ~= k_msb * 2^lsb * k_scale, so
+        # score ~= (q_msb . k_msb) * 2^(2*lsb) * q_scale * k_scale.
+        unit = (
+            (2 ** self._lsb_shift) ** 2 * q_quant.scale * self._key_scale
+        )
+        analog_threshold = threshold / unit
+        pruning = np.empty(self.seq_len, dtype=np.uint8)
+        for c in range(self.col_tiles):
+            col_start = c * self.array_cols
+            active = min(self.array_cols, self.seq_len - col_start)
+            merged = np.zeros(self.array_cols, dtype=np.float64)
+            for r in range(self.row_tiles):
+                row_start = r * self.array_rows
+                rows = min(self.array_rows, self.head_dim - row_start)
+                tile = self.tiles[r][c]
+                merged += tile.vmm(
+                    q_msb[row_start : row_start + rows].astype(np.float64),
+                    ideal=ideal,
+                )
+                self.stats.inmemory_array_ops += 1
+                self.stats.analog_macs += tile.rows * tile.cols
+                self.stats.dac_conversions += rows
+            bits = (merged[:active] < analog_threshold).astype(np.uint8)
+            self.stats.comparator_ops += active
+            self.stats.adc_1bit_conversions += active
+            pruning[col_start : col_start + active] = bits
+        self.stats.queries_processed += 1
+        return pruning
+
+    def prune_all(
+        self, queries: np.ndarray, threshold: float, ideal: bool = False
+    ) -> np.ndarray:
+        """Pruning vectors for every query: ``(s, s)`` uint8 matrix."""
+        queries = np.asarray(queries, dtype=np.float64)
+        return np.stack(
+            [self.prune_query(q, threshold, ideal=ideal) for q in queries]
+        )
+
+    @property
+    def latency_cycles(self) -> int:
+        """tAxTh: cycles between CopyQ and the pruning vector being ready."""
+        return T_AX_TH_CYCLES
+
+    def read_key_msb(self, index: int) -> np.ndarray:
+        """Selective transposed read of one (unpruned) key's MSB codes."""
+        if not 0 <= index < self.seq_len:
+            raise IndexError("key index out of range")
+        tile_col = index // self.array_cols
+        col = index % self.array_cols
+        parts = [
+            self.tiles[r][tile_col].transposed_read(col)
+            for r in range(self.row_tiles)
+        ]
+        return np.concatenate(parts)[: self.head_dim]

@@ -1,0 +1,79 @@
+"""Transposable ReRAM array: in-situ compute plus transposed read.
+
+Models the taped-out transposable ReRAM the paper repurposes ([141]):
+
+- **in-situ computation** mode behaves like a conventional crossbar
+  (queries on wordlines, parallel dot products on all bitlines);
+- **transposed read** mode swaps the roles of wordlines and bitlines so
+  one *column* (i.e. one stored key vector) can be read out through the
+  sense amplifiers -- exactly what the selective fetch of unpruned key
+  vectors needs (challenge 3 in section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.reram.adc import ADC, AnalogComparator, DAC
+from repro.reram.crossbar import CrossbarArray
+
+
+class TransposableArray(CrossbarArray):
+    """Crossbar with transposed column reads and analog thresholding."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dac = DAC(bits=4)
+        self.pruning_adc = ADC(bits=1)
+        self.comparator = AnalogComparator()
+
+    def transposed_read(self, column: int) -> np.ndarray:
+        """Read one stored key vector (a column) in transposed mode.
+
+        In hardware the horizontal lines become bitlines, the selected
+        vertical line becomes the (single asserted) wordline, and the
+        sense amplifiers recover the stored codes.
+        """
+        if not 0 <= column < self.cols:
+            raise IndexError(f"column {column} out of range [0, {self.cols})")
+        self.stats.transposed_reads += 1
+        return self._codes[:, column].copy()
+
+    def threshold_vmm(
+        self,
+        query_codes: np.ndarray,
+        threshold: float,
+        active_cols: Optional[int] = None,
+        ideal: bool = False,
+    ) -> np.ndarray:
+        """In-memory thresholding: VMM -> analog compare -> 1-bit ADC.
+
+        Parameters
+        ----------
+        query_codes:
+            Signed 4-bit query MSB codes (one per wordline).
+        threshold:
+            Learned threshold in the same analog score units as the VMM
+            output (the controller scales the digital threshold before
+            issuing the CopyQ command).
+        active_cols:
+            Number of columns that actually hold keys; trailing columns
+            are "Not Used" and excluded from the output.
+
+        Returns
+        -------
+        Binary pruning vector (uint8), '1' -> pruned, length ``active_cols``.
+        """
+        # DAC conversion of the (offset-shifted) query codes; the offset
+        # cancels differentially, so behaviourally we keep signed values.
+        offset = 2 ** (self.dac.bits - 1)
+        self.dac.convert(np.asarray(query_codes) + offset)
+        analog = self.vmm(query_codes, ideal=ideal)
+        cols = self.cols if active_cols is None else active_cols
+        if not 0 <= cols <= self.cols:
+            raise ValueError("active_cols out of range")
+        bits = self.comparator.compare(analog[:cols], threshold)
+        self.pruning_adc.convert(bits.astype(np.float64))
+        return bits

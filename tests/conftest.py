@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.configs import M_SPRINT, S_SPRINT
+from repro.workloads.generator import generate_workload
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_scores(rng):
+    """A 32x32 heavy-ish-tailed score matrix."""
+    scores = rng.normal(0.0, 1.0, size=(32, 32))
+    scores[rng.random((32, 32)) < 0.1] += 3.0
+    return scores
+
+
+@pytest.fixture
+def small_workload():
+    """A fast 64-token workload at 70% pruning, 25% padding."""
+    return generate_workload(
+        seq_len=64, pruning_rate=0.7, padding_ratio=0.25,
+        num_samples=2, seed=5,
+    )
+
+
+@pytest.fixture
+def s_config():
+    return S_SPRINT
+
+
+@pytest.fixture
+def m_config():
+    return M_SPRINT

@@ -1,0 +1,102 @@
+"""Tests for the ablation experiments and the Figure 2 heatmap."""
+
+import pytest
+
+from repro.experiments import ablations, fig2_heatmap
+
+
+class TestSldAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_sld_ablation(models=("BERT-B", "ViT-B"))
+
+    def test_sld_always_saves_traffic(self, rows):
+        for r in rows:
+            assert r.traffic_saving >= 1.0
+
+    def test_bert_saves_heavily(self, rows):
+        bert = next(r for r in rows if r.model == "BERT-B")
+        # Section VI: only ~2.1% of the sequence fetched between
+        # adjacent queries -> order-of-magnitude traffic saving.
+        assert bert.traffic_saving > 5.0
+
+    def test_vit_saves_less(self, rows):
+        bert = next(r for r in rows if r.model == "BERT-B")
+        vit = next(r for r in rows if r.model == "ViT-B")
+        assert vit.traffic_saving < bert.traffic_saving
+
+
+class TestInterleavingAblation:
+    def test_sequential_never_faster(self):
+        rows = ablations.run_interleaving_ablation(models=("BERT-B",))
+        for r in rows:
+            assert r.slowdown_without_interleaving >= 1.0
+
+
+class TestMarginAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_margin_ablation(
+            margins=(0.0, 0.5), num_samples=16
+        )
+
+    def test_margin_reduces_pruning_rate(self, rows):
+        assert rows[-1].pruning_rate <= rows[0].pruning_rate
+
+    def test_accuracies_reasonable(self, rows):
+        for r in rows:
+            assert 0.0 <= r.accuracy <= 1.0
+
+
+class TestLocalityAblation:
+    def test_overlap_increases_with_locality(self):
+        rows = ablations.run_locality_ablation(
+            localities=(0.2, 0.8), seq_len=192
+        )
+        assert rows[1].measured_overlap > rows[0].measured_overlap
+
+    def test_energy_benefit_tracks_locality(self):
+        rows = ablations.run_locality_ablation(
+            localities=(0.2, 0.8), seq_len=192
+        )
+        assert rows[1].energy_reduction >= rows[0].energy_reduction
+
+
+class TestAblationRunnerGlue:
+    def test_run_and_format(self):
+        out = ablations.format_table(
+            (
+                ablations.run_sld_ablation(models=("ViT-B",)),
+                ablations.run_interleaving_ablation(models=("ViT-B",)),
+                ablations.run_margin_ablation(margins=(0.0,),
+                                              num_samples=8),
+                ablations.run_locality_ablation(localities=(0.5,),
+                                                seq_len=96),
+            )
+        )
+        assert "Ablation studies" in out
+
+
+class TestFig2Heatmap:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return fig2_heatmap.run(seq_len=64, padding_ratio=0.3, seed=1)
+
+    def test_render_contains_all_glyphs(self, sample):
+        art = fig2_heatmap.render_mask(sample)
+        assert fig2_heatmap.KEPT in art
+        assert fig2_heatmap.PRUNED in art
+        assert fig2_heatmap.PADDED in art
+
+    def test_padded_band_is_blank(self, sample):
+        art = fig2_heatmap.render_mask(sample, max_side=64).splitlines()
+        # Rows beyond valid_len are entirely padding glyphs.
+        assert set(art[-1]) == {fig2_heatmap.PADDED}
+
+    def test_downsampling(self, sample):
+        art = fig2_heatmap.render_mask(sample, max_side=16).splitlines()
+        assert len(art) <= 33
+
+    def test_format_table_header(self, sample):
+        out = fig2_heatmap.format_table(sample)
+        assert "Figure 2" in out

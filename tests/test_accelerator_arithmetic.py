@@ -1,0 +1,114 @@
+"""Unit tests for repro.accelerator.arithmetic and softmax unit."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.arithmetic import (
+    ATTENTION_FORMAT,
+    PROB_FORMAT,
+    SCORE_FORMAT,
+    FixedPointFormat,
+    build_exponent_luts,
+    lut_exponential,
+    saturating_mac,
+)
+from repro.accelerator.softmax_unit import SoftmaxUnit
+
+
+class TestFixedPointFormat:
+    def test_paper_formats(self):
+        # Section VI: 12-bit softmax inputs, 8-bit probs, 16-bit values.
+        assert SCORE_FORMAT.total_bits == 12
+        assert PROB_FORMAT.total_bits == 8
+        assert ATTENTION_FORMAT.total_bits == 16
+
+    def test_quantize_roundtrip(self, rng):
+        fmt = FixedPointFormat(12, 6)
+        x = rng.uniform(-10, 10, size=100)
+        codes = fmt.quantize(x)
+        back = fmt.to_real(codes)
+        assert np.max(np.abs(back - x)) <= 1.0 / fmt.scale
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.quantize(np.array([1000.0]))[0] == 127
+        assert fmt.quantize(np.array([-1000.0]))[0] == -128
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, 8)
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 0)
+
+
+class TestSaturatingMac:
+    def test_basic(self):
+        assert saturating_mac(10, 3, 4) == 22
+
+    def test_saturates_high(self):
+        hi = 2 ** 16 - 1
+        assert saturating_mac(hi, 127, 127, total_bits=17) == hi
+
+    def test_saturates_low(self):
+        lo = -(2 ** 16)
+        assert saturating_mac(lo, -127, 127, total_bits=17) == lo
+
+
+class TestLutExponential:
+    def test_tables_are_64_entries(self):
+        hi, lo, lo_bits = build_exponent_luts()
+        assert len(hi) == 64
+        assert len(lo) == 64
+        assert lo_bits == 6
+
+    def test_matches_exp_for_nonpositive(self):
+        x = np.linspace(-10, 0, 200)
+        codes = SCORE_FORMAT.quantize(x)
+        approx = lut_exponential(codes)
+        exact = np.exp(SCORE_FORMAT.to_real(codes))
+        np.testing.assert_allclose(approx, exact, rtol=1e-6)
+
+    def test_zero_maps_to_one(self):
+        assert lut_exponential(np.array([0]))[0] == pytest.approx(1.0)
+
+    def test_monotone(self):
+        codes = SCORE_FORMAT.quantize(np.linspace(-5, 0, 50))
+        vals = lut_exponential(codes)
+        assert np.all(np.diff(vals) >= 0)
+
+
+class TestSoftmaxUnit:
+    def test_matches_float_softmax(self, rng):
+        unit = SoftmaxUnit()
+        scores = rng.normal(size=40)
+        probs = unit.normalize(scores)
+        exact = np.exp(scores - scores.max())
+        exact = exact / exact.sum()
+        # 8-bit output quantization bounds the error.
+        assert np.max(np.abs(probs - exact)) < 2.0 / PROB_FORMAT.scale
+
+    def test_stats_counting(self, rng):
+        unit = SoftmaxUnit()
+        unit.normalize(rng.normal(size=10))
+        assert unit.stats.rows == 1
+        assert unit.stats.lut_accesses == 20
+        assert unit.stats.multiplies == 10
+        assert unit.stats.divides == 10
+
+    def test_empty_input(self):
+        unit = SoftmaxUnit()
+        out = unit.normalize(np.array([]))
+        assert out.size == 0
+
+    def test_cycles_model(self):
+        unit = SoftmaxUnit(dividers=2)
+        assert unit.cycles(0) == 0
+        assert unit.cycles(10) == 10 + 5
+
+    def test_rejects_matrix(self, rng):
+        with pytest.raises(ValueError):
+            SoftmaxUnit().normalize(rng.normal(size=(2, 3)))
+
+    def test_single_element(self):
+        probs = SoftmaxUnit().normalize(np.array([3.0]))
+        assert probs[0] == pytest.approx(1.0, abs=1e-2)

@@ -1,0 +1,122 @@
+"""Unit tests for token interleaving and the baseline event model."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.baseline import (
+    baseline_compute_cycles,
+    baseline_head_traffic,
+)
+from repro.accelerator.interleave import (
+    assign_tokens,
+    imbalance_ratio,
+    per_query_corelet_counts,
+    workload_imbalance,
+    worst_case_tokens,
+)
+
+
+class TestAssignTokens:
+    def test_interleaved_round_robin(self):
+        a = assign_tokens(8, 4, "interleaved")
+        np.testing.assert_array_equal(a, [0, 1, 2, 3, 0, 1, 2, 3])
+
+    def test_sequential_blocks(self):
+        a = assign_tokens(8, 4, "sequential")
+        np.testing.assert_array_equal(a, [0, 0, 1, 1, 2, 2, 3, 3])
+
+    def test_paper_example(self):
+        # "SPRINT processes K_{4n+i} in the i-th CORELET" (section VI).
+        a = assign_tokens(16, 4, "interleaved")
+        for i in range(16):
+            assert a[i] == i % 4
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            assign_tokens(8, 2, "zigzag")
+
+    def test_rejects_zero_corelets(self):
+        with pytest.raises(ValueError):
+            assign_tokens(8, 0)
+
+
+class TestImbalance:
+    def test_ideal_balance_is_one(self):
+        counts = np.full((10, 4), 5)
+        assert imbalance_ratio(counts) == pytest.approx(1.0)
+
+    def test_skips_empty_queries(self):
+        counts = np.zeros((3, 2), dtype=int)
+        counts[0] = [4, 4]
+        assert imbalance_ratio(counts) == pytest.approx(1.0)
+
+    def test_clustered_mask_interleaving_wins(self):
+        # Unpruned indices cluster in one contiguous run.
+        keep = np.zeros((16, 64), dtype=bool)
+        keep[:, 8:24] = True
+        seq = workload_imbalance(keep, 4, "sequential")
+        inter = workload_imbalance(keep, 4, "interleaved")
+        assert inter < seq
+        assert inter == pytest.approx(1.0)
+
+    def test_more_corelets_more_imbalance(self, small_workload):
+        sample = small_workload.samples[0]
+        keep = sample.keep_mask[: sample.valid_len, : sample.valid_len]
+        vals = [
+            workload_imbalance(keep, n, "interleaved") for n in (2, 4, 8)
+        ]
+        assert vals[0] <= vals[-1]
+
+    def test_per_query_counts_sum(self, small_workload):
+        sample = small_workload.samples[0]
+        keep = sample.keep_mask
+        counts = per_query_corelet_counts(keep, 4, "interleaved")
+        np.testing.assert_array_equal(counts.sum(axis=1), keep.sum(axis=1))
+
+    def test_worst_case_tokens(self):
+        keep = np.zeros((2, 8), dtype=bool)
+        keep[0, :4] = True  # interleaved over 2 corelets -> 2 each
+        keep[1, ::2] = True  # all on corelet 0 -> worst 4
+        worst = worst_case_tokens(keep, 2, "interleaved")
+        np.testing.assert_array_equal(worst, [2, 4])
+
+
+class TestBaselineTraffic:
+    def test_full_capacity_only_initial_loads(self):
+        t = baseline_head_traffic(seq_len=64, capacity_vectors=64)
+        assert t.key_fetches == 64  # initial fill counted once
+        assert t.value_fetches == 64
+        assert t.qk_dot_products == 64 * 64
+
+    def test_streaming_grows_quadratically(self):
+        t = baseline_head_traffic(seq_len=64, capacity_vectors=16)
+        assert t.key_fetches == 64 * 48 + 16
+
+    def test_mask_aware_reduces(self):
+        dense = baseline_head_traffic(64, 16)
+        masked = baseline_head_traffic(64, 16, valid_len=32, mask_aware=True)
+        assert masked.key_fetches < dense.key_fetches
+        assert masked.qk_dot_products == 32 * 32
+
+    def test_total_vector_fetches(self):
+        t = baseline_head_traffic(8, 8)
+        assert t.total_vector_fetches == t.key_fetches + t.value_fetches + 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            baseline_head_traffic(0, 4)
+        with pytest.raises(ValueError):
+            baseline_head_traffic(8, 0)
+
+
+class TestBaselineCycles:
+    def test_more_corelets_fewer_cycles(self):
+        c1 = baseline_compute_cycles(64, 64, num_corelets=1)
+        c4 = baseline_compute_cycles(64, 64, num_corelets=4)
+        assert c4 < c1
+
+    def test_mask_aware_fewer_cycles(self):
+        dense = baseline_compute_cycles(64, 64, 1)
+        masked = baseline_compute_cycles(64, 64, 1, valid_len=32,
+                                         mask_aware=True)
+        assert masked < dense

@@ -1,0 +1,191 @@
+"""Unit tests for QK-PU, V-PU, buffers, and the CORELET."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.buffers import IndexBuffer, SRAMBuffer
+from repro.accelerator.corelet import Corelet
+from repro.accelerator.qkpu import QKProcessingUnit
+from repro.accelerator.vpu import VProcessingUnit
+
+
+class TestQKPU:
+    def test_dot_exact(self, rng):
+        pu = QKProcessingUnit()
+        q = rng.integers(-128, 128, size=64)
+        k = rng.integers(-128, 128, size=64)
+        assert pu.dot(q, k) == int(q @ k)
+
+    def test_cycles_per_key(self):
+        pu = QKProcessingUnit(taps=64)
+        assert pu.cycles_per_key(64) == 1
+        assert pu.cycles_per_key(128) == 2
+        assert pu.cycles_per_key(65) == 2
+
+    def test_batch_matches_loop(self, rng):
+        pu = QKProcessingUnit()
+        q = rng.integers(-8, 8, size=16)
+        k = rng.integers(-8, 8, size=(5, 16))
+        np.testing.assert_array_equal(pu.dot_batch(q, k), k @ q)
+
+    def test_stats(self, rng):
+        pu = QKProcessingUnit()
+        pu.dot_batch(rng.integers(-8, 8, 64), rng.integers(-8, 8, (3, 64)))
+        assert pu.stats.dot_products == 3
+        assert pu.stats.macs == 3 * 64
+        assert pu.stats.cycles == 3
+
+    def test_shape_validation(self, rng):
+        pu = QKProcessingUnit()
+        with pytest.raises(ValueError):
+            pu.dot(np.ones(4), np.ones(5))
+        with pytest.raises(ValueError):
+            pu.dot_batch(np.ones(4), np.ones((2, 5)))
+
+
+class TestVPU:
+    def test_weighted_sum_exact(self, rng):
+        vpu = VProcessingUnit()
+        p = rng.random(5)
+        v = rng.normal(size=(5, 8))
+        np.testing.assert_allclose(vpu.weighted_sum(p, v), p @ v)
+
+    def test_stats(self, rng):
+        vpu = VProcessingUnit()
+        vpu.weighted_sum(rng.random(4), rng.normal(size=(4, 64)))
+        assert vpu.stats.weighted_rows == 4
+        assert vpu.stats.macs == 4 * 64
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            VProcessingUnit().weighted_sum(np.ones(3), np.ones((4, 8)))
+
+
+class TestSRAMBuffer:
+    def test_capacity_vectors(self):
+        buf = SRAMBuffer(capacity_bytes=1024, vector_bytes=64)
+        assert buf.capacity_vectors == 16
+
+    def test_insert_touch(self):
+        buf = SRAMBuffer(1024, 64)
+        buf.insert(3)
+        assert buf.contains(3)
+        assert buf.touch(3)
+        assert not buf.touch(4)
+
+    def test_lru_eviction(self):
+        buf = SRAMBuffer(128, 64)  # holds 2 vectors
+        buf.insert(0)
+        buf.insert(1)
+        buf.touch(0)  # 1 becomes LRU
+        evicted = buf.insert(2)
+        assert evicted == 1
+        assert buf.contains(0) and buf.contains(2)
+
+    def test_no_eviction_reinsert(self):
+        buf = SRAMBuffer(128, 64)
+        buf.insert(0)
+        buf.insert(0)
+        assert buf.stats.evictions == 0
+
+    def test_stall_cycles_accumulate(self):
+        # Section VI: no double-buffering -> short stall per arrival.
+        buf = SRAMBuffer(1024, 64)
+        for i in range(5):
+            buf.insert(i)
+        assert buf.stats.stall_cycles == 5
+
+    def test_resident_mask(self):
+        buf = SRAMBuffer(1024, 64)
+        buf.insert(2)
+        mask = buf.resident_mask(4)
+        np.testing.assert_array_equal(mask, [False, False, True, False])
+
+    def test_flush(self):
+        buf = SRAMBuffer(1024, 64)
+        buf.insert(1)
+        buf.flush()
+        assert buf.occupancy() == 0
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            SRAMBuffer(capacity_bytes=32, vector_bytes=64)
+
+
+class TestIndexBuffer:
+    def test_fifo_order_when_all_available(self):
+        buf = IndexBuffer(16)
+        buf.load([3, 1, 4])
+        order = [buf.next_available(lambda t: True) for _ in range(3)]
+        assert order == [3, 1, 4]
+
+    def test_rotating_pointer_bypasses_misses(self):
+        # Section VI: a rotating pointer skips unavailable keys.
+        buf = IndexBuffer(16)
+        buf.load([0, 1, 2])
+        available = {0, 2}
+        first = buf.next_available(lambda t: t in available)
+        second = buf.next_available(lambda t: t in available)
+        assert [first, second] == [0, 2]
+        # Index 1 arrives later and is then served.
+        available.add(1)
+        assert buf.next_available(lambda t: t in available) == 1
+
+    def test_none_when_empty_or_stalled(self):
+        buf = IndexBuffer(4)
+        assert buf.next_available(lambda t: True) is None
+        buf.load([5])
+        assert buf.next_available(lambda t: False) is None
+        assert buf.pending() == [5]
+
+    def test_capacity_enforced(self):
+        buf = IndexBuffer(2)
+        with pytest.raises(ValueError):
+            buf.load([1, 2, 3])
+
+
+class TestCorelet:
+    @pytest.fixture
+    def corelet(self):
+        return Corelet(corelet_id=0, head_dim=16, kv_capacity_bytes=1024)
+
+    def test_process_query_matches_reference(self, corelet, rng):
+        keys = rng.normal(size=(8, 16))
+        values = rng.normal(size=(8, 16))
+        for i in range(8):
+            corelet.load_vector(i, keys[i], values[i])
+        q = rng.normal(size=16)
+        out = corelet.process_query(q, list(range(8)))
+        scores = (keys @ q) / 4.0
+        e = np.exp(scores - scores.max())
+        ref = (e / e.sum()) @ values
+        # LUT softmax quantization leaves a small error.
+        assert np.max(np.abs(out - ref)) < 0.1 * max(1.0, np.abs(ref).max())
+
+    def test_misses_are_bypassed(self, corelet, rng):
+        corelet.load_vector(0, rng.normal(size=16), rng.normal(size=16))
+        out = corelet.process_query(rng.normal(size=16), [0, 5])
+        assert corelet.stats.miss_bypasses == 1
+        assert out.shape == (16,)
+
+    def test_empty_query_returns_zero(self, corelet, rng):
+        out = corelet.process_query(rng.normal(size=16), [])
+        np.testing.assert_array_equal(out, np.zeros(16))
+
+    def test_eviction_drops_data(self, rng):
+        corelet = Corelet(0, head_dim=16, kv_capacity_bytes=32)  # 2 vectors
+        for i in range(3):
+            corelet.load_vector(i, rng.normal(size=16), rng.normal(size=16))
+        assert len(corelet.resident_tokens()) == 2
+
+    def test_stats_accumulate(self, corelet, rng):
+        for i in range(4):
+            corelet.load_vector(i, rng.normal(size=16), rng.normal(size=16))
+        corelet.process_query(rng.normal(size=16), [0, 1, 2, 3])
+        assert corelet.stats.queries == 1
+        assert corelet.stats.keys_scored == 4
+        assert corelet.stats.compute_cycles > 0
+
+    def test_query_shape_validated(self, corelet):
+        with pytest.raises(ValueError):
+            corelet.process_query(np.zeros(8), [0])

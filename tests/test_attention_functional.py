@@ -1,0 +1,134 @@
+"""Unit tests for repro.attention.functional."""
+
+import numpy as np
+import pytest
+
+from repro.attention.functional import (
+    NEG_INFINITY,
+    attention_probabilities,
+    multi_head_attention,
+    scaled_dot_product_attention,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(8, 16))
+        p = softmax(x, axis=-1)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_matches_reference(self):
+        x = np.array([1.0, 2.0, 3.0])
+        expected = np.exp(x) / np.exp(x).sum()
+        np.testing.assert_allclose(softmax(x), expected)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(4, 7))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-12)
+
+    def test_large_values_no_overflow(self):
+        x = np.array([1e4, 1e4 - 1.0])
+        p = softmax(x)
+        assert np.all(np.isfinite(p))
+        assert p[0] > p[1]
+
+    def test_fully_masked_row_is_uniform(self):
+        x = np.full((1, 5), NEG_INFINITY)
+        p = softmax(x, axis=-1)
+        np.testing.assert_allclose(p, 0.2)
+
+    def test_axis_zero(self, rng):
+        x = rng.normal(size=(3, 4))
+        p = softmax(x, axis=0)
+        np.testing.assert_allclose(p.sum(axis=0), 1.0)
+
+
+class TestAttentionProbabilities:
+    def test_shapes(self, rng):
+        q = rng.normal(size=(10, 8))
+        k = rng.normal(size=(10, 8))
+        scores, probs = attention_probabilities(q, k)
+        assert scores.shape == (10, 10)
+        assert probs.shape == (10, 10)
+
+    def test_default_scale(self, rng):
+        q = rng.normal(size=(4, 16))
+        k = rng.normal(size=(4, 16))
+        scores, _ = attention_probabilities(q, k)
+        np.testing.assert_allclose(scores, (q @ k.T) / 4.0)
+
+    def test_explicit_scale(self, rng):
+        q = rng.normal(size=(4, 16))
+        k = rng.normal(size=(4, 16))
+        scores, _ = attention_probabilities(q, k, scale=1.0)
+        np.testing.assert_allclose(scores, q @ k.T)
+
+    def test_mask_nullifies(self, rng):
+        q = rng.normal(size=(4, 8))
+        k = rng.normal(size=(4, 8))
+        mask = np.ones((4, 4), dtype=bool)
+        mask[:, 2] = False
+        scores, probs = attention_probabilities(q, k, mask=mask)
+        assert np.all(scores[:, 2] == NEG_INFINITY)
+        np.testing.assert_allclose(probs[:, 2], 0.0, atol=1e-12)
+
+    def test_rejects_rank_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            attention_probabilities(rng.normal(size=(4, 8)),
+                                    rng.normal(size=(4, 9)))
+
+    def test_rejects_rank3(self, rng):
+        with pytest.raises(ValueError):
+            attention_probabilities(rng.normal(size=(2, 4, 8)),
+                                    rng.normal(size=(2, 4, 8)))
+
+
+class TestScaledDotProductAttention:
+    def test_identity_on_onehot(self):
+        # With a one-hot dominant score, attention returns that value row.
+        q = np.eye(3) * 100.0
+        k = np.eye(3)
+        v = np.arange(9.0).reshape(3, 3)
+        out = scaled_dot_product_attention(q, k, v, scale=1.0)
+        np.testing.assert_allclose(out, v, atol=1e-10)
+
+    def test_uniform_when_scores_equal(self, rng):
+        q = np.zeros((2, 4))
+        k = rng.normal(size=(5, 4))
+        v = rng.normal(size=(5, 4))
+        out = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(out[0], v.mean(axis=0))
+
+    def test_output_in_value_convex_hull(self, rng):
+        q = rng.normal(size=(6, 8))
+        k = rng.normal(size=(6, 8))
+        v = rng.normal(size=(6, 8))
+        out = scaled_dot_product_attention(q, k, v)
+        assert out.min() >= v.min() - 1e-9
+        assert out.max() <= v.max() + 1e-9
+
+
+class TestMultiHeadAttention:
+    def test_shapes_and_finiteness(self, rng):
+        s, e, h = 12, 32, 4
+        x = rng.normal(size=(s, e))
+        w = lambda: rng.normal(size=(e, e)) * 0.1
+        out = multi_head_attention(x, w(), w(), w(), w(), num_heads=h)
+        assert out.shape == (s, e)
+        assert np.all(np.isfinite(out))
+
+    def test_rejects_bad_head_count(self, rng):
+        s, e = 4, 30
+        x = rng.normal(size=(s, e))
+        w = rng.normal(size=(e, e))
+        with pytest.raises(ValueError):
+            multi_head_attention(x, w, w, w, w, num_heads=4)
+
+    def test_single_head_equals_sdpa(self, rng):
+        s, e = 6, 8
+        x = rng.normal(size=(s, e))
+        eye = np.eye(e)
+        out = multi_head_attention(x, eye, eye, eye, eye, num_heads=1)
+        expected = scaled_dot_product_attention(x, x, x)
+        np.testing.assert_allclose(out, expected)

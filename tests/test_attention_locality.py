@@ -1,0 +1,104 @@
+"""Unit tests for repro.attention.locality (Eq. 1 and overlap metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.attention.locality import (
+    expected_random_overlap,
+    measure_adjacent_overlap,
+    measure_overlap_series,
+    overlap_probability,
+    overlap_ratio_vs_random,
+)
+
+
+class TestOverlapProbability:
+    def test_sums_to_one(self):
+        s, m = 40, 10
+        total = sum(overlap_probability(s, m, l) for l in range(0, m + 1))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_full_overlap_when_all_unpruned(self):
+        assert overlap_probability(10, 10, 10) == pytest.approx(1.0)
+
+    def test_zero_prob_impossible_overlap(self):
+        # Two 8-of-10 subsets must share at least 6 elements.
+        assert overlap_probability(10, 8, 3) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_unpruned(self):
+        with pytest.raises(ValueError):
+            overlap_probability(10, 11, 2)
+
+
+class TestExpectedRandomOverlap:
+    def test_matches_closed_form(self):
+        # Hypergeometric mean: E[L] = M^2 / S.
+        for s, m in ((64, 16), (128, 32), (50, 13)):
+            assert expected_random_overlap(s, m) == pytest.approx(
+                m * m / s, rel=1e-9
+            )
+
+    def test_zero_unpruned(self):
+        assert expected_random_overlap(32, 0) == 0.0
+
+    def test_all_unpruned(self):
+        assert expected_random_overlap(16, 16) == pytest.approx(16.0)
+
+
+class TestMeasureAdjacentOverlap:
+    def test_identical_rows_full_overlap(self):
+        keep = np.zeros((4, 16), dtype=bool)
+        keep[:, :5] = True
+        assert measure_adjacent_overlap(keep) == pytest.approx(1.0)
+
+    def test_disjoint_rows_zero_overlap(self):
+        keep = np.zeros((2, 8), dtype=bool)
+        keep[0, :4] = True
+        keep[1, 4:] = True
+        assert measure_adjacent_overlap(keep) == 0.0
+
+    def test_random_matches_theory(self, rng):
+        s, m = 128, 32
+        keep = np.zeros((200, s), dtype=bool)
+        for i in range(200):
+            keep[i, rng.choice(s, m, replace=False)] = True
+        observed = measure_adjacent_overlap(keep)
+        expected = expected_random_overlap(s, m) / m
+        assert observed == pytest.approx(expected, abs=0.03)
+
+    def test_single_row(self):
+        keep = np.ones((1, 8), dtype=bool)
+        assert measure_adjacent_overlap(keep) == 0.0
+
+    def test_skips_empty_rows(self):
+        keep = np.zeros((3, 8), dtype=bool)
+        keep[0, :4] = True
+        keep[2, :4] = True  # row 1 empty
+        val = measure_adjacent_overlap(keep)
+        assert 0.0 <= val <= 1.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            measure_adjacent_overlap(np.ones(8, dtype=bool))
+
+    def test_series_length(self, rng):
+        keep = rng.random((10, 16)) < 0.3
+        assert measure_overlap_series(keep).shape == (9,)
+
+
+class TestOverlapRatio:
+    def test_structured_beats_random(self, small_workload):
+        sample = small_workload.samples[0]
+        keep = sample.keep_mask[: sample.valid_len, : sample.valid_len]
+        ratio = overlap_ratio_vs_random(keep)
+        assert ratio > 1.5  # paper reports 2-3x
+
+    def test_random_near_one(self, rng):
+        s, m = 128, 32
+        keep = np.zeros((100, s), dtype=bool)
+        for i in range(100):
+            keep[i, rng.choice(s, m, replace=False)] = True
+        assert overlap_ratio_vs_random(keep) == pytest.approx(1.0, abs=0.15)
+
+    def test_empty_mask(self):
+        assert overlap_ratio_vs_random(np.zeros((4, 8), dtype=bool)) == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for repro.attention.masking."""
+
+import numpy as np
+import pytest
+
+from repro.attention.functional import NEG_INFINITY
+from repro.attention.masking import (
+    apply_padding_mask,
+    padding_mask,
+    two_dimensional_reduction,
+)
+
+
+class TestPaddingMask:
+    def test_shape_and_dtype(self):
+        mask = padding_mask(8, 5)
+        assert mask.shape == (8, 8)
+        assert mask.dtype == bool
+
+    def test_valid_block_true(self):
+        mask = padding_mask(8, 5)
+        assert mask[:5, :5].all()
+
+    def test_padded_rows_and_cols_false(self):
+        mask = padding_mask(8, 5)
+        assert not mask[5:, :].any()
+        assert not mask[:, 5:].any()
+
+    def test_full_valid(self):
+        assert padding_mask(4, 4).all()
+
+    def test_zero_valid(self):
+        assert not padding_mask(4, 0).any()
+
+    def test_rejects_bad_valid_len(self):
+        with pytest.raises(ValueError):
+            padding_mask(4, 5)
+        with pytest.raises(ValueError):
+            padding_mask(4, -1)
+
+
+class TestApplyPaddingMask:
+    def test_nullifies_masked(self, rng):
+        scores = rng.normal(size=(6, 6))
+        mask = padding_mask(6, 4)
+        out = apply_padding_mask(scores, mask)
+        assert np.all(out[4:, :] == NEG_INFINITY)
+        assert np.all(out[:, 4:] == NEG_INFINITY)
+        np.testing.assert_array_equal(out[:4, :4], scores[:4, :4])
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            apply_padding_mask(rng.normal(size=(4, 4)), padding_mask(5, 3))
+
+
+class TestTwoDimensionalReduction:
+    def test_bert_squad_like_saving(self):
+        # 46% padding -> only 54% of rows/cols useful -> ~71% saved.
+        queries, keys, saved = two_dimensional_reduction(128, 69)
+        assert queries == keys == 69
+        assert saved == pytest.approx(1 - (69 / 128) ** 2)
+
+    def test_paper_example(self):
+        # Figure 2: 16 useful queries out of 128.
+        _, _, saved = two_dimensional_reduction(128, 16)
+        assert saved == pytest.approx(1 - (16 * 16) / (128 * 128))
+
+    def test_no_padding_no_saving(self):
+        _, _, saved = two_dimensional_reduction(64, 64)
+        assert saved == 0.0
+
+    def test_rejects_bad_valid(self):
+        with pytest.raises(ValueError):
+            two_dimensional_reduction(10, 11)

@@ -1,0 +1,138 @@
+"""Unit tests for repro.attention.policies."""
+
+import numpy as np
+import pytest
+
+from repro.attention.functional import softmax
+from repro.attention.policies import (
+    ExactPolicy,
+    RuntimePruningPolicy,
+    SprintPolicy,
+    msb_truncated_scores,
+)
+
+
+@pytest.fixture
+def qk(rng):
+    q = rng.normal(size=(24, 16))
+    k = rng.normal(size=(24, 16))
+    scores = (q @ k.T) / 4.0
+    return q, k, scores
+
+
+class TestExactPolicy:
+    def test_matches_softmax(self, qk):
+        _, _, scores = qk
+        probs, keep = ExactPolicy().process(scores)
+        np.testing.assert_allclose(probs, softmax(scores, axis=-1))
+        assert keep.all()
+
+    def test_padding_mask_respected(self, qk):
+        _, _, scores = qk
+        mask = np.ones_like(scores, dtype=bool)
+        mask[:, -4:] = False
+        probs, keep = ExactPolicy().process(scores, mask)
+        assert np.all(probs[:, -4:] < 1e-12)
+        assert not keep[:, -4:].any()
+
+
+class TestRuntimePruningPolicy:
+    def test_pruning_rate_approx(self, qk):
+        _, _, scores = qk
+        _, keep = RuntimePruningPolicy(0.6).process(scores)
+        rate = 1.0 - keep.mean()
+        assert abs(rate - 0.6) < 0.1
+
+    def test_probabilities_normalized(self, qk):
+        _, _, scores = qk
+        probs, _ = RuntimePruningPolicy(0.5).process(scores)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_kept_entries_use_exact_scores(self, qk):
+        _, _, scores = qk
+        probs, keep = RuntimePruningPolicy(0.5).process(scores)
+        # Renormalized softmax over kept entries only.
+        for i in range(scores.shape[0]):
+            kept = keep[i]
+            expected = np.zeros_like(scores[i])
+            e = np.exp(scores[i][kept] - scores[i][kept].max())
+            expected[kept] = e / e.sum()
+            np.testing.assert_allclose(probs[i], expected, atol=1e-9)
+
+
+class TestMsbTruncatedScores:
+    def test_correlates_with_exact(self, qk):
+        q, k, scores = qk
+        approx = msb_truncated_scores(q, k, msb_bits=4, scale=0.25)
+        corr = np.corrcoef(scores.ravel(), approx.ravel())[0, 1]
+        assert corr > 0.95
+
+    def test_truncation_biases_toward_minus_inf(self, qk):
+        q, k, _ = qk
+        exact8 = msb_truncated_scores(q, k, msb_bits=8, scale=1.0)
+        approx4 = msb_truncated_scores(q, k, msb_bits=4, scale=1.0)
+        # Arithmetic-shift truncation never increases the operand value,
+        # but cross terms can go either way; the error must be nonzero.
+        assert not np.allclose(exact8, approx4)
+
+    def test_full_msb_bits_nearly_exact(self, qk):
+        q, k, scores = qk
+        approx = msb_truncated_scores(q, k, msb_bits=8, scale=0.25)
+        # 8-bit quantization only; tight correlation expected.
+        corr = np.corrcoef(scores.ravel(), approx.ravel())[0, 1]
+        assert corr > 0.999
+
+
+class TestSprintPolicy:
+    def test_recompute_uses_exact_values(self, qk):
+        q, k, scores = qk
+        policy = SprintPolicy(0.5, recompute=True, noise_sigma=0.0)
+        probs, keep = policy.process(scores, q=q, k=k, scale=0.25)
+        for i in range(scores.shape[0]):
+            kept = keep[i]
+            e = np.exp(scores[i][kept] - scores[i][kept].max())
+            expected = e / e.sum()
+            np.testing.assert_allclose(probs[i][kept], expected, atol=1e-9)
+
+    def test_no_recompute_differs(self, qk):
+        q, k, scores = qk
+        with_r = SprintPolicy(0.5, recompute=True, noise_sigma=0.0)
+        without = SprintPolicy(0.5, recompute=False, noise_sigma=0.0)
+        p1, _ = with_r.process(scores, q=q, k=k, scale=0.25)
+        p2, _ = without.process(scores, q=q, k=k, scale=0.25)
+        assert not np.allclose(p1, p2)
+
+    def test_threshold_margin_reduces_pruning(self, qk):
+        q, k, scores = qk
+        tight = SprintPolicy(0.7, noise_sigma=0.0)
+        margin = SprintPolicy(0.7, noise_sigma=0.0, threshold_margin=0.5)
+        _, keep_tight = tight.process(scores, q=q, k=k, scale=0.25)
+        _, keep_margin = margin.process(scores, q=q, k=k, scale=0.25)
+        assert keep_margin.sum() >= keep_tight.sum()
+
+    def test_score_bits_sweep_changes_mask(self, qk):
+        q, k, scores = qk
+        fine = SprintPolicy(0.6, score_bits=8, noise_sigma=0.0)
+        coarse = SprintPolicy(0.6, score_bits=1, noise_sigma=0.0)
+        _, keep_fine = fine.process(scores)
+        _, keep_coarse = coarse.process(scores)
+        assert not np.array_equal(keep_fine, keep_coarse)
+
+    def test_one_bit_overprunes_heavy_tail(self, small_scores):
+        # Real attention scores are heavy-tailed: the range midpoint sits
+        # far above the pruning threshold, so 1-bit (endpoint-only)
+        # quantization over-prunes aggressively (Figure 5's left cliff).
+        coarse = SprintPolicy(0.6, score_bits=1, noise_sigma=0.0)
+        exact = SprintPolicy(0.6, score_bits=None, noise_sigma=0.0)
+        _, keep_coarse = coarse.process(small_scores)
+        _, keep_exact = exact.process(small_scores)
+        assert keep_coarse.sum() < keep_exact.sum()
+
+    def test_deterministic_given_seed(self, qk):
+        q, k, scores = qk
+        p1, _ = SprintPolicy(0.5, seed=9).process(scores, q=q, k=k, scale=0.25)
+        p2, _ = SprintPolicy(0.5, seed=9).process(scores, q=q, k=k, scale=0.25)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_decision_bits_alias(self):
+        assert SprintPolicy(0.5, score_bits=3).decision_bits == 3

@@ -1,0 +1,132 @@
+"""Unit tests for repro.attention.pruning."""
+
+import numpy as np
+import pytest
+
+from repro.attention.functional import NEG_INFINITY
+from repro.attention.pruning import (
+    calibrate_threshold,
+    prune_scores,
+    runtime_prune,
+)
+
+
+class TestCalibrateThreshold:
+    def test_hits_target_rate(self, small_scores):
+        for rate in (0.3, 0.5, 0.75, 0.9):
+            th = calibrate_threshold(small_scores, rate)
+            measured = np.mean(small_scores < th)
+            assert abs(measured - rate) < 0.05
+
+    def test_ignores_masked_entries(self, small_scores):
+        masked = small_scores.copy()
+        masked[:, :10] = NEG_INFINITY
+        th_masked = calibrate_threshold(masked, 0.5)
+        th_clean = calibrate_threshold(small_scores[:, 10:], 0.5)
+        assert np.isclose(th_masked, th_clean)
+
+    def test_rejects_bad_rate(self, small_scores):
+        with pytest.raises(ValueError):
+            calibrate_threshold(small_scores, 1.0)
+        with pytest.raises(ValueError):
+            calibrate_threshold(small_scores, -0.1)
+
+    def test_rejects_all_masked(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(np.full((4, 4), NEG_INFINITY), 0.5)
+
+
+class TestPruneScores:
+    def test_keep_mask_matches_threshold(self, small_scores):
+        th = calibrate_threshold(small_scores, 0.6)
+        result = prune_scores(small_scores, th, keep_self=False)
+        expected = small_scores >= th
+        # Rows that would be empty get their max back; exclude them.
+        nonempty = expected.any(axis=1)
+        np.testing.assert_array_equal(
+            result.keep_mask[nonempty], expected[nonempty]
+        )
+
+    def test_pruned_entries_nullified(self, small_scores):
+        th = calibrate_threshold(small_scores, 0.7)
+        result = prune_scores(small_scores, th)
+        assert np.all(result.scores[~result.keep_mask] == NEG_INFINITY)
+
+    def test_probabilities_zero_on_pruned(self, small_scores):
+        th = calibrate_threshold(small_scores, 0.7)
+        result = prune_scores(small_scores, th)
+        assert np.all(result.probabilities[~result.keep_mask] < 1e-12)
+
+    def test_rows_never_empty(self, small_scores):
+        result = prune_scores(small_scores, 1e9, keep_self=False)
+        assert result.keep_mask.any(axis=1).all()
+
+    def test_keep_self_preserves_diagonal(self, small_scores):
+        th = calibrate_threshold(small_scores, 0.9)
+        result = prune_scores(small_scores, th, keep_self=True)
+        assert np.all(np.diag(result.keep_mask))
+
+    def test_decision_scores_decouple(self, small_scores, rng):
+        th = calibrate_threshold(small_scores, 0.5)
+        noisy = small_scores + rng.normal(0, 0.5, small_scores.shape)
+        result = prune_scores(
+            small_scores, th, decision_scores=noisy, keep_self=False
+        )
+        # Kept values come from the exact scores even when decisions
+        # come from the noisy ones.
+        kept = result.keep_mask
+        np.testing.assert_array_equal(
+            result.scores[kept], small_scores[kept]
+        )
+
+    def test_decision_shape_mismatch(self, small_scores):
+        with pytest.raises(ValueError):
+            prune_scores(small_scores, 0.0,
+                         decision_scores=small_scores[:4])
+
+    def test_pruning_rate_property(self, small_scores):
+        th = calibrate_threshold(small_scores, 0.6)
+        result = prune_scores(small_scores, th, keep_self=False)
+        assert 0.5 <= result.pruning_rate <= 0.7
+
+    def test_pruning_vectors_convention(self, small_scores):
+        th = calibrate_threshold(small_scores, 0.5)
+        result = prune_scores(small_scores, th)
+        vectors = result.pruning_vectors()
+        # '1' -> pruned per the paper's memory-controller convention.
+        np.testing.assert_array_equal(vectors == 1, ~result.keep_mask)
+
+    def test_unpruned_counts(self, small_scores):
+        th = calibrate_threshold(small_scores, 0.5)
+        result = prune_scores(small_scores, th)
+        np.testing.assert_array_equal(
+            result.unpruned_counts(), result.keep_mask.sum(axis=1)
+        )
+
+
+class TestRuntimePrune:
+    def test_reaches_target_rate(self, small_scores):
+        result = runtime_prune(small_scores, 0.7, keep_self=False)
+        assert abs(result.pruning_rate - 0.7) < 0.08
+
+    def test_quantized_decisions_change_mask(self, small_scores):
+        exact = runtime_prune(small_scores, 0.7, keep_self=False)
+        coarse = runtime_prune(
+            small_scores, 0.7, decision_bits=2, keep_self=False
+        )
+        assert not np.array_equal(exact.keep_mask, coarse.keep_mask)
+
+    def test_noise_changes_mask(self, small_scores, rng):
+        exact = runtime_prune(small_scores, 0.7, keep_self=False)
+        noisy = runtime_prune(
+            small_scores, 0.7, noise_sigma=0.5, rng=rng, keep_self=False
+        )
+        assert not np.array_equal(exact.keep_mask, noisy.keep_mask)
+
+    def test_fine_quantization_preserves_mask(self, small_scores):
+        exact = runtime_prune(small_scores, 0.7, keep_self=False)
+        fine = runtime_prune(
+            small_scores, 0.7, decision_bits=12, keep_self=False
+        )
+        agreement = np.mean(exact.keep_mask == fine.keep_mask)
+        assert agreement > 0.98

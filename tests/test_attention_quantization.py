@@ -1,0 +1,122 @@
+"""Unit tests for repro.attention.quantization."""
+
+import numpy as np
+import pytest
+
+from repro.attention.quantization import (
+    QuantizedTensor,
+    combine_msb_lsb,
+    dequantize,
+    quantize_scores,
+    split_msb_lsb,
+    symmetric_quantize,
+)
+
+
+class TestSymmetricQuantize:
+    def test_roundtrip_error_bounded(self, rng):
+        x = rng.normal(size=100)
+        q = symmetric_quantize(x, bits=8)
+        err = np.abs(dequantize(q) - x)
+        assert np.max(err) <= q.scale / 2 + 1e-12
+
+    def test_zero_exact(self):
+        q = symmetric_quantize(np.array([0.0, 1.0, -1.0]), bits=8)
+        assert q.codes[0] == 0
+
+    def test_codes_in_range(self, rng):
+        x = rng.normal(size=1000) * 10
+        for bits in (2, 4, 8):
+            q = symmetric_quantize(x, bits=bits)
+            assert q.codes.max() <= 2 ** (bits - 1) - 1
+            assert q.codes.min() >= -(2 ** (bits - 1))
+
+    def test_one_bit_sign_only(self):
+        q = symmetric_quantize(np.array([-3.0, 0.0, 2.0]), bits=1)
+        assert list(q.codes) == [-1, 0, 1]
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            symmetric_quantize(np.ones(3), bits=0)
+
+    def test_all_zero_input(self):
+        q = symmetric_quantize(np.zeros(5), bits=4)
+        assert np.all(q.codes == 0)
+        np.testing.assert_allclose(dequantize(q), 0.0)
+
+    def test_level_count(self):
+        q = symmetric_quantize(np.ones(2), bits=4)
+        assert q.level_count == 16
+
+
+class TestMsbLsbSplit:
+    def test_roundtrip_all_int8(self):
+        codes = np.arange(-128, 128)
+        msb, lsb = split_msb_lsb(codes, bits=8, msb_bits=4)
+        np.testing.assert_array_equal(
+            combine_msb_lsb(msb, lsb, bits=8, msb_bits=4), codes
+        )
+
+    def test_msb_range(self):
+        codes = np.arange(-128, 128)
+        msb, _ = split_msb_lsb(codes, bits=8, msb_bits=4)
+        assert msb.max() <= 7
+        assert msb.min() >= -8
+
+    def test_lsb_unsigned(self):
+        codes = np.arange(-128, 128)
+        _, lsb = split_msb_lsb(codes)
+        assert lsb.min() >= 0
+        assert lsb.max() <= 15
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            split_msb_lsb(np.array([200]), bits=8, msb_bits=4)
+
+    def test_rejects_bad_msb_bits(self):
+        with pytest.raises(ValueError):
+            split_msb_lsb(np.array([1]), bits=8, msb_bits=8)
+
+    def test_nonstandard_split(self):
+        codes = np.arange(-8, 8)
+        msb, lsb = split_msb_lsb(codes, bits=4, msb_bits=2)
+        np.testing.assert_array_equal(
+            combine_msb_lsb(msb, lsb, bits=4, msb_bits=2), codes
+        )
+
+
+class TestQuantizeScores:
+    def test_preserves_range_ends(self, small_scores):
+        q = quantize_scores(small_scores, bits=4)
+        assert np.isclose(q.max(), small_scores.max())
+        assert np.isclose(q.min(), small_scores.min())
+
+    def test_error_bounded_by_half_step(self, small_scores):
+        for bits in (3, 5, 8):
+            q = quantize_scores(small_scores, bits=bits)
+            step = (small_scores.max() - small_scores.min()) / (2 ** bits - 1)
+            assert np.max(np.abs(q - small_scores)) <= step / 2 + 1e-12
+
+    def test_one_bit_collapses_to_endpoints(self, small_scores):
+        q = quantize_scores(small_scores, bits=1)
+        uniq = np.unique(q)
+        assert len(uniq) <= 2
+
+    def test_monotone_precision_improvement(self, small_scores):
+        errors = [
+            np.mean(np.abs(quantize_scores(small_scores, bits=b) - small_scores))
+            for b in range(1, 9)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_high_bits_near_exact(self, small_scores):
+        q = quantize_scores(small_scores, bits=16)
+        np.testing.assert_allclose(q, small_scores, atol=1e-3)
+
+    def test_constant_input(self):
+        x = np.full((4, 4), 2.5)
+        np.testing.assert_array_equal(quantize_scores(x, 4), x)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            quantize_scores(np.ones((2, 2)), bits=0)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.configs and repro.core.results."""
+
+import pytest
+
+from repro.core.configs import (
+    L_SPRINT,
+    M_SPRINT,
+    S_SPRINT,
+    SPRINT_CONFIGS,
+    get_config,
+)
+from repro.core.results import HeadReport, SimulationReport
+from repro.energy.model import EnergyBreakdown
+
+
+class TestTableIConfigs:
+    def test_corelet_scaling(self):
+        assert S_SPRINT.num_corelets == 1
+        assert M_SPRINT.num_corelets == 2
+        assert L_SPRINT.num_corelets == 4
+
+    def test_cache_scaling(self):
+        assert S_SPRINT.onchip_cache_kb == 16
+        assert M_SPRINT.onchip_cache_kb == 32
+        assert L_SPRINT.onchip_cache_kb == 64
+
+    def test_sram_banks(self):
+        # Table I: 8/16/32 banks.
+        assert S_SPRINT.sram_banks == 8
+        assert M_SPRINT.sram_banks == 16
+        assert L_SPRINT.sram_banks == 32
+
+    def test_query_index_buffers(self):
+        assert S_SPRINT.query_buffer_bytes == 64
+        assert M_SPRINT.query_buffer_bytes == 128
+        assert L_SPRINT.query_buffer_bytes == 256
+        assert S_SPRINT.index_buffer_bytes == 512
+        assert L_SPRINT.index_buffer_bytes == 2048
+
+    def test_shared_memory_system(self):
+        for cfg in (S_SPRINT, M_SPRINT, L_SPRINT):
+            assert cfg.channels == 16
+            assert cfg.channel_bits == 64
+            assert cfg.frequency_ghz == 1.0
+            assert cfg.transposable_array == (64, 128)
+            assert cfg.mlc_bits == 4
+
+    def test_capacity_vectors(self):
+        # 16KB total -> 8KB K buffer -> 128 64-byte vectors.
+        assert S_SPRINT.kv_capacity_vectors == 128
+        assert M_SPRINT.kv_capacity_vectors == 256
+        assert L_SPRINT.kv_capacity_vectors == 512
+
+    def test_fetch_cycles_model(self):
+        # One 64B vector over a 64-bit channel = 8 beats; 16 channels
+        # move 16 vectors per wave.
+        assert S_SPRINT.vector_fetch_cycles(1) == 8
+        assert S_SPRINT.vector_fetch_cycles(16) == 8
+        assert S_SPRINT.vector_fetch_cycles(17) == 16
+        assert S_SPRINT.vector_fetch_cycles(0) == 0
+
+    def test_lookup(self):
+        assert get_config("M-SPRINT") is M_SPRINT
+        assert get_config("s") is S_SPRINT
+        with pytest.raises(KeyError):
+            get_config("XL-SPRINT")
+        assert set(SPRINT_CONFIGS) == {"S-SPRINT", "M-SPRINT", "L-SPRINT"}
+
+
+def _report(cycles, pj_read, counts=None):
+    bd = EnergyBreakdown()
+    bd.add("reram_read", pj_read)
+    return SimulationReport(
+        model="m", config="c", mode="baseline",
+        cycles=cycles, energy=bd, counts=counts or {},
+    )
+
+
+class TestSimulationReport:
+    def test_speedup(self):
+        base = _report(1000, 10.0)
+        fast = _report(100, 10.0)
+        assert fast.speedup_vs(base) == pytest.approx(10.0)
+
+    def test_energy_reduction(self):
+        base = _report(1, 100.0)
+        lean = _report(1, 5.0)
+        assert lean.energy_reduction_vs(base) == pytest.approx(20.0)
+
+    def test_data_movement(self):
+        r = _report(1, 0.0, counts={"key_fetches": 2.0, "value_fetches": 2.0,
+                                    "query_fetches": 1.0})
+        assert r.data_movement_bytes(64) == 5 * 64
+
+    def test_data_movement_reduction(self):
+        base = _report(1, 0, counts={"key_fetches": 100.0})
+        lean = _report(1, 0, counts={"key_fetches": 10.0})
+        assert lean.data_movement_reduction_vs(base) == pytest.approx(0.9)
+
+    def test_from_heads_averages(self):
+        h1 = HeadReport(mode="sprint", cycles=100,
+                        counts={"queries": 10.0})
+        h2 = HeadReport(mode="sprint", cycles=300,
+                        counts={"queries": 20.0})
+        report = SimulationReport.from_heads("m", "c", "sprint", [h1, h2])
+        assert report.cycles == 200
+        assert report.counts["queries"] == 15.0
+        assert report.samples == 2
+
+    def test_from_heads_empty_raises(self):
+        with pytest.raises(ValueError):
+            SimulationReport.from_heads("m", "c", "sprint", [])
+
+    def test_describe_contains_key_fields(self):
+        text = _report(10, 5.0).describe()
+        assert "cycles" in text and "energy" in text

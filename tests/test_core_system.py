@@ -1,0 +1,208 @@
+"""Unit tests for repro.core.system (the SPRINT simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import L_SPRINT, M_SPRINT, S_SPRINT
+from repro.core.system import (
+    ExecutionMode,
+    SprintSystem,
+    simulate_sld_traffic,
+)
+from repro.models.zoo import get_model
+from repro.workloads.generator import WorkloadSample, generate_workload
+
+
+class TestSimulateSldTraffic:
+    def test_unlimited_capacity_fetches_once(self):
+        keep = np.zeros((4, 8), dtype=bool)
+        keep[:, :3] = True
+        fetches, reuses = simulate_sld_traffic(keep, capacity_vectors=8)
+        np.testing.assert_array_equal(fetches, [3, 0, 0, 0])
+        np.testing.assert_array_equal(reuses, [0, 3, 3, 3])
+
+    def test_capacity_one_forces_refetch(self):
+        keep = np.zeros((3, 8), dtype=bool)
+        keep[:, :4] = True
+        fetches, _ = simulate_sld_traffic(keep, capacity_vectors=1)
+        # Only one vector survives between queries.
+        assert fetches[1] >= 3
+
+    def test_disjoint_needs_all_fetch(self):
+        keep = np.zeros((2, 8), dtype=bool)
+        keep[0, :4] = True
+        keep[1, 4:] = True
+        fetches, reuses = simulate_sld_traffic(keep, 8)
+        np.testing.assert_array_equal(fetches, [4, 4])
+        np.testing.assert_array_equal(reuses, [0, 0])
+
+    def test_empty_rows_skip(self):
+        keep = np.zeros((3, 8), dtype=bool)
+        keep[1, :2] = True
+        fetches, reuses = simulate_sld_traffic(keep, 8)
+        assert fetches[0] == 0 and fetches[2] == 0
+        assert fetches[1] == 2
+
+    def test_totals_conserved(self, small_workload):
+        sample = small_workload.samples[0]
+        keep = sample.keep_mask[: sample.valid_len, : sample.valid_len]
+        fetches, reuses = simulate_sld_traffic(keep, 32)
+        np.testing.assert_array_equal(
+            fetches + reuses, keep.sum(axis=1)
+        )
+
+
+@pytest.fixture(scope="module")
+def bert_reports():
+    spec = get_model("BERT-B")
+    system = SprintSystem(S_SPRINT)
+    return {
+        mode: system.simulate_model(spec, mode, num_samples=2, seed=1)
+        for mode in ExecutionMode
+    }
+
+
+class TestModes:
+    def test_mode_ordering_cycles(self, bert_reports):
+        b = bert_reports
+        assert (
+            b[ExecutionMode.SPRINT].cycles
+            < b[ExecutionMode.PRUNING_ONLY].cycles
+            < b[ExecutionMode.BASELINE].cycles
+        )
+        assert (
+            b[ExecutionMode.MASK_ONLY].cycles
+            < b[ExecutionMode.BASELINE].cycles
+        )
+
+    def test_mode_ordering_energy(self, bert_reports):
+        b = bert_reports
+        assert (
+            b[ExecutionMode.SPRINT].total_energy_pj
+            < b[ExecutionMode.PRUNING_ONLY].total_energy_pj
+            < b[ExecutionMode.BASELINE].total_energy_pj
+        )
+
+    def test_mode_ordering_traffic(self, bert_reports):
+        b = bert_reports
+        assert (
+            b[ExecutionMode.SPRINT].data_movement_bytes()
+            < b[ExecutionMode.MASK_ONLY].data_movement_bytes()
+            < b[ExecutionMode.BASELINE].data_movement_bytes()
+        )
+
+    def test_baseline_memory_dominated(self, bert_reports):
+        # Figure 1/13: with 16KB for S=384, memory dominates baseline.
+        frac = bert_reports[ExecutionMode.BASELINE].energy.memory_fraction()
+        assert frac > 0.4
+
+    def test_sprint_has_inmemory_events(self, bert_reports):
+        counts = bert_reports[ExecutionMode.SPRINT].counts
+        assert counts["inmemory_array_ops"] > 0
+        assert counts["comparator_ops"] > 0
+
+    def test_baseline_no_inmemory_events(self, bert_reports):
+        counts = bert_reports[ExecutionMode.BASELINE].counts
+        assert "inmemory_array_ops" not in counts
+
+    def test_pruning_only_full_qk(self, bert_reports):
+        counts = bert_reports[ExecutionMode.PRUNING_ONLY].counts
+        s = get_model("BERT-B").seq_len
+        assert counts["qk_dot_products"] == s * s
+
+    def test_sprint_qk_matches_unpruned(self, bert_reports):
+        counts = bert_reports[ExecutionMode.SPRINT].counts
+        assert counts["qk_dot_products"] == counts["unpruned_total"]
+
+    def test_key_value_fetch_symmetry_sprint(self, bert_reports):
+        # Pruning vectors are identical for keys and values (section III).
+        counts = bert_reports[ExecutionMode.SPRINT].counts
+        assert counts["key_fetches"] == counts["value_fetches"]
+
+
+class TestConfigScaling:
+    def test_bigger_cache_less_traffic(self):
+        spec = get_model("BERT-B")
+        traffic = {}
+        for cfg in (S_SPRINT, M_SPRINT, L_SPRINT):
+            rep = SprintSystem(cfg).simulate_model(
+                spec, ExecutionMode.SPRINT, num_samples=1, seed=2
+            )
+            traffic[cfg.name] = rep.data_movement_bytes()
+        assert (
+            traffic["L-SPRINT"] <= traffic["M-SPRINT"] <= traffic["S-SPRINT"]
+        )
+
+    def test_more_corelets_fewer_cycles_baseline(self):
+        spec = get_model("BERT-B")
+        cycles = {}
+        for cfg in (S_SPRINT, L_SPRINT):
+            rep = SprintSystem(cfg).simulate_model(
+                spec, ExecutionMode.BASELINE, num_samples=1, seed=2
+            )
+            cycles[cfg.name] = rep.cycles
+        assert cycles["L-SPRINT"] < cycles["S-SPRINT"]
+
+    def test_speedup_in_paper_ballpark(self):
+        spec = get_model("BERT-B")
+        system = SprintSystem(S_SPRINT)
+        base = system.simulate_model(
+            spec, ExecutionMode.BASELINE, num_samples=1, seed=3
+        )
+        sprint = system.simulate_model(
+            spec, ExecutionMode.SPRINT, num_samples=1, seed=3
+        )
+        speedup = sprint.speedup_vs(base)
+        # Paper: 8.98x for BERT-B / S-SPRINT; accept the right regime.
+        assert 5.0 < speedup < 25.0
+
+    def test_energy_reduction_in_paper_ballpark(self):
+        spec = get_model("BERT-B")
+        system = SprintSystem(S_SPRINT)
+        base = system.simulate_model(
+            spec, ExecutionMode.BASELINE, num_samples=1, seed=3
+        )
+        sprint = system.simulate_model(
+            spec, ExecutionMode.SPRINT, num_samples=1, seed=3
+        )
+        red = sprint.energy_reduction_vs(base)
+        # Paper: 22.9x for BERT-B / S-SPRINT.
+        assert 10.0 < red < 50.0
+
+
+class TestCausalAndPadding:
+    def test_causal_mask_only_halves_work(self):
+        sample = WorkloadSample(
+            keep_mask=np.tril(np.ones((64, 64), dtype=bool)),
+            valid_len=64, seq_len=64, causal=True,
+        )
+        system = SprintSystem(S_SPRINT)
+        dense = system.simulate_sample(sample, ExecutionMode.BASELINE)
+        masked = system.simulate_sample(sample, ExecutionMode.MASK_ONLY)
+        ratio = masked.counts["qk_dot_products"] / dense.counts[
+            "qk_dot_products"
+        ]
+        assert ratio == pytest.approx(0.5, abs=0.02)
+
+    def test_padded_sample_sprint_skips_padding(self):
+        wl = generate_workload(
+            64, 0.7, padding_ratio=0.5, num_samples=1, seed=4
+        )
+        sample = wl.samples[0]
+        system = SprintSystem(S_SPRINT)
+        rep = system.simulate_sample(sample, ExecutionMode.SPRINT)
+        assert rep.counts["queries"] == sample.valid_len
+
+    def test_vit_benefits_least(self):
+        system = SprintSystem(S_SPRINT)
+        reductions = {}
+        for name in ("ViT-B", "BERT-B"):
+            spec = get_model(name)
+            base = system.simulate_model(
+                spec, ExecutionMode.BASELINE, num_samples=1, seed=5
+            )
+            sprint = system.simulate_model(
+                spec, ExecutionMode.SPRINT, num_samples=1, seed=5
+            )
+            reductions[name] = sprint.energy_reduction_vs(base)
+        assert reductions["ViT-B"] < reductions["BERT-B"]

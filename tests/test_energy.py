@@ -1,0 +1,147 @@
+"""Unit tests for repro.energy (constants, model, area metrics)."""
+
+import pytest
+
+from repro.energy.area import (
+    PRIOR_WORK,
+    AcceleratorMetrics,
+    dennard_scale_energy,
+)
+from repro.energy.constants import TABLE_II
+from repro.energy.model import CATEGORIES, EnergyBreakdown, EnergyModel
+
+
+class TestTableII:
+    def test_paper_values(self):
+        assert TABLE_II.dot_product_64tap_pj == pytest.approx(192.56)
+        assert TABLE_II.kv_buffer_access_pj == pytest.approx(256.0)
+        assert TABLE_II.softmax_element_pj == pytest.approx(89.8)
+        assert TABLE_II.comparator_128col_pj == pytest.approx(5.34)
+        assert TABLE_II.inmemory_array_op_pj == pytest.approx(833.6)
+        assert TABLE_II.reram_read_512b_pj == pytest.approx(1587.2)
+        assert TABLE_II.reram_write_512b_pj == pytest.approx(12492.8)
+
+    def test_per_bit_consistency(self):
+        # 3.1 pJ/bit read, 24.4 pJ/bit write (section VII).
+        assert TABLE_II.reram_read_per_bit_pj == pytest.approx(3.1)
+        assert TABLE_II.reram_write_per_bit_pj == pytest.approx(24.4)
+
+    def test_comparator_column_consistency(self):
+        # 128 comparators at 41 fJ each ~ 5.34 pJ (rounding in paper).
+        assert 128 * TABLE_II.comparator_single_pj == pytest.approx(
+            TABLE_II.comparator_128col_pj, rel=0.02
+        )
+
+    def test_vector_read_energy(self):
+        # One d=64-byte vector is a 512-bit access.
+        assert TABLE_II.reram_read_vector_pj(64) == pytest.approx(1587.2)
+        assert TABLE_II.reram_write_vector_pj(64) == pytest.approx(12492.8)
+
+    def test_write_read_ratio(self):
+        # ReRAM writes are ~7.9x more expensive than reads.
+        ratio = TABLE_II.reram_write_512b_pj / TABLE_II.reram_read_512b_pj
+        assert ratio == pytest.approx(24.4 / 3.1, rel=1e-6)
+
+
+class TestEnergyBreakdown:
+    def test_categories_complete(self):
+        bd = EnergyBreakdown()
+        assert set(bd.pj) == set(CATEGORIES)
+
+    def test_add_and_total(self):
+        bd = EnergyBreakdown()
+        bd.add("qkpu", 100.0)
+        bd.add("reram_read", 50.0)
+        assert bd.total_pj == 150.0
+        assert bd.total_joules == pytest.approx(150e-12)
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            EnergyBreakdown().add("gpu", 1.0)
+
+    def test_fractions(self):
+        bd = EnergyBreakdown()
+        bd.add("reram_read", 30.0)
+        bd.add("reram_write", 30.0)
+        bd.add("qkpu", 40.0)
+        assert bd.memory_fraction() == pytest.approx(0.6)
+        assert bd.read_fraction() == pytest.approx(0.3)
+        assert bd.fraction("qkpu") == pytest.approx(0.4)
+
+    def test_empty_fractions_zero(self):
+        assert EnergyBreakdown().memory_fraction() == 0.0
+
+    def test_scaled_and_merged(self):
+        a = EnergyBreakdown()
+        a.add("vpu", 10.0)
+        b = a.scaled(2.0)
+        assert b.pj["vpu"] == 20.0
+        c = a.merged(b)
+        assert c.pj["vpu"] == 30.0
+
+
+class TestEnergyModel:
+    def test_event_accounting(self):
+        model = EnergyModel(vector_bytes=64)
+        model.count_reram_vector_reads(10)
+        model.count_reram_vector_writes(1)
+        model.count_qk_dot_products(100)
+        model.count_softmax_elements(100)
+        model.count_v_mac_rows(100)
+        model.count_inmemory_array_ops(2)
+        model.count_comparator_ops(128)
+        bd = model.breakdown
+        assert bd.pj["reram_read"] == pytest.approx(10 * 1587.2)
+        assert bd.pj["reram_write"] == pytest.approx(12492.8)
+        assert bd.pj["qkpu"] == pytest.approx(100 * 192.56)
+        assert bd.pj["softmax"] == pytest.approx(100 * 89.8)
+        assert bd.pj["inmemory_pruning"] == pytest.approx(
+            2 * 833.6 + 128 * 0.041
+        )
+
+    def test_buffer_traffic_scales_with_vector(self):
+        small = EnergyModel(vector_bytes=32)
+        big = EnergyModel(vector_bytes=64)
+        small.count_buffer_vector_reads(1)
+        big.count_buffer_vector_reads(1)
+        assert big.breakdown.pj["onchip_read"] == pytest.approx(
+            2 * small.breakdown.pj["onchip_read"]
+        )
+
+
+class TestAreaMetrics:
+    def test_prior_work_rows(self):
+        assert set(PRIOR_WORK) == {"A3", "SpAtten", "LeOPArd", "M-SPRINT"}
+        assert PRIOR_WORK["M-SPRINT"].gops_per_s == pytest.approx(1816.2)
+
+    def test_table3_column_consistency(self):
+        # GOPs/s/J/mm2 column == GOPs/J / area.  A3 and M-SPRINT match
+        # within rounding; the paper's SpAtten/LeOPArd entries deviate
+        # further (their exact derivation is not stated), so only the
+        # tight rows are asserted.
+        for name in ("A3", "M-SPRINT"):
+            row = PRIOR_WORK[name]
+            derived = row.gops_per_j / row.area_mm2
+            assert derived == pytest.approx(row.gops_per_s_j_mm2, rel=0.05)
+
+    def test_metrics_derivations(self):
+        m = AcceleratorMetrics(ops=2e12, seconds=1.0, joules=1.0,
+                               area_mm2=2.0)
+        assert m.gops_per_s == pytest.approx(2000.0)
+        assert m.gops_per_j == pytest.approx(2000.0)
+        assert m.gops_per_s_mm2 == pytest.approx(1000.0)
+        assert m.gops_per_s_j_mm2 == pytest.approx(1000.0)
+
+    def test_zero_guards(self):
+        m = AcceleratorMetrics(ops=1.0, seconds=0.0, joules=0.0, area_mm2=0.0)
+        assert m.gops_per_s == 0.0
+        assert m.gops_per_j == 0.0
+        assert m.gops_per_s_mm2 == 0.0
+        assert m.gops_per_s_j_mm2 == 0.0
+
+    def test_dennard_scaling(self):
+        # 65 nm -> 40 nm shrinks energy by (40/65)^3.
+        scaled = dennard_scale_energy(1.0, 65, 40)
+        assert scaled == pytest.approx((40 / 65) ** 3)
+        with pytest.raises(ValueError):
+            dennard_scale_energy(1.0, 0, 40)

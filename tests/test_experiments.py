@@ -1,0 +1,312 @@
+"""Tests for the experiment modules: structure and paper-shape claims.
+
+Each experiment runs with reduced sample counts and is checked against
+the qualitative claims of the corresponding paper figure (who wins, in
+which direction, roughly by how much) -- not against absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import M_SPRINT, S_SPRINT
+from repro.experiments import (
+    ffn_end_to_end,
+    fig1_memory_energy,
+    fig3_overlap,
+    fig8_imbalance,
+    fig10_data_movement,
+    fig11_speedup,
+    fig12_energy,
+    fig13_breakdown,
+    table3_comparison,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+FAST_MODELS = ("BERT-B", "ViT-B", "GPT-2-L")
+FAST_CONFIGS = (S_SPRINT, M_SPRINT)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig1_memory_energy.run(
+            seq_lengths=(64, 256), fractions=(0.2, 0.6, 1.0)
+        )
+
+    def test_memory_dominates_at_20pct(self, rows):
+        # Paper Figure 1: >60% at 20% capacity for the longer sequences
+        # (the S=32 point sits near 51% in the paper's own data).
+        at20 = [r for r in rows if r.capacity_fraction == 0.2]
+        assert all(r.memory_energy_fraction > 0.5 for r in at20)
+        longest = max(at20, key=lambda r: r.seq_len)
+        assert longest.memory_energy_fraction > 0.6
+
+    def test_monotone_decrease_with_capacity(self, rows):
+        for s in (64, 256):
+            series = [
+                r.memory_energy_fraction
+                for r in rows
+                if r.seq_len == s
+            ]
+            assert series == sorted(series, reverse=True)
+
+    def test_small_at_full_capacity(self, rows):
+        full = [r for r in rows if r.capacity_fraction == 1.0]
+        assert all(r.memory_energy_fraction < 0.35 for r in full)
+
+    def test_format_table(self, rows):
+        text = fig1_memory_energy.format_table(rows)
+        assert "Figure 1" in text and "S=64" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig3_overlap.run(models=("BERT-B", "ViT-B"), num_samples=1)
+
+    def test_real_exceeds_random(self, rows):
+        for r in rows:
+            assert r.real_overlap > r.random_overlap
+
+    def test_bert_ratio_2_to_3x(self, rows):
+        bert = next(r for r in rows if r.model == "BERT-B")
+        assert 2.0 <= bert.ratio_vs_random <= 3.5
+
+    def test_random_matches_eq1_theory(self, rows):
+        for r in rows:
+            assert r.random_overlap == pytest.approx(
+                r.theoretical_overlap, abs=0.05
+            )
+
+    def test_vit_less_locality(self, rows):
+        bert = next(r for r in rows if r.model == "BERT-B")
+        vit = next(r for r in rows if r.model == "ViT-B")
+        assert vit.ratio_vs_random < bert.ratio_vs_random
+
+    def test_format_table(self, rows):
+        assert "Figure 3" in fig3_overlap.format_table(rows)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig8_imbalance.run(
+            models=("BERT-B", "GPT-2-L"), corelet_counts=(2, 8),
+            num_samples=1,
+        )
+
+    def test_interleaving_beats_sequential(self, rows):
+        for r in rows:
+            assert r.interleaved_imbalance <= r.sequential_imbalance
+
+    def test_imbalance_at_least_one(self, rows):
+        for r in rows:
+            assert r.interleaved_imbalance >= 1.0
+
+    def test_more_corelets_harder_to_balance(self, rows):
+        for model in ("BERT-B", "GPT-2-L"):
+            sel = sorted(
+                (r for r in rows if r.model == model),
+                key=lambda r: r.num_corelets,
+            )
+            assert (
+                sel[0].interleaved_imbalance <= sel[1].interleaved_imbalance
+            )
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig10_data_movement.run(
+            models=FAST_MODELS, configs=FAST_CONFIGS, num_samples=1
+        )
+
+    def test_sprint_beats_mask_only(self, rows):
+        for r in rows:
+            assert r.sprint_reduction >= r.mask_only_reduction - 1e-9
+
+    def test_sprint_reduction_above_90pct(self, rows):
+        bert = [r for r in rows if r.model == "BERT-B"]
+        assert all(r.sprint_reduction > 0.9 for r in bert)
+
+    def test_averages_structure(self, rows):
+        avg = fig10_data_movement.average_reductions(rows)
+        assert set(avg) == {"S-SPRINT", "M-SPRINT"}
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig11_speedup.run(
+            models=FAST_MODELS, configs=FAST_CONFIGS, num_samples=1
+        )
+
+    def test_all_speedups_above_one(self, rows):
+        for r in rows:
+            assert r.speedup > 1.0
+            assert r.pruning_only_speedup > 1.0
+
+    def test_sprint_beats_pruning_only(self, rows):
+        for r in rows:
+            assert r.speedup > r.pruning_only_speedup
+
+    def test_vit_minimum(self, rows):
+        by_model = {}
+        for r in rows:
+            by_model.setdefault(r.model, []).append(r.speedup)
+        means = {m: np.mean(v) for m, v in by_model.items()}
+        assert means["ViT-B"] == min(means.values())
+
+    def test_geomean_in_paper_regime(self, rows):
+        g = fig11_speedup.geomeans(rows)
+        for config in g:
+            assert 2.0 < g[config]["sprint"] < 20.0
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig12_energy.run(
+            models=FAST_MODELS, configs=FAST_CONFIGS, num_samples=1
+        )
+
+    def test_all_reductions_above_one(self, rows):
+        for r in rows:
+            assert r.energy_reduction > 1.0
+
+    def test_vit_minimum(self, rows):
+        by_model = {}
+        for r in rows:
+            by_model.setdefault(r.model, []).append(r.energy_reduction)
+        means = {m: np.mean(v) for m, v in by_model.items()}
+        assert means["ViT-B"] == min(means.values())
+
+    def test_s_beats_l_for_bert(self):
+        from repro.core.configs import L_SPRINT
+
+        rows = fig12_energy.run(
+            models=("BERT-B",), configs=(S_SPRINT, L_SPRINT), num_samples=1
+        )
+        s = next(r for r in rows if r.config == "S-SPRINT")
+        l = next(r for r in rows if r.config == "L-SPRINT")
+        # Paper: the benefit increases as on-chip resources get scarcer.
+        assert s.energy_reduction > l.energy_reduction
+
+    def test_synth_inverts_ordering(self):
+        from repro.core.configs import L_SPRINT
+
+        rows = fig12_energy.run(
+            models=("Synth-1",), configs=(S_SPRINT, L_SPRINT), num_samples=1
+        )
+        s = next(r for r in rows if r.config == "S-SPRINT")
+        l = next(r for r in rows if r.config == "L-SPRINT")
+        # Paper: for Synth models L-SPRINT gains *more* than S-SPRINT.
+        assert l.energy_reduction > s.energy_reduction
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig13_breakdown.run(models=FAST_MODELS, num_samples=1)
+
+    def test_baseline_fractions_sum_to_one(self, rows):
+        for r in rows:
+            if r.scenario == "baseline":
+                assert r.total_fraction == pytest.approx(1.0)
+
+    def test_pruning_only_around_2x(self, rows):
+        savings = fig13_breakdown.savings_by_model(rows)
+        assert 1.5 < savings["BERT-B"]["pruning_only"] < 2.5
+        # ViT saves least (low pruning rate, no padding, less locality).
+        assert savings["ViT-B"]["pruning_only"] < savings["BERT-B"]["pruning_only"]
+
+    def test_sprint_writes_dominate(self, rows):
+        sprint_bert = next(
+            r for r in rows
+            if r.model == "BERT-B" and r.scenario == "sprint"
+        )
+        fr = sprint_bert.fractions
+        assert fr["reram_write"] == max(fr.values())
+
+    def test_inmemory_overhead_small(self, rows):
+        for r in rows:
+            if r.scenario == "sprint":
+                assert r.fractions["inmemory_pruning"] < 0.05 * r.total_fraction + 1e-9
+
+    def test_baseline_read_share_high_for_bert(self, rows):
+        bert = next(
+            r for r in rows
+            if r.model == "BERT-B" and r.scenario == "baseline"
+        )
+        assert bert.fractions["reram_read"] > 0.4
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3_comparison.run(models=FAST_MODELS, num_samples=1)
+
+    def test_contains_all_designs(self, rows):
+        names = {r.name.split(" ")[0] for r in rows}
+        assert {"A3", "SpAtten", "LeOPArd", "M-SPRINT"} <= names
+
+    def test_msprint_best_throughput(self, rows):
+        msprint = next(r for r in rows if r.simulated)
+        others = [r.gops_per_s for r in rows if not r.simulated]
+        assert msprint.gops_per_s > max(others)
+
+    def test_msprint_best_area_efficiency(self, rows):
+        msprint = next(r for r in rows if r.simulated)
+        others = [r.gops_per_s_mm2 for r in rows if not r.simulated]
+        assert msprint.gops_per_s_mm2 > max(others)
+
+    def test_a3_beats_on_gops_per_j(self, rows):
+        # A3 omits memory cost and uses 40 nm: it wins raw GOPs/J.
+        msprint = next(r for r in rows if r.simulated)
+        a3 = next(r for r in rows if r.name == "A3")
+        assert a3.gops_per_j > msprint.gops_per_j
+
+    def test_dennard_scaling_closes_gap(self, rows):
+        scaled = table3_comparison.dennard_scaled_gops_per_j(rows, to_nm=40)
+        msprint = next(iter(scaled.values()))
+        raw = next(r for r in rows if r.simulated).gops_per_j
+        assert msprint > raw
+
+
+class TestFfn:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ffn_end_to_end.run(
+            models=("BERT-B", "ViT-B"), num_samples=1
+        )
+
+    def test_end_to_end_smaller_than_attention_only(self, rows):
+        for r in rows:
+            assert r.end_to_end_speedup < r.attention_speedup
+
+    def test_vit_near_unity(self, rows):
+        vit = next(r for r in rows if r.model == "ViT-B")
+        assert vit.end_to_end_speedup < 1.5
+        assert vit.ffn_speedup == pytest.approx(1.0)
+
+    def test_bert_meaningful_benefit(self, rows):
+        bert = next(r for r in rows if r.model == "BERT-B")
+        assert bert.end_to_end_speedup > 1.5
+        assert bert.end_to_end_energy_saving > 1.5
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "fig5", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "ffn", "table3", "ablations",
+            "sensitivity",
+        }
+
+    def test_run_experiment_fast(self):
+        out = run_experiment("fig1", fast=True)
+        assert "Figure 1" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

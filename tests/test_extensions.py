@@ -1,0 +1,289 @@
+"""Tests for the extension modules: multihead roll-up, design-space
+exploration, ReRAM endurance, controller frontend, and the co-sim engine."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.engine import SprintEngine
+from repro.core.configs import M_SPRINT, S_SPRINT
+from repro.core.design_space import (
+    DesignPoint,
+    best_under_area,
+    estimate_area_mm2,
+    make_config,
+    pareto_frontier,
+    sweep,
+)
+from repro.core.multihead import MultiHeadSimulator
+from repro.core.system import ExecutionMode
+from repro.memory.commands import MemoryRequest
+from repro.memory.frontend import ControllerFrontend
+from repro.models.zoo import get_model
+from repro.reram.endurance import EnduranceTracker
+
+
+class TestMultiHeadSimulator:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        sim = MultiHeadSimulator(M_SPRINT)
+        spec = get_model("ViT-B")
+        return spec, sim.compare(spec, num_samples=1, seed=1)
+
+    def test_total_scales_with_heads_and_layers(self, reports):
+        spec, r = reports
+        sprint = r["sprint"]
+        assert sprint.total_energy_pj == pytest.approx(
+            sprint.per_head.total_energy_pj * spec.num_heads
+            * spec.num_layers
+        )
+
+    def test_head_parallelism_reduces_cycles(self, reports):
+        spec, r = reports
+        sprint = r["sprint"]
+        waves = -(-spec.num_heads // M_SPRINT.num_corelets)
+        assert sprint.total_cycles == pytest.approx(
+            sprint.per_head.cycles * waves * spec.num_layers
+        )
+
+    def test_model_level_speedup_positive(self, reports):
+        _, r = reports
+        assert r["sprint"].speedup_vs(r["baseline"]) > 1.0
+        assert r["sprint"].energy_reduction_vs(r["baseline"]) > 1.0
+
+    def test_data_movement_rollup(self, reports):
+        spec, r = reports
+        sprint = r["sprint"]
+        assert sprint.total_data_movement_bytes() == pytest.approx(
+            sprint.per_head.data_movement_bytes() * spec.num_heads
+            * spec.num_layers
+        )
+
+
+class TestDesignSpace:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep(
+            "ViT-B", corelet_counts=(1, 2), cache_sizes_kb=(8, 16),
+            num_samples=1,
+        )
+
+    def test_grid_size(self, points):
+        assert len(points) == 4
+
+    def test_area_model_monotone(self):
+        assert estimate_area_mm2(2, 16) > estimate_area_mm2(1, 16)
+        assert estimate_area_mm2(1, 32) > estimate_area_mm2(1, 16)
+        with pytest.raises(ValueError):
+            estimate_area_mm2(0, 16)
+
+    def test_area_anchored_to_figure14(self):
+        # S-SPRINT point (1 CORELET, 16 KB) should sit near the paper's
+        # 1.18 x 0.8 mm2 layout (plus the ~6% ReRAM overhead).
+        area = estimate_area_mm2(1, 16)
+        assert 0.9 <= area <= 1.1
+
+    def test_pareto_frontier_nonempty_and_sorted(self, points):
+        frontier = pareto_frontier(points)
+        assert frontier
+        cycles = [p.cycles for p in frontier]
+        assert cycles == sorted(cycles)
+
+    def test_frontier_members_not_dominated(self, points):
+        frontier = pareto_frontier(points)
+        for p in frontier:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_best_under_area(self, points):
+        generous = best_under_area(points, area_budget_mm2=100.0)
+        assert generous is not None
+        assert best_under_area(points, area_budget_mm2=0.01) is None
+
+    def test_dominance_semantics(self):
+        a = DesignPoint(1, 8, cycles=10, energy_pj=10, area_mm2=1)
+        b = DesignPoint(1, 8, cycles=20, energy_pj=20, area_mm2=2)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_make_config_scales_units(self):
+        cfg = make_config(4, 32)
+        assert cfg.num_corelets == 4
+        assert cfg.num_qkpu == 4
+        assert cfg.onchip_cache_kb == 32
+
+
+class TestEnduranceTracker:
+    def test_record_and_wear(self):
+        tracker = EnduranceTracker(num_slots=8, endurance_cycles=100)
+        tracker.record_inference()
+        assert tracker.max_writes == 1
+        assert tracker.wear_fraction() == pytest.approx(0.01)
+
+    def test_valid_len_limits_writes(self):
+        tracker = EnduranceTracker(num_slots=8)
+        tracker.record_inference(valid_len=4)
+        assert tracker.total_writes == 4
+
+    def test_leveling_extends_lifetime(self):
+        flat = EnduranceTracker(8, endurance_cycles=100, leveling_factor=1)
+        leveled = EnduranceTracker(8, endurance_cycles=100, leveling_factor=4)
+        for t in (flat, leveled):
+            t.record_inference()
+        assert leveled.wear_fraction() < flat.wear_fraction()
+        assert leveled.remaining_inferences() > flat.remaining_inferences()
+
+    def test_lifetime_years(self):
+        tracker = EnduranceTracker(8, endurance_cycles=1e7)
+        years = tracker.lifetime_years(inferences_per_second=100)
+        # 1e7 writes at 100/s ~ 1.16 days.
+        assert 0.001 < years < 0.01
+        with pytest.raises(ValueError):
+            tracker.lifetime_years(0)
+
+    def test_hottest_slots(self):
+        tracker = EnduranceTracker(8)
+        tracker.record_writes([3], count=5)
+        tracker.record_writes([1], count=2)
+        hottest = tracker.hottest_slots(top=2)
+        assert list(hottest)[0] == 3
+
+    def test_untouched_tracker_infinite_life(self):
+        assert EnduranceTracker(4).remaining_inferences() == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnduranceTracker(0)
+        with pytest.raises(ValueError):
+            EnduranceTracker(4, leveling_factor=0)
+        tracker = EnduranceTracker(4)
+        with pytest.raises(ValueError):
+            tracker.record_writes([0], count=-1)
+
+
+class TestControllerFrontend:
+    def test_round_robin_is_fair(self):
+        fe = ControllerFrontend(num_clients=2, queue_depth=8)
+        for i in range(4):
+            fe.enqueue(0, MemoryRequest(token_index=i))
+            fe.enqueue(1, MemoryRequest(token_index=100 + i))
+        order = [client for client, _ in fe.issue_all()]
+        assert order == [0, 1, 0, 1, 0, 1, 0, 1]
+        assert fe.stats.fairness() == pytest.approx(1.0)
+
+    def test_oldest_first_order(self):
+        fe = ControllerFrontend(2, policy="oldest_first")
+        fe.enqueue(1, MemoryRequest(token_index=0))
+        fe.enqueue(0, MemoryRequest(token_index=1))
+        issued = fe.issue_all()
+        assert [c for c, _ in issued] == [1, 0]
+
+    def test_queue_depth_enforced(self):
+        fe = ControllerFrontend(1, queue_depth=2)
+        assert fe.enqueue(0, MemoryRequest(token_index=0))
+        assert fe.enqueue(0, MemoryRequest(token_index=1))
+        assert not fe.enqueue(0, MemoryRequest(token_index=2))
+        assert fe.stats.rejected_full == 1
+
+    def test_issue_empty_returns_none(self):
+        assert ControllerFrontend(2).issue() is None
+
+    def test_round_robin_skips_empty_queues(self):
+        fe = ControllerFrontend(3)
+        fe.enqueue(2, MemoryRequest(token_index=7))
+        client, request = fe.issue()
+        assert client == 2
+        assert request.token_index == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControllerFrontend(0)
+        with pytest.raises(ValueError):
+            ControllerFrontend(1, queue_depth=0)
+        with pytest.raises(ValueError):
+            ControllerFrontend(1, policy="lottery")
+        fe = ControllerFrontend(2)
+        with pytest.raises(IndexError):
+            fe.enqueue(5, MemoryRequest(token_index=0))
+
+
+class TestSprintEngine:
+    SEQ, DIM = 32, 16
+
+    @pytest.fixture(scope="class")
+    def engine_and_tensors(self):
+        rng = np.random.default_rng(8)
+        keys = rng.normal(size=(self.SEQ, self.DIM))
+        values = rng.normal(size=(self.SEQ, self.DIM))
+        queries = rng.normal(size=(6, self.DIM))
+        engine = SprintEngine(
+            seq_len=self.SEQ, head_dim=self.DIM, num_corelets=1,
+            kv_capacity_vectors=self.SEQ, pruning_rate=0.6,
+            ideal_analog=True,
+        )
+        engine.load(keys, values, calibration_queries=queries)
+        return engine, queries, keys, values
+
+    def test_requires_load(self):
+        engine = SprintEngine(seq_len=8, head_dim=4)
+        with pytest.raises(RuntimeError):
+            engine.process_query(np.zeros(4))
+
+    def test_output_shape(self, engine_and_tensors):
+        engine, queries, _, _ = engine_and_tensors
+        out = engine.process_all(queries)
+        assert out.shape == (6, self.DIM)
+        assert np.all(np.isfinite(out))
+
+    def test_tracks_reuse(self, engine_and_tensors):
+        engine, _, _, _ = engine_and_tensors
+        # After several queries the SLD reuse must be substantial for
+        # structured-but-random scores with a 60% pruning rate.
+        assert engine.stats.queries >= 6
+        assert engine.stats.vectors_reused >= 0
+        assert engine.stats.keys_recomputed > 0
+
+    def test_output_close_to_exact_pruned_attention(self):
+        rng = np.random.default_rng(15)
+        keys = rng.normal(size=(24, 8))
+        values = rng.normal(size=(24, 8))
+        queries = rng.normal(size=(4, 8))
+        engine = SprintEngine(
+            seq_len=24, head_dim=8, num_corelets=1,
+            kv_capacity_vectors=24, pruning_rate=0.5, ideal_analog=True,
+        )
+        engine.load(keys, values, calibration_queries=queries)
+        from repro.attention.pruning import prune_scores
+
+        scale = 1.0 / np.sqrt(8)
+        for q in queries:
+            out = engine.process_query(q)
+            scores = (keys @ q) * scale
+            result = prune_scores(
+                scores[None, :] / scale, engine._threshold,
+                keep_self=False,
+            )
+            probs_scaled = None
+            # reference with the engine's own scale on kept scores
+            kept = result.keep_mask[0]
+            e = np.exp(scores[kept] - scores[kept].max())
+            ref = (e / e.sum()) @ values[kept]
+            err = np.abs(out - ref).max()
+            assert err < 0.3 * max(1.0, np.abs(ref).max())
+
+    def test_multi_corelet_runs(self):
+        rng = np.random.default_rng(3)
+        engine = SprintEngine(
+            seq_len=16, head_dim=8, num_corelets=2,
+            kv_capacity_vectors=16, pruning_rate=0.5, ideal_analog=True,
+        )
+        keys = rng.normal(size=(16, 8))
+        engine.load(keys, rng.normal(size=(16, 8)))
+        out = engine.process_query(rng.normal(size=8))
+        assert out.shape == (8,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprintEngine(seq_len=8, head_dim=4, num_corelets=0)
+        engine = SprintEngine(seq_len=8, head_dim=4)
+        with pytest.raises(ValueError):
+            engine.load(np.zeros((4, 4)), np.zeros((8, 4)))

@@ -1,0 +1,151 @@
+"""Integration tests: full pipelines across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.attention.functional import softmax
+from repro.attention.pruning import calibrate_threshold, prune_scores
+from repro.core.configs import S_SPRINT
+from repro.core.system import ExecutionMode, SprintSystem
+from repro.memory.controller import SprintMemoryController
+from repro.models.zoo import get_model
+from repro.reram.cell import MLCCellModel
+from repro.reram.noise import OutputNoiseModel
+from repro.reram.thresholding import InMemoryThresholdingUnit
+from repro.accelerator.corelet import Corelet
+from repro.workloads.generator import generate_workload
+
+
+class TestReramToControllerToCorelet:
+    """The full SPRINT dataflow on real (small) tensors:
+
+    ReRAM in-memory thresholding -> pruning vectors -> memory controller
+    (SLD + scheduling) -> selective fetch -> CORELET recompute -> output
+    close to exact pruned attention.
+    """
+
+    SEQ, DIM = 48, 16
+
+    @pytest.fixture(scope="class")
+    def tensors(self):
+        rng = np.random.default_rng(42)
+        keys = rng.normal(size=(self.SEQ, self.DIM))
+        values = rng.normal(size=(self.SEQ, self.DIM))
+        queries = rng.normal(size=(8, self.DIM))
+        return queries, keys, values
+
+    def test_end_to_end_dataflow(self, tensors):
+        queries, keys, values = tensors
+        scores = queries @ keys.T
+        threshold = calibrate_threshold(scores, 0.6)
+
+        unit = InMemoryThresholdingUnit(
+            seq_len=self.SEQ, head_dim=self.DIM,
+            array_rows=16, array_cols=16,
+            cell=MLCCellModel(variation_sigma=0.0),
+            noise=OutputNoiseModel(equivalent_bits=20.0),
+        )
+        unit.store_keys(keys)
+        controller = SprintMemoryController(
+            seq_len=self.SEQ, capacity_vectors=self.SEQ
+        )
+        corelet = Corelet(0, head_dim=self.DIM, kv_capacity_bytes=8192)
+
+        outputs = []
+        total_fetches = 0
+        for qi, q in enumerate(queries):
+            pruning = unit.prune_query(q, threshold, ideal=True)
+            traffic = controller.process_query(pruning, qi)
+            total_fetches += len(traffic.fetch_indices)
+            for token in traffic.fetch_indices:
+                corelet.load_vector(token, keys[token], values[token])
+            unpruned = np.nonzero(pruning == 0)[0]
+            outputs.append(
+                corelet.process_query(q, list(unpruned), scale=1.0)
+            )
+
+        # Reference: exact pruned attention with the same threshold.
+        for qi, q in enumerate(queries):
+            row = scores[qi]
+            result = prune_scores(
+                row[None, :], threshold, keep_self=False
+            )
+            ref = result.probabilities[0] @ values
+            err = np.abs(outputs[qi] - ref).max()
+            scale = max(1.0, np.abs(ref).max())
+            assert err < 0.25 * scale, f"query {qi}: err={err}"
+
+        # SLD must have saved fetches: total fetched << queries * unpruned.
+        total_unpruned = sum(
+            int((unit.prune_all(queries, threshold, ideal=True)[i] == 0).sum())
+            for i in range(len(queries))
+        )
+        assert total_fetches < total_unpruned
+
+    def test_pruning_vectors_consistent_between_unit_and_software(
+        self, tensors
+    ):
+        queries, keys, _ = tensors
+        scores = queries @ keys.T
+        threshold = calibrate_threshold(scores, 0.5)
+        unit = InMemoryThresholdingUnit(
+            seq_len=self.SEQ, head_dim=self.DIM,
+            array_rows=16, array_cols=16,
+            cell=MLCCellModel(variation_sigma=0.0),
+            noise=OutputNoiseModel(equivalent_bits=20.0),
+        )
+        unit.store_keys(keys)
+        hw = unit.prune_all(queries, threshold, ideal=True)
+        sw = (scores < threshold).astype(np.uint8)
+        assert np.mean(hw == sw) > 0.85
+
+
+class TestWorkloadToSystem:
+    def test_reports_consistent_across_seeds(self):
+        spec = get_model("BERT-B")
+        system = SprintSystem(S_SPRINT)
+        r1 = system.simulate_model(spec, ExecutionMode.SPRINT,
+                                   num_samples=1, seed=7)
+        r2 = system.simulate_model(spec, ExecutionMode.SPRINT,
+                                   num_samples=1, seed=7)
+        assert r1.cycles == r2.cycles
+        assert r1.total_energy_pj == r2.total_energy_pj
+
+    def test_custom_workload_path(self):
+        wl = generate_workload(96, 0.7, padding_ratio=0.3,
+                               num_samples=2, seed=11)
+        system = SprintSystem(S_SPRINT)
+        base = system.simulate_workload(wl, ExecutionMode.BASELINE, "custom")
+        sprint = system.simulate_workload(wl, ExecutionMode.SPRINT, "custom")
+        assert sprint.speedup_vs(base) > 1.0
+        assert sprint.energy_reduction_vs(base) > 1.0
+        assert sprint.model == "custom"
+
+    def test_all_models_all_modes_run(self):
+        system = SprintSystem(S_SPRINT)
+        for name in ("ViT-B", "GPT-2-L"):
+            spec = get_model(name)
+            for mode in ExecutionMode:
+                report = system.simulate_model(
+                    spec, mode, num_samples=1, seed=1
+                )
+                assert report.cycles > 0
+                assert report.total_energy_pj > 0
+
+
+class TestAccuracyPipelineSmoke:
+    def test_sprint_output_distribution_close_to_exact(self, rng):
+        """Recompute makes SPRINT's attention nearly exact row-wise."""
+        from repro.attention.policies import SprintPolicy
+
+        q = rng.normal(size=(32, 16)) * 2
+        k = rng.normal(size=(32, 16)) * 2
+        scores = (q @ k.T) / 4.0
+        exact = softmax(scores, axis=-1)
+        probs, _ = SprintPolicy(0.5, recompute=True, noise_sigma=0.0).process(
+            scores, q=q, k=k, scale=0.25
+        )
+        # Total variation distance per row stays small: pruned entries
+        # carried little mass and kept entries are recomputed exactly.
+        tv = 0.5 * np.abs(probs - exact).sum(axis=1)
+        assert np.median(tv) < 0.2

@@ -1,0 +1,221 @@
+"""Tests for reram.mapping, attention.heads, and models.projection."""
+
+import numpy as np
+import pytest
+
+from repro.attention.heads import MultiHeadRuntime
+from repro.attention.policies import (
+    ExactPolicy,
+    RuntimePruningPolicy,
+    SprintPolicy,
+)
+from repro.models.projection import (
+    FeedForward,
+    LinearLayer,
+    QKVProjection,
+)
+from repro.reram.mapping import (
+    BankAllocator,
+    BankType,
+    MatrixKind,
+)
+
+
+class TestBankAllocator:
+    def test_kmsb_goes_to_transposable(self):
+        alloc = BankAllocator()
+        region = alloc.allocate(MatrixKind.KEY_MSB, 128)
+        assert region.bank_type == BankType.TRANSPOSABLE
+
+    def test_others_go_to_standard(self):
+        alloc = BankAllocator()
+        for kind in (MatrixKind.QUERY, MatrixKind.KEY_LSB, MatrixKind.VALUE):
+            assert alloc.allocate(kind, 8).bank_type == BankType.STANDARD
+
+    def test_regions_do_not_overlap(self):
+        alloc = BankAllocator()
+        a = alloc.allocate(MatrixKind.QUERY, 64)
+        b = alloc.allocate(MatrixKind.VALUE, 64)
+        assert a.end_column <= b.start_column
+
+    def test_head_allocation_bundle(self):
+        alloc = BankAllocator()
+        regions = alloc.allocate_attention_head(seq_len=384)
+        assert set(regions) == {"Q", "K_MSB", "K_LSB", "V"}
+        assert regions["K_MSB"].bank_type == BankType.TRANSPOSABLE
+        assert all(r.num_vectors == 384 for r in regions.values())
+
+    def test_capacity_exhaustion(self):
+        alloc = BankAllocator(transposable_capacity_vectors=100)
+        alloc.allocate(MatrixKind.KEY_MSB, 100)
+        with pytest.raises(MemoryError):
+            alloc.allocate(MatrixKind.KEY_MSB, 1)
+
+    def test_utilization_and_free(self):
+        alloc = BankAllocator(standard_capacity_vectors=100)
+        alloc.allocate(MatrixKind.QUERY, 25)
+        assert alloc.utilization(BankType.STANDARD) == pytest.approx(0.25)
+        assert alloc.free_vectors(BankType.STANDARD) == 75
+
+    def test_reset(self):
+        alloc = BankAllocator()
+        alloc.allocate_attention_head(64)
+        alloc.reset()
+        assert not alloc.regions()
+        assert alloc.utilization(BankType.STANDARD) == 0.0
+
+    def test_region_filtering(self):
+        alloc = BankAllocator()
+        alloc.allocate(MatrixKind.QUERY, 8)
+        alloc.allocate(MatrixKind.VALUE, 8)
+        assert len(alloc.regions(MatrixKind.QUERY)) == 1
+        assert len(alloc.regions()) == 2
+
+    def test_total_bytes(self):
+        alloc = BankAllocator(vector_bytes=64)
+        region = alloc.allocate(MatrixKind.VALUE, 10)
+        assert region.total_bytes == 640
+
+    def test_rejects_empty_allocation(self):
+        with pytest.raises(ValueError):
+            BankAllocator().allocate(MatrixKind.QUERY, 0)
+
+
+class TestMultiHeadRuntime:
+    @pytest.fixture(scope="class")
+    def qkv(self):
+        rng = np.random.default_rng(5)
+        shape = (40, 32)  # 4 heads x d=8
+        return (
+            rng.normal(size=shape) * 2,
+            rng.normal(size=shape) * 2,
+            rng.normal(size=shape),
+        )
+
+    def test_exact_policy_matches_reference(self, qkv):
+        q, k, v = qkv
+        runtime = MultiHeadRuntime(4, ExactPolicy())
+        result = runtime.run(q, k, v)
+        np.testing.assert_allclose(
+            result.outputs, runtime._exact(q, k, v, None), atol=1e-9
+        )
+
+    def test_head_stats_collected(self, qkv):
+        q, k, v = qkv
+        runtime = MultiHeadRuntime(4, RuntimePruningPolicy(0.6))
+        result = runtime.run(q, k, v)
+        assert len(result.head_stats) == 4
+        assert 0.4 < result.mean_pruning_rate() < 0.8
+        assert 0.0 <= result.mean_overlap() <= 1.0
+
+    def test_padding_mask_respected(self, qkv):
+        q, k, v = qkv
+        valid = np.zeros(40, dtype=bool)
+        valid[:24] = True
+        mask = np.outer(valid, valid)
+        runtime = MultiHeadRuntime(4, RuntimePruningPolicy(0.5))
+        result = runtime.run(q, k, v, padding_mask=mask)
+        assert result.outputs.shape == q.shape
+
+    def test_policy_deviation_ordering(self, qkv):
+        q, k, v = qkv
+        runtime = MultiHeadRuntime(4)
+        deviations = runtime.compare_policies(
+            q, k, v,
+            [
+                ExactPolicy(),
+                SprintPolicy(0.6, recompute=True, noise_sigma=0.0),
+                SprintPolicy(0.6, recompute=False, noise_sigma=0.0),
+            ],
+        )
+        assert deviations[0] == pytest.approx(0.0, abs=1e-12)
+        assert deviations[1] > 0.0
+
+    def test_shape_validation(self, qkv):
+        q, k, v = qkv
+        runtime = MultiHeadRuntime(4)
+        with pytest.raises(ValueError):
+            runtime.run(q, k[:10], v)
+        with pytest.raises(ValueError):
+            MultiHeadRuntime(0)
+        with pytest.raises(ValueError):
+            MultiHeadRuntime(7).run(q, k, v)  # 32 not divisible by 7
+
+
+class TestLinearLayer:
+    def test_float_forward(self, rng):
+        w = rng.normal(size=(8, 4))
+        layer = LinearLayer(w)
+        x = rng.normal(size=(3, 8))
+        np.testing.assert_allclose(layer.forward(x), x @ w)
+
+    def test_quantized_close_to_float(self, rng):
+        w = rng.normal(size=(16, 16))
+        layer = LinearLayer(w)
+        x = rng.normal(size=(4, 16))
+        err = layer.quantization_error(x)
+        # int8 x int8 keeps relative error small.
+        assert err < 0.1 * np.abs(layer.forward(x)).max()
+
+    def test_bias_applied(self, rng):
+        w = np.zeros((4, 2))
+        layer = LinearLayer(w, bias=np.array([1.0, -1.0]))
+        out = layer.forward(np.ones((1, 4)))
+        np.testing.assert_allclose(out, [[1.0, -1.0]])
+
+    def test_stats_counting(self, rng):
+        layer = LinearLayer(rng.normal(size=(64, 64)))
+        layer.forward(rng.normal(size=(2, 64)))
+        assert layer.stats.macs == 2 * 64 * 64
+        assert layer.stats.dot_products_64tap == 2 * 64
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LinearLayer(rng.normal(size=(4,)))
+        with pytest.raises(ValueError):
+            LinearLayer(rng.normal(size=(4, 2)), bias=np.zeros(3))
+
+
+class TestQKVProjection:
+    def test_shapes(self, rng):
+        proj = QKVProjection.random(embed_dim=32, seed=1)
+        x = rng.normal(size=(10, 32))
+        q, k, v = proj.forward(x)
+        assert q.shape == k.shape == v.shape == (10, 32)
+
+    def test_quantized_path(self, rng):
+        proj = QKVProjection.random(embed_dim=32, seed=1)
+        x = rng.normal(size=(4, 32))
+        qf, _, _ = proj.forward(x)
+        qq, _, _ = proj.forward(x, quantized=True)
+        assert np.abs(qf - qq).max() < 0.2 * max(1.0, np.abs(qf).max())
+
+    def test_total_stats(self, rng):
+        proj = QKVProjection.random(embed_dim=16, seed=2)
+        proj.forward(rng.normal(size=(2, 16)))
+        assert proj.total_stats().macs == 3 * 2 * 16 * 16
+
+
+class TestFeedForward:
+    def test_forward_shapes(self, rng):
+        ffn = FeedForward(embed_dim=16, seed=3)
+        x = rng.normal(size=(5, 16))
+        assert ffn.forward(x).shape == (5, 16)
+
+    def test_relu_nonlinearity(self):
+        ffn = FeedForward(embed_dim=4, seed=3)
+        x = np.zeros((1, 4))
+        out_zero = ffn.forward(x)
+        # With zero input, the ReLU output is zero -> output is bias only.
+        np.testing.assert_allclose(out_zero, ffn.down.bias[None, :])
+
+    def test_macs_per_token(self):
+        ffn = FeedForward(embed_dim=8)
+        assert ffn.macs_per_token() == 8 * 32 + 32 * 8
+
+    def test_quantized_path_close(self, rng):
+        ffn = FeedForward(embed_dim=16, seed=4)
+        x = rng.normal(size=(3, 16))
+        f = ffn.forward(x)
+        q = ffn.forward(x, quantized=True)
+        assert np.abs(f - q).max() < 0.3 * max(1.0, np.abs(f).max())

@@ -1,0 +1,77 @@
+"""Unit tests for repro.memory.commands and repro.memory.timing."""
+
+import pytest
+
+from repro.memory.commands import CommandKind, MemoryCommand, MemoryRequest
+from repro.memory.timing import DEFAULT_TIMING, TimingParameters
+
+
+class TestCommandKind:
+    def test_new_commands_exist(self):
+        assert CommandKind.COPY_Q.value == "CopyQ"
+        assert CommandKind.READ_P.value == "ReadP"
+
+    def test_copyq_does_not_touch_row(self):
+        # CopyQ targets an isolated buffer (section V-C).
+        assert not CommandKind.COPY_Q.touches_row()
+
+    def test_readp_touches_row(self):
+        # ReadP goes through the bank row buffers.
+        assert CommandKind.READ_P.touches_row()
+
+    def test_standard_commands_touch_rows(self):
+        for kind in (CommandKind.ACTIVATE, CommandKind.PRECHARGE,
+                     CommandKind.READ, CommandKind.WRITE):
+            assert kind.touches_row()
+
+
+class TestMemoryRequest:
+    def test_defaults(self):
+        r = MemoryRequest(token_index=5)
+        assert not r.is_write
+        assert r.kind_hint is None
+
+    def test_frozen(self):
+        r = MemoryRequest(token_index=1)
+        with pytest.raises(Exception):
+            r.token_index = 2
+
+
+class TestTimingParameters:
+    def test_copyq_skips_rcd_rp(self):
+        t = DEFAULT_TIMING
+        # CopyQ pays only tCL (isolated buffer, bus occupancy).
+        assert t.command_latency(CommandKind.COPY_Q) == t.t_cl
+
+    def test_readp_follows_read_timing(self):
+        t = DEFAULT_TIMING
+        assert (
+            t.command_latency(CommandKind.READ_P)
+            == t.command_latency(CommandKind.READ)
+        )
+
+    def test_reram_read_derating(self):
+        t = TimingParameters(reram_read_multiplier=1.6)
+        base = TimingParameters(reram_read_multiplier=1.0)
+        assert (
+            t.command_latency(CommandKind.READ)
+            > base.command_latency(CommandKind.READ)
+        )
+
+    def test_taxth_under_8(self):
+        # Paper: circuit simulations show tAxTh < 8 cycles.
+        assert DEFAULT_TIMING.t_axth <= 8
+
+    def test_bus_occupancy(self):
+        t = DEFAULT_TIMING
+        assert t.bus_occupancy(CommandKind.READ) == t.t_burst
+        assert t.bus_occupancy(CommandKind.COPY_Q) == t.t_burst
+        assert t.bus_occupancy(CommandKind.ACTIVATE) == 0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMING.command_latency("bogus")
+
+    def test_command_str(self):
+        cmd = MemoryCommand(kind=CommandKind.READ, channel=1, bank=2, row=3)
+        assert "RD" in str(cmd)

@@ -1,0 +1,110 @@
+"""Unit tests for repro.memory.dram and repro.memory.layout."""
+
+import pytest
+
+from repro.memory.dram import Bank, Channel, MemoryDevice
+from repro.memory.layout import KVLayout
+from repro.memory.timing import DEFAULT_TIMING
+
+
+class TestBank:
+    def test_first_access_is_miss(self):
+        bank = Bank(index=0)
+        bank.access(row=3, cycle=0, timing=DEFAULT_TIMING)
+        assert bank.row_misses == 1
+        assert bank.row_hits == 0
+        assert bank.open_row == 3
+
+    def test_same_row_hits(self):
+        bank = Bank(index=0)
+        bank.access(3, 0, DEFAULT_TIMING)
+        bank.access(3, 100, DEFAULT_TIMING)
+        assert bank.row_hits == 1
+
+    def test_row_conflict_pays_precharge(self):
+        bank = Bank(index=0)
+        t1 = bank.access(3, 0, DEFAULT_TIMING)
+        t2 = bank.access(4, t1, DEFAULT_TIMING)
+        hit_cost = DEFAULT_TIMING.command_latency
+        from repro.memory.commands import CommandKind
+        expected_extra = (
+            hit_cost(CommandKind.PRECHARGE) + hit_cost(CommandKind.ACTIVATE)
+        )
+        assert (t2 - t1) >= expected_extra
+
+    def test_serializes_on_bank(self):
+        bank = Bank(index=0)
+        t1 = bank.access(3, 0, DEFAULT_TIMING)
+        t2 = bank.access(3, 0, DEFAULT_TIMING)  # issued at same cycle
+        assert t2 > t1
+
+
+class TestChannel:
+    def test_bus_serialization(self):
+        chan = Channel(index=0)
+        s1 = chan.reserve_bus(0, 4)
+        s2 = chan.reserve_bus(0, 4)
+        assert s2 == s1 + 4
+
+    def test_trrd_enforced(self):
+        chan = Channel(index=0)
+        a1 = chan.note_activate(0, DEFAULT_TIMING)
+        a2 = chan.note_activate(0, DEFAULT_TIMING)
+        assert a2 - a1 >= DEFAULT_TIMING.t_rrd
+
+    def test_tfaw_enforced(self):
+        chan = Channel(index=0)
+        times = [chan.note_activate(0, DEFAULT_TIMING) for _ in range(5)]
+        assert times[4] - times[0] >= DEFAULT_TIMING.t_faw
+
+
+class TestMemoryDevice:
+    def test_shape(self):
+        dev = MemoryDevice(num_channels=4, banks_per_channel=2)
+        assert len(dev.channels) == 4
+        assert len(dev.channels[0].banks) == 2
+
+    def test_row_hit_rate(self):
+        dev = MemoryDevice(num_channels=1, banks_per_channel=1)
+        bank = dev.channel(0).bank(0)
+        bank.access(0, 0, DEFAULT_TIMING)
+        bank.access(0, 100, DEFAULT_TIMING)
+        assert dev.row_hit_rate() == pytest.approx(0.5)
+
+    def test_empty_hit_rate(self):
+        assert MemoryDevice().row_hit_rate() == 0.0
+
+
+class TestKVLayout:
+    def test_adjacent_tokens_different_channels(self):
+        layout = KVLayout(num_channels=16)
+        addrs = [layout.address_of(i) for i in range(16)]
+        channels = {a.channel for a in addrs}
+        assert len(channels) == 16
+
+    def test_channel_wraps(self):
+        layout = KVLayout(num_channels=4)
+        assert layout.address_of(0).channel == layout.address_of(4).channel
+
+    def test_bank_round_robin_within_channel(self):
+        layout = KVLayout(num_channels=2, banks_per_channel=4)
+        banks = [layout.address_of(2 * i).bank for i in range(4)]
+        assert banks == [0, 1, 2, 3]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            KVLayout().address_of(-1)
+
+    def test_tokens_per_channel(self):
+        layout = KVLayout(num_channels=4)
+        counts = [layout.tokens_per_channel(10, c) for c in range(4)]
+        assert counts == [3, 3, 2, 2]
+        assert sum(counts) == 10
+
+    def test_rows_fill_after_columns(self):
+        layout = KVLayout(
+            num_channels=1, banks_per_channel=1, columns_per_row=4
+        )
+        addr3 = layout.address_of(3)
+        addr4 = layout.address_of(4)
+        assert addr3.row == 0 and addr4.row == 1

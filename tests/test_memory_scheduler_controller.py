@@ -1,0 +1,155 @@
+"""Unit tests for repro.memory.scheduler and repro.memory.controller."""
+
+import numpy as np
+import pytest
+
+from repro.memory.commands import CommandKind, MemoryRequest
+from repro.memory.controller import SprintMemoryController
+from repro.memory.dram import MemoryDevice
+from repro.memory.layout import KVLayout
+from repro.memory.scheduler import CommandScheduler
+from repro.memory.timing import DEFAULT_TIMING
+
+
+def make_scheduler(num_channels=4, banks=4):
+    layout = KVLayout(num_channels=num_channels, banks_per_channel=banks)
+    device = MemoryDevice(num_channels=num_channels, banks_per_channel=banks)
+    return CommandScheduler(device=device, layout=layout)
+
+
+class TestCommandScheduler:
+    def test_schedules_reads(self):
+        sched = make_scheduler()
+        reqs = [MemoryRequest(token_index=i) for i in range(8)]
+        done = sched.schedule_requests(reqs)
+        assert done > 0
+        kinds = [c.kind for c in sched.issued]
+        assert all(k == CommandKind.READ for k in kinds)
+        assert len(sched.issued) == 8
+
+    def test_parallel_channels_faster_than_serial(self):
+        wide = make_scheduler(num_channels=8)
+        narrow = make_scheduler(num_channels=1)
+        reqs = [MemoryRequest(token_index=i) for i in range(16)]
+        assert wide.schedule_requests(reqs) < narrow.schedule_requests(reqs)
+
+    def test_row_locality_speeds_up(self):
+        # Same bank, same row repeatedly vs alternating rows.
+        layout = KVLayout(
+            num_channels=1, banks_per_channel=1, columns_per_row=128
+        )
+        device = MemoryDevice(num_channels=1, banks_per_channel=1)
+        sched = CommandScheduler(device=device, layout=layout)
+        same_row = [MemoryRequest(token_index=i) for i in range(4)]
+        t_same = sched.schedule_requests(same_row)
+
+        layout2 = KVLayout(
+            num_channels=1, banks_per_channel=1, columns_per_row=1
+        )
+        device2 = MemoryDevice(num_channels=1, banks_per_channel=1)
+        sched2 = CommandScheduler(device=device2, layout=layout2)
+        diff_rows = [MemoryRequest(token_index=i) for i in range(4)]
+        t_diff = sched2.schedule_requests(diff_rows)
+        assert t_same < t_diff
+
+    def test_thresholding_sequence(self):
+        sched = make_scheduler()
+        done = sched.schedule_thresholding(channel=0, bank=0)
+        kinds = [c.kind for c in sched.issued]
+        assert CommandKind.COPY_Q in kinds
+        assert CommandKind.READ_P in kinds
+        # CopyQ precedes ReadP.
+        assert kinds.index(CommandKind.COPY_Q) < kinds.index(CommandKind.READ_P)
+        assert done >= DEFAULT_TIMING.t_axth
+
+    def test_taxth_gap_between_copyq_and_readp(self):
+        sched = make_scheduler()
+        sched.schedule_thresholding(channel=0, bank=0)
+        copyq = next(
+            c for c in sched.issued if c.kind == CommandKind.COPY_Q
+        )
+        readp = next(
+            c for c in sched.issued if c.kind == CommandKind.READ_P
+        )
+        gap = readp.issue_cycle - copyq.issue_cycle
+        assert gap >= DEFAULT_TIMING.t_axth
+
+    def test_start_compute_flag_on_last_copyq(self):
+        sched = make_scheduler()
+        sched.schedule_thresholding(channel=0, bank=0, copyq_bursts=3)
+        copyqs = [c for c in sched.issued if c.kind == CommandKind.COPY_Q]
+        assert [c.start_compute for c in copyqs] == [False, False, True]
+
+    def test_compute_blocks_bank_reads(self):
+        sched = make_scheduler(num_channels=1, banks=1)
+        ready = sched.schedule_thresholding(channel=0, bank=0)
+        done = sched.schedule_requests([MemoryRequest(token_index=0)])
+        # The read cannot complete before the in-flight thresholding.
+        assert done >= DEFAULT_TIMING.t_axth
+
+
+class TestSprintMemoryController:
+    def test_first_query_fetches_all_unpruned(self):
+        ctrl = SprintMemoryController(seq_len=16, capacity_vectors=16)
+        pruning = np.zeros(16, dtype=np.uint8)
+        pruning[8:] = 1
+        traffic = ctrl.process_query(pruning)
+        assert len(traffic.fetch_indices) == 8
+        assert len(traffic.reuse_indices) == 0
+
+    def test_second_query_reuses_overlap(self):
+        ctrl = SprintMemoryController(seq_len=16, capacity_vectors=16)
+        p1 = np.zeros(16, dtype=np.uint8)
+        p1[8:] = 1
+        ctrl.process_query(p1)
+        p2 = np.zeros(16, dtype=np.uint8)
+        p2[:4] = 1  # unpruned: 4..15; resident: 0..7 -> reuse 4..7
+        traffic = ctrl.process_query(p2)
+        np.testing.assert_array_equal(traffic.reuse_indices, [4, 5, 6, 7])
+        np.testing.assert_array_equal(
+            traffic.fetch_indices, np.arange(8, 16)
+        )
+
+    def test_capacity_eviction(self):
+        ctrl = SprintMemoryController(seq_len=16, capacity_vectors=4)
+        ctrl.process_query(np.zeros(16, dtype=np.uint8))
+        assert ctrl.resident_mask().sum() <= 4
+        assert ctrl.stats.evictions > 0
+
+    def test_no_sld_fetches_everything(self):
+        with_sld = SprintMemoryController(16, 16, enable_sld=True)
+        without = SprintMemoryController(16, 16, enable_sld=False)
+        pruning = np.zeros(16, dtype=np.uint8)
+        for ctrl in (with_sld, without):
+            ctrl.process_query(pruning)
+            ctrl.process_query(pruning)
+        assert without.stats.vectors_fetched == 32
+        assert with_sld.stats.vectors_fetched == 16
+        assert with_sld.stats.reuse_fraction == pytest.approx(0.5)
+
+    def test_copyq_readp_issued_per_query(self):
+        ctrl = SprintMemoryController(seq_len=16, capacity_vectors=8)
+        ctrl.process_query(np.ones(16, dtype=np.uint8))
+        assert ctrl.stats.copyq_commands == ctrl.layout.num_channels
+        assert ctrl.stats.readp_commands >= ctrl.layout.num_channels
+
+    def test_latency_positive_and_accumulates(self):
+        ctrl = SprintMemoryController(seq_len=32, capacity_vectors=8)
+        t = ctrl.process_query(np.zeros(32, dtype=np.uint8))
+        assert t.latency_cycles > 0
+        assert ctrl.stats.total_latency_cycles >= t.latency_cycles
+
+    def test_reset_residency(self):
+        ctrl = SprintMemoryController(seq_len=8, capacity_vectors=8)
+        ctrl.process_query(np.zeros(8, dtype=np.uint8))
+        ctrl.reset_residency()
+        assert ctrl.resident_mask().sum() == 0
+
+    def test_rejects_bad_vector(self):
+        ctrl = SprintMemoryController(seq_len=8, capacity_vectors=4)
+        with pytest.raises(ValueError):
+            ctrl.process_query(np.zeros(9, dtype=np.uint8))
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SprintMemoryController(seq_len=8, capacity_vectors=0)

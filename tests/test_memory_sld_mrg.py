@@ -1,0 +1,124 @@
+"""Unit tests for repro.memory.sld and repro.memory.mrg (Eqs. 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.memory.layout import KVLayout
+from repro.memory.mrg import (
+    KeyIndexGenerator,
+    MemoryRequestGenerator,
+    generate_all_requests,
+)
+from repro.memory.sld import SpatialLocalityDetector
+
+
+class TestSLD:
+    def test_first_query_fetches_everything_unpruned(self):
+        sld = SpatialLocalityDetector(8)
+        pruning = np.array([0, 1, 0, 1, 0, 1, 1, 1], dtype=np.uint8)
+        out = sld.step(pruning)
+        assert out.fetch_count == 3
+        assert out.reuse_count == 0
+
+    def test_eq4_eq5_semantics(self):
+        sld = SpatialLocalityDetector(6)
+        p_prev = np.array([0, 0, 1, 1, 0, 1], dtype=np.uint8)
+        p_cur = np.array([0, 1, 0, 1, 0, 0], dtype=np.uint8)
+        sld.step(p_prev)
+        out = sld.step(p_cur)
+        # Fetch: unpruned now AND pruned before -> indices 2 and 5.
+        np.testing.assert_array_equal(
+            out.memory_request_vector, [0, 0, 1, 0, 0, 1]
+        )
+        # Reuse: unpruned both times -> indices 0 and 4.
+        np.testing.assert_array_equal(
+            out.spatial_locality_vector, [1, 0, 0, 0, 1, 0]
+        )
+
+    def test_fetch_and_reuse_partition_unpruned(self, rng):
+        sld = SpatialLocalityDetector(32)
+        prev = (rng.random(32) < 0.7).astype(np.uint8)
+        cur = (rng.random(32) < 0.7).astype(np.uint8)
+        sld.step(prev)
+        out = sld.step(cur)
+        total = out.fetch_count + out.reuse_count
+        assert total == int((cur == 0).sum())
+
+    def test_resident_mask_overrides(self):
+        sld = SpatialLocalityDetector(4)
+        sld.step(np.array([0, 0, 0, 0], dtype=np.uint8))
+        resident = np.array([True, False, False, False])
+        out = sld.step(
+            np.array([0, 0, 1, 1], dtype=np.uint8), resident=resident
+        )
+        # Token 1 unpruned before but evicted -> must be fetched.
+        np.testing.assert_array_equal(out.memory_request_vector, [0, 1, 0, 0])
+        np.testing.assert_array_equal(out.spatial_locality_vector, [1, 0, 0, 0])
+
+    def test_reset(self):
+        sld = SpatialLocalityDetector(4)
+        sld.step(np.zeros(4, dtype=np.uint8))
+        sld.reset()
+        out = sld.step(np.zeros(4, dtype=np.uint8))
+        assert out.fetch_count == 4
+
+    def test_shape_validation(self):
+        sld = SpatialLocalityDetector(4)
+        with pytest.raises(ValueError):
+            sld.step(np.zeros(5, dtype=np.uint8))
+
+
+class TestMRG:
+    def test_per_channel_partition(self):
+        layout = KVLayout(num_channels=4)
+        vector = np.ones(16, dtype=np.uint8)
+        all_tokens = set()
+        for c in range(4):
+            mrg = MemoryRequestGenerator(layout, c)
+            tokens = {r.token_index for r in mrg.generate(vector)}
+            # Each channel only emits its own tokens.
+            assert all(t % 4 == c for t in tokens)
+            all_tokens |= tokens
+        assert all_tokens == set(range(16))
+
+    def test_zero_vector_no_requests(self):
+        layout = KVLayout(num_channels=2)
+        mrg = MemoryRequestGenerator(layout, 0)
+        assert mrg.generate(np.zeros(8, dtype=np.uint8)) == []
+
+    def test_base_register(self):
+        layout = KVLayout(num_channels=4)
+        mrg = MemoryRequestGenerator(layout, 2)
+        assert mrg.base_register == 2
+
+    def test_rejects_bad_channel(self):
+        with pytest.raises(ValueError):
+            MemoryRequestGenerator(KVLayout(num_channels=2), 2)
+
+    def test_generate_all_sorted_and_complete(self):
+        layout = KVLayout(num_channels=3)
+        vector = np.zeros(10, dtype=np.uint8)
+        vector[[1, 4, 9]] = 1
+        reqs = generate_all_requests(layout, vector)
+        assert [r.token_index for r in reqs] == [1, 4, 9]
+
+    def test_query_index_propagates(self):
+        layout = KVLayout(num_channels=1)
+        reqs = generate_all_requests(
+            layout, np.ones(3, dtype=np.uint8), query_index=7
+        )
+        assert all(r.query_index == 7 for r in reqs)
+
+
+class TestKIG:
+    def test_same_microarchitecture_as_mrg(self):
+        layout = KVLayout(num_channels=2)
+        vector = np.array([1, 0, 1, 0, 1, 0], dtype=np.uint8)
+        kig = KeyIndexGenerator(layout, 0)
+        assert kig.generate(vector) == [0, 2, 4]
+
+    def test_other_channel(self):
+        layout = KVLayout(num_channels=2)
+        vector = np.array([0, 1, 0, 1, 0, 1], dtype=np.uint8)
+        kig = KeyIndexGenerator(layout, 1)
+        assert kig.generate(vector) == [1, 3, 5]

@@ -1,0 +1,169 @@
+"""Unit tests for repro.models (zoo, transformer, tasks)."""
+
+import numpy as np
+import pytest
+
+from repro.attention.policies import (
+    ExactPolicy,
+    RuntimePruningPolicy,
+    SprintPolicy,
+)
+from repro.models.tasks import (
+    evaluate_accuracy,
+    evaluate_perplexity,
+    make_classification_task,
+    make_lm_task,
+)
+from repro.models.transformer import TransformerClassifier, TransformerConfig
+from repro.models.zoo import MODEL_ZOO, get_model, list_models
+
+
+class TestZoo:
+    def test_all_eight_models(self):
+        assert len(MODEL_ZOO) == 8
+        assert set(list_models()) == set(MODEL_ZOO)
+
+    def test_paper_pruning_rates(self):
+        assert get_model("BERT-B").pruning_rate == pytest.approx(0.746)
+        assert get_model("BERT-L").pruning_rate == pytest.approx(0.755)
+        assert get_model("ALBERT-XL").pruning_rate == pytest.approx(0.651)
+        assert get_model("ALBERT-XXL").pruning_rate == pytest.approx(0.731)
+        assert get_model("ViT-B").pruning_rate == pytest.approx(0.644)
+        assert get_model("GPT-2-L").pruning_rate == pytest.approx(0.739)
+
+    def test_sequence_lengths(self):
+        assert get_model("ViT-B").seq_len == 197
+        assert get_model("BERT-B").seq_len == 384
+        assert get_model("GPT-2-L").seq_len == 1024
+        assert get_model("Synth-1").seq_len == 2048
+        assert get_model("Synth-2").seq_len == 4096
+
+    def test_head_dim_is_64(self):
+        for spec in MODEL_ZOO.values():
+            assert spec.head_dim == 64, spec.name
+
+    def test_gpt2_is_causal_generative(self):
+        spec = get_model("GPT-2-L")
+        assert spec.causal
+        assert spec.is_generative
+
+    def test_synth_padding(self):
+        for name in ("Synth-1", "Synth-2"):
+            spec = get_model(name)
+            assert spec.padding_ratio == pytest.approx(0.5)
+            assert spec.pruning_rate == pytest.approx(0.75)
+
+    def test_valid_len(self):
+        spec = get_model("BERT-B")
+        assert spec.valid_len == round(384 * 0.54)
+
+    def test_case_insensitive_lookup(self):
+        assert get_model("bert-b").name == "BERT-B"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("T5-XXL")
+
+
+class TestTransformer:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TransformerClassifier(
+            TransformerConfig(seq_len=32, num_classes=3, seed=0)
+        )
+
+    def test_forward_shape(self, model, rng):
+        x = rng.normal(size=(32, 64))
+        logits = model.forward(x)
+        assert logits.shape == (3,)
+
+    def test_features_include_bias(self, model, rng):
+        x = rng.normal(size=(32, 64))
+        feats = model.features(x)
+        assert feats.shape == (65,)
+        assert feats[-1] == 1.0
+
+    def test_predict_in_range(self, model, rng):
+        x = rng.normal(size=(32, 64))
+        assert model.predict(x) in (0, 1, 2)
+
+    def test_class_probabilities_normalized(self, model, rng):
+        x = rng.normal(size=(32, 64))
+        probs = model.class_probabilities(x)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_score_matrices_shapes(self, model, rng):
+        x = rng.normal(size=(32, 64))
+        mats = model.score_matrices(x, 0)
+        assert len(mats) == model.config.num_heads
+        assert mats[0].shape == (32, 32)
+
+    def test_score_matrices_bad_layer(self, model, rng):
+        x = rng.normal(size=(32, 64))
+        with pytest.raises(IndexError):
+            model.score_matrices(x, 99)
+
+    def test_head_dim_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(embed_dim=30, num_heads=4).head_dim
+
+    def test_fit_readout_improves_training_fit(self, rng):
+        config = TransformerConfig(seq_len=24, num_classes=2, seed=1)
+        model = TransformerClassifier(config)
+        inputs = [rng.normal(size=(24, 64)) for _ in range(20)]
+        labels = rng.integers(0, 2, size=20)
+        valid = [24] * 20
+        model.fit_readout(inputs, labels, valid)
+        preds = [model.predict(x, valid_len=24) for x in inputs]
+        acc = np.mean(np.array(preds) == labels)
+        assert acc >= 0.6  # fits noise better than chance
+
+    def test_policy_changes_output(self, model, rng):
+        x = rng.normal(size=(32, 64)) * 3
+        exact = model.forward(x, ExactPolicy())
+        pruned = model.forward(x, RuntimePruningPolicy(0.9))
+        assert not np.allclose(exact, pruned)
+
+
+class TestTasks:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return make_classification_task(num_samples=24, seq_len=64, seed=3)
+
+    def test_baseline_accuracy_high(self, task):
+        acc = evaluate_accuracy(task, ExactPolicy())
+        assert acc >= 0.8
+
+    def test_sprint_near_baseline(self, task):
+        base = evaluate_accuracy(task, ExactPolicy())
+        sprint = evaluate_accuracy(task, SprintPolicy(0.7, recompute=True))
+        assert abs(base - sprint) <= 0.1
+
+    def test_one_bit_scores_degrade(self, task):
+        base = evaluate_accuracy(task, ExactPolicy())
+        coarse = evaluate_accuracy(
+            task, SprintPolicy(0.7, score_bits=1, recompute=True)
+        )
+        assert coarse < base
+
+    def test_task_metadata(self, task):
+        assert task.kind == "classification"
+        assert task.num_samples == 24
+        assert len(task.valid_lens) == 24
+
+    def test_lm_task_perplexity_ordering(self):
+        lm = make_lm_task(num_samples=12, seq_len=64, seed=5)
+        base = evaluate_perplexity(lm, ExactPolicy())
+        coarse = evaluate_perplexity(
+            lm, SprintPolicy(0.74, score_bits=1, recompute=False)
+        )
+        assert base >= 1.0
+        assert coarse >= base * 0.95  # coarse never meaningfully better
+
+    def test_lm_task_kind(self):
+        lm = make_lm_task(num_samples=4, seq_len=48, seed=5)
+        assert lm.kind == "lm"
+
+    def test_padded_tail_zero(self, task):
+        for x, vl in zip(task.inputs, task.valid_lens):
+            assert np.all(x[vl:] == 0.0)

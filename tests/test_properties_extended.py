@@ -1,0 +1,141 @@
+"""Additional property-based tests: buffers, frontend, endurance, CLI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.buffers import SRAMBuffer
+from repro.accelerator.softmax_unit import SoftmaxUnit
+from repro.experiments.runner import main as runner_main
+from repro.memory.commands import MemoryRequest
+from repro.memory.frontend import ControllerFrontend
+from repro.reram.endurance import EnduranceTracker
+
+
+class TestSRAMBufferProperties:
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=100),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, tokens, cap_vectors):
+        buf = SRAMBuffer(
+            capacity_bytes=cap_vectors * 64, vector_bytes=64
+        )
+        for t in tokens:
+            buf.insert(t)
+            assert buf.occupancy() <= buf.capacity_vectors
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_most_recent_insert_always_resident(self, tokens):
+        buf = SRAMBuffer(capacity_bytes=4 * 64, vector_bytes=64)
+        for t in tokens:
+            buf.insert(t)
+            assert buf.contains(t)
+
+    @given(st.lists(st.integers(0, 10), min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_count_consistent(self, tokens):
+        buf = SRAMBuffer(capacity_bytes=2 * 64, vector_bytes=64)
+        for t in tokens:
+            buf.insert(t)
+        unique_inserted = len(set(tokens))
+        assert buf.stats.evictions >= max(0, unique_inserted - 2) - len(tokens)
+        assert buf.occupancy() <= 2
+
+
+class TestSoftmaxUnitProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-20, max_value=20,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=64,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_is_distribution(self, scores):
+        probs = SoftmaxUnit().normalize(np.array(scores))
+        assert np.all(probs >= 0)
+        # 8-bit output quantization perturbs the sum slightly.
+        assert abs(probs.sum() - 1.0) < 0.05 * max(1, len(scores) ** 0.5)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10,
+                      allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=32,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_argmax_preserved(self, scores):
+        scores = np.array(scores)
+        if np.ptp(scores) < 0.5:
+            return  # ties under quantization are legitimate
+        probs = SoftmaxUnit().normalize(scores)
+        assert probs[np.argmax(scores)] == probs.max()
+
+
+class TestFrontendProperties:
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=60),
+        st.sampled_from(["round_robin", "oldest_first"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_issue_conserves_requests(self, clients, policy):
+        fe = ControllerFrontend(4, queue_depth=64, policy=policy)
+        accepted = 0
+        for i, c in enumerate(clients):
+            if fe.enqueue(c, MemoryRequest(token_index=i)):
+                accepted += 1
+        issued = fe.issue_all()
+        assert len(issued) == accepted
+        assert fe.pending() == 0
+
+    @given(st.lists(st.integers(0, 3), min_size=4, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_oldest_first_is_fifo_globally(self, clients):
+        fe = ControllerFrontend(4, queue_depth=64, policy="oldest_first")
+        for i, c in enumerate(clients):
+            fe.enqueue(c, MemoryRequest(token_index=i))
+        issued = fe.issue_all()
+        tokens = [r.token_index for _, r in issued]
+        assert tokens == sorted(tokens)
+
+
+class TestEnduranceProperties:
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_wear_monotone_in_writes(self, slots):
+        tracker = EnduranceTracker(16, endurance_cycles=1000)
+        last = 0.0
+        for s in slots:
+            tracker.record_writes([s])
+            wear = tracker.wear_fraction()
+            assert wear >= last
+            last = wear
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_leveling_never_hurts(self, factor):
+        flat = EnduranceTracker(4, endurance_cycles=100, leveling_factor=1)
+        leveled = EnduranceTracker(
+            4, endurance_cycles=100, leveling_factor=factor
+        )
+        for t in (flat, leveled):
+            t.record_inference()
+        assert leveled.wear_fraction() <= flat.wear_fraction()
+
+
+class TestRunnerCli:
+    def test_main_runs_single_fast_experiment(self, capsys):
+        rc = runner_main(["fig1", "--fast"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_main_fig2_heatmap(self, capsys):
+        rc = runner_main(["fig2"])
+        assert rc == 0
+        assert "Figure 2" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Unit tests for repro.reram.cell."""
+
+import numpy as np
+import pytest
+
+from repro.reram.cell import MLCCellModel
+
+
+class TestMLCCellModel:
+    def test_level_count(self):
+        assert MLCCellModel(bits_per_cell=4).level_count == 16
+        assert MLCCellModel(bits_per_cell=1).level_count == 2
+
+    def test_level_conductances_monotone(self):
+        cell = MLCCellModel()
+        levels = cell.level_conductances()
+        assert len(levels) == 16
+        assert np.all(np.diff(levels) > 0)
+        assert levels[0] == cell.g_min
+        assert levels[-1] == cell.g_max
+
+    def test_ideal_program_exact(self):
+        cell = MLCCellModel(variation_sigma=0.0)
+        codes = np.arange(16)
+        conduct = cell.program(codes, ideal=True)
+        np.testing.assert_allclose(conduct, cell.level_conductances())
+
+    def test_variation_perturbs(self, rng):
+        cell = MLCCellModel(variation_sigma=0.05)
+        codes = np.full(100, 8)
+        conduct = cell.program(codes, rng=rng)
+        assert np.std(conduct) > 0
+
+    def test_variation_clipped_to_range(self, rng):
+        cell = MLCCellModel(variation_sigma=0.5)
+        conduct = cell.program(np.arange(16), rng=rng)
+        assert np.all(conduct >= cell.g_min)
+        assert np.all(conduct <= cell.g_max)
+
+    def test_rejects_out_of_range_codes(self):
+        cell = MLCCellModel(bits_per_cell=4)
+        with pytest.raises(ValueError):
+            cell.program(np.array([16]))
+        with pytest.raises(ValueError):
+            cell.program(np.array([-1]))
+
+    def test_read_level_roundtrip_ideal(self):
+        cell = MLCCellModel(variation_sigma=0.0)
+        codes = np.arange(16)
+        conduct = cell.program(codes, ideal=True)
+        np.testing.assert_array_equal(cell.read_level(conduct), codes)
+
+    def test_read_level_robust_to_small_variation(self, rng):
+        cell = MLCCellModel(variation_sigma=0.01)
+        codes = np.arange(16)
+        conduct = cell.program(codes, rng=rng)
+        recovered = cell.read_level(conduct)
+        # 4 bits/cell is the paper's robustness sweet spot: small
+        # variation rarely crosses a level boundary.
+        assert np.mean(recovered == codes) >= 0.75
+
+    def test_more_bits_less_robust(self, rng):
+        """More bits/cell -> tighter levels -> more read errors (paper III)."""
+        errors = {}
+        for bits in (2, 4, 6):
+            cell = MLCCellModel(bits_per_cell=bits, variation_sigma=0.05)
+            codes = np.arange(cell.level_count)
+            reps = np.tile(codes, 50)
+            conduct = cell.program(reps, rng=np.random.default_rng(0))
+            errors[bits] = float(np.mean(cell.read_level(conduct) != reps))
+        assert errors[2] <= errors[4] <= errors[6]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MLCCellModel(bits_per_cell=0)
+        with pytest.raises(ValueError):
+            MLCCellModel(g_min=1.0, g_max=0.5)

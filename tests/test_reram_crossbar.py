@@ -1,0 +1,152 @@
+"""Unit tests for repro.reram.crossbar and repro.reram.transposable."""
+
+import numpy as np
+import pytest
+
+from repro.reram.cell import MLCCellModel
+from repro.reram.crossbar import CrossbarArray
+from repro.reram.noise import OutputNoiseModel
+from repro.reram.transposable import TransposableArray
+
+
+def ideal_array(rows=8, cols=8, seed=0):
+    return CrossbarArray(
+        rows=rows, cols=cols,
+        cell=MLCCellModel(variation_sigma=0.0),
+        noise=OutputNoiseModel(equivalent_bits=20.0),
+        seed=seed,
+    )
+
+
+class TestCrossbarArray:
+    def test_vmm_matches_matmul_ideal(self, rng):
+        arr = ideal_array()
+        codes = rng.integers(-8, 8, size=(8, 8))
+        arr.program(codes, ideal=True)
+        v = rng.integers(-8, 8, size=8).astype(float)
+        out = arr.vmm(v, ideal=True)
+        np.testing.assert_allclose(out, v @ codes, atol=1e-9)
+
+    def test_partial_program_pads_with_zero(self, rng):
+        arr = ideal_array(rows=8, cols=8)
+        codes = rng.integers(-8, 8, size=(4, 3))
+        arr.program(codes, ideal=True)
+        v = np.ones(4)
+        out = arr.vmm(v, ideal=True)
+        np.testing.assert_allclose(out[3:], 0.0, atol=1e-9)
+
+    def test_vmm_requires_program(self):
+        arr = ideal_array()
+        with pytest.raises(RuntimeError):
+            arr.vmm(np.ones(8))
+
+    def test_rejects_oversize_codes(self):
+        arr = ideal_array(rows=4, cols=4)
+        with pytest.raises(ValueError):
+            arr.program(np.zeros((5, 4), dtype=int))
+
+    def test_rejects_code_overflow(self):
+        arr = ideal_array()
+        with pytest.raises(ValueError):
+            arr.program(np.full((2, 2), 8))  # 4-bit signed max is 7
+
+    def test_rejects_oversize_input(self):
+        arr = ideal_array(rows=4)
+        arr.program(np.zeros((4, 4), dtype=int))
+        with pytest.raises(ValueError):
+            arr.vmm(np.ones(5))
+
+    def test_noise_perturbs_output(self, rng):
+        arr = CrossbarArray(
+            rows=16, cols=16,
+            cell=MLCCellModel(variation_sigma=0.0),
+            noise=OutputNoiseModel(equivalent_bits=5.0),
+            seed=1,
+        )
+        codes = rng.integers(-8, 8, size=(16, 16))
+        arr.program(codes, ideal=True)
+        v = rng.integers(-8, 8, size=16).astype(float)
+        exact = v @ codes
+        noisy = arr.vmm(v)
+        assert not np.allclose(noisy, exact)
+        # but close: 5-bit-equivalent noise on the output range
+        rel = np.abs(noisy - exact).max() / max(np.abs(exact).max(), 1)
+        assert rel < 0.5
+
+    def test_variation_perturbs_weights(self, rng):
+        arr = CrossbarArray(
+            rows=8, cols=8,
+            cell=MLCCellModel(variation_sigma=0.1),
+            noise=OutputNoiseModel(equivalent_bits=20.0),
+            seed=2,
+        )
+        codes = rng.integers(1, 8, size=(8, 8))
+        arr.program(codes)
+        v = np.ones(8)
+        out = arr.vmm(v, ideal=True)
+        assert not np.allclose(out, v @ codes)
+
+    def test_stats_counting(self, rng):
+        arr = ideal_array()
+        codes = rng.integers(-8, 8, size=(8, 8))
+        arr.program(codes)
+        arr.vmm(np.ones(8))
+        arr.vmm(np.ones(8))
+        assert arr.stats.programs == 64
+        assert arr.stats.vmm_ops == 2
+        assert arr.stats.analog_macs == 2 * 64
+
+    def test_stored_codes_roundtrip(self, rng):
+        arr = ideal_array()
+        codes = rng.integers(-8, 8, size=(8, 8))
+        arr.program(codes)
+        np.testing.assert_array_equal(arr.stored_codes(), codes)
+
+
+class TestTransposableArray:
+    def test_transposed_read_returns_column(self, rng):
+        arr = TransposableArray(
+            rows=8, cols=8, cell=MLCCellModel(variation_sigma=0.0), seed=0
+        )
+        codes = rng.integers(-8, 8, size=(8, 8))
+        arr.program(codes)
+        for col in (0, 3, 7):
+            np.testing.assert_array_equal(
+                arr.transposed_read(col), codes[:, col]
+            )
+        assert arr.stats.transposed_reads == 3
+
+    def test_transposed_read_bounds(self):
+        arr = TransposableArray(rows=4, cols=4)
+        arr.program(np.zeros((4, 4), dtype=int))
+        with pytest.raises(IndexError):
+            arr.transposed_read(4)
+
+    def test_threshold_vmm_prunes_below(self, rng):
+        arr = TransposableArray(
+            rows=8, cols=8,
+            cell=MLCCellModel(variation_sigma=0.0),
+            noise=OutputNoiseModel(equivalent_bits=20.0),
+            seed=0,
+        )
+        codes = rng.integers(-8, 8, size=(8, 8))
+        arr.program(codes, ideal=True)
+        v = rng.integers(-8, 8, size=8).astype(float)
+        exact = v @ codes
+        threshold = float(np.median(exact))
+        bits = arr.threshold_vmm(v, threshold, ideal=True)
+        np.testing.assert_array_equal(bits, (exact < threshold).astype(np.uint8))
+
+    def test_threshold_vmm_active_cols(self, rng):
+        arr = TransposableArray(rows=8, cols=8, seed=0)
+        arr.program(rng.integers(-8, 8, size=(8, 8)))
+        bits = arr.threshold_vmm(np.ones(8), 0.0, active_cols=5)
+        assert bits.shape == (5,)
+
+    def test_threshold_vmm_counts_converters(self, rng):
+        arr = TransposableArray(rows=8, cols=8, seed=0)
+        arr.program(rng.integers(-8, 8, size=(8, 8)))
+        arr.threshold_vmm(np.ones(8), 0.0)
+        assert arr.comparator.comparisons == 8
+        assert arr.pruning_adc.conversions == 8
+        assert arr.dac.conversions == 8

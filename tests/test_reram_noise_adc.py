@@ -1,0 +1,95 @@
+"""Unit tests for repro.reram.noise and repro.reram.adc."""
+
+import numpy as np
+import pytest
+
+from repro.reram.adc import ADC, AnalogComparator, DAC
+from repro.reram.noise import OutputNoiseModel
+
+
+class TestOutputNoiseModel:
+    def test_sigma_matches_enob_formula(self):
+        model = OutputNoiseModel(equivalent_bits=5.0)
+        fs = 10.0
+        assert model.sigma(fs) == pytest.approx(fs / (32 * np.sqrt(12)))
+
+    def test_more_bits_less_noise(self):
+        assert OutputNoiseModel(6).sigma(1.0) < OutputNoiseModel(5).sigma(1.0)
+
+    def test_apply_statistics(self, rng):
+        model = OutputNoiseModel(equivalent_bits=5.0)
+        values = np.zeros(20000)
+        noisy = model.apply(values, full_scale=1.0, rng=rng)
+        assert np.std(noisy) == pytest.approx(model.sigma(1.0), rel=0.05)
+
+    def test_zero_full_scale_identity(self):
+        model = OutputNoiseModel()
+        values = np.zeros(5)
+        np.testing.assert_array_equal(model.apply(values, full_scale=0.0),
+                                      values)
+
+    def test_negative_full_scale_rejected(self):
+        with pytest.raises(ValueError):
+            OutputNoiseModel().sigma(-1.0)
+
+
+class TestDAC:
+    def test_conversion_linear(self):
+        dac = DAC(bits=4, v_ref=1.0)
+        volts = dac.convert(np.array([0, 15]))
+        np.testing.assert_allclose(volts, [0.0, 1.0])
+
+    def test_counts_conversions(self):
+        dac = DAC(bits=4)
+        dac.convert(np.arange(8))
+        assert dac.conversions == 8
+
+    def test_rejects_out_of_range(self):
+        dac = DAC(bits=4)
+        with pytest.raises(ValueError):
+            dac.convert(np.array([16]))
+
+
+class TestADC:
+    def test_one_bit_threshold(self):
+        adc = ADC(bits=1, v_ref=1.0)
+        out = adc.convert(np.array([0.1, 0.9]))
+        np.testing.assert_array_equal(out, [0, 1])
+
+    def test_five_bit_levels(self):
+        adc = ADC(bits=5, v_ref=1.0)
+        out = adc.convert(np.linspace(0, 1, 32))
+        assert out.min() == 0
+        assert out.max() == 31
+
+    def test_clipping(self):
+        adc = ADC(bits=3, v_ref=1.0)
+        out = adc.convert(np.array([-0.5, 1.5]))
+        np.testing.assert_array_equal(out, [0, 7])
+
+    def test_relative_power_scaling(self):
+        # The paper's motivation: 5-bit ADC >> 1-bit comparator cost.
+        assert ADC(bits=5).relative_power() / ADC(bits=1).relative_power() > 20
+
+    def test_counts_conversions(self):
+        adc = ADC(bits=1)
+        adc.convert(np.zeros(128))
+        assert adc.conversions == 128
+
+
+class TestAnalogComparator:
+    def test_prune_convention(self):
+        comp = AnalogComparator()
+        bits = comp.compare(np.array([0.1, 0.9, 0.4]), v_threshold=0.5)
+        # '1' -> pruned (strictly below threshold).
+        np.testing.assert_array_equal(bits, [1, 0, 1])
+
+    def test_counts(self):
+        comp = AnalogComparator()
+        comp.compare(np.zeros(64), 0.0)
+        assert comp.comparisons == 64
+
+    def test_dtype(self):
+        comp = AnalogComparator()
+        bits = comp.compare(np.array([1.0]), 0.0)
+        assert bits.dtype == np.uint8

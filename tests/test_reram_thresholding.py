@@ -1,0 +1,137 @@
+"""Unit tests for repro.reram.thresholding (the in-memory pruning unit)."""
+
+import numpy as np
+import pytest
+
+from repro.attention.pruning import calibrate_threshold
+from repro.reram.cell import MLCCellModel
+from repro.reram.noise import OutputNoiseModel
+from repro.reram.thresholding import (
+    InMemoryThresholdingUnit,
+    T_AX_TH_CYCLES,
+)
+
+
+def ideal_unit(seq_len=32, head_dim=16, **kwargs):
+    return InMemoryThresholdingUnit(
+        seq_len=seq_len,
+        head_dim=head_dim,
+        array_rows=kwargs.pop("array_rows", 16),
+        array_cols=kwargs.pop("array_cols", 16),
+        cell=MLCCellModel(variation_sigma=0.0),
+        noise=OutputNoiseModel(equivalent_bits=20.0),
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_tiling_counts(self):
+        unit = InMemoryThresholdingUnit(
+            seq_len=300, head_dim=64, array_rows=64, array_cols=128
+        )
+        assert unit.row_tiles == 1
+        assert unit.col_tiles == 3
+
+    def test_row_tiling_for_large_embeddings(self):
+        # Section V-A: longer key vectors split across adjacent arrays.
+        unit = InMemoryThresholdingUnit(
+            seq_len=128, head_dim=256, array_rows=64, array_cols=128
+        )
+        assert unit.row_tiles == 4
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            InMemoryThresholdingUnit(seq_len=0)
+
+    def test_latency_is_taxth(self):
+        assert ideal_unit().latency_cycles == T_AX_TH_CYCLES
+
+
+class TestPruning:
+    def test_requires_store_first(self, rng):
+        unit = ideal_unit()
+        with pytest.raises(RuntimeError):
+            unit.prune_query(rng.normal(size=16), 0.0)
+
+    def test_shape_validation(self, rng):
+        unit = ideal_unit()
+        unit.store_keys(rng.normal(size=(32, 16)))
+        with pytest.raises(ValueError):
+            unit.prune_query(rng.normal(size=8), 0.0)
+        with pytest.raises(ValueError):
+            unit.store_keys(rng.normal(size=(8, 16)))
+
+    def test_agrees_with_exact_thresholding(self, rng):
+        """Ideal analog path must recover the digital pruning decisions."""
+        keys = rng.normal(size=(32, 16))
+        queries = rng.normal(size=(8, 16))
+        unit = ideal_unit()
+        unit.store_keys(keys)
+        scores = queries @ keys.T
+        threshold = calibrate_threshold(scores, 0.6)
+        agreements = []
+        for q, row in zip(queries, scores):
+            bits = unit.prune_query(q, threshold, ideal=True)
+            exact = (row < threshold).astype(np.uint8)
+            agreements.append(np.mean(bits == exact))
+        # 4-bit MSB products flip only near-threshold decisions.
+        assert np.mean(agreements) > 0.85
+
+    def test_extreme_thresholds(self, rng):
+        keys = rng.normal(size=(32, 16))
+        unit = ideal_unit()
+        unit.store_keys(keys)
+        q = rng.normal(size=16)
+        assert unit.prune_query(q, 1e9, ideal=True).all()
+        assert not unit.prune_query(q, -1e9, ideal=True).any()
+
+    def test_prune_all_shape(self, rng):
+        keys = rng.normal(size=(32, 16))
+        queries = rng.normal(size=(4, 16))
+        unit = ideal_unit()
+        unit.store_keys(keys)
+        mat = unit.prune_all(queries, 0.0, ideal=True)
+        assert mat.shape == (4, 32)
+        assert mat.dtype == np.uint8
+
+    def test_stats_accumulate(self, rng):
+        unit = ideal_unit(seq_len=32, head_dim=16)
+        unit.store_keys(rng.normal(size=(32, 16)))
+        unit.prune_query(rng.normal(size=16), 0.0, ideal=True)
+        s = unit.stats
+        assert s.queries_processed == 1
+        assert s.comparator_ops == 32
+        assert s.adc_1bit_conversions == 32
+        # col_tiles=2 (32 keys / 16 cols), row_tiles=1.
+        assert s.inmemory_array_ops == 2
+
+    def test_noisy_path_mostly_agrees(self, rng):
+        keys = rng.normal(size=(64, 16))
+        unit = InMemoryThresholdingUnit(
+            seq_len=64, head_dim=16, array_rows=16, array_cols=32,
+            noise=OutputNoiseModel(equivalent_bits=5.0), seed=7,
+        )
+        unit.store_keys(keys)
+        q = rng.normal(size=16)
+        scores = keys @ q
+        threshold = float(np.quantile(scores, 0.7))
+        bits = unit.prune_query(q, threshold)
+        exact = (scores < threshold).astype(np.uint8)
+        assert np.mean(bits == exact) > 0.7
+
+
+class TestTransposedKeyRead:
+    def test_reads_back_stored_msb(self, rng):
+        keys = rng.normal(size=(32, 16))
+        unit = ideal_unit()
+        unit.store_keys(keys)
+        msb = unit.read_key_msb(5)
+        assert msb.shape == (16,)
+        # MSB codes are signed 4-bit.
+        assert msb.max() <= 7 and msb.min() >= -8
+
+    def test_bounds(self, rng):
+        unit = ideal_unit()
+        unit.store_keys(rng.normal(size=(32, 16)))
+        with pytest.raises(IndexError):
+            unit.read_key_msb(32)

@@ -1,0 +1,135 @@
+"""Failure-injection and robustness tests across the analog stack.
+
+These exercise the degradation *paths*: what happens when analog noise,
+cell variation, or threshold drift exceed nominal -- and verify the
+system degrades the way the paper's error analysis predicts (graceful
+pruning-decision flips near the threshold, recoverable via margin).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attention.policies import SprintPolicy
+from repro.attention.pruning import calibrate_threshold
+from repro.models.tasks import evaluate_accuracy, make_classification_task
+from repro.reram.cell import MLCCellModel
+from repro.reram.noise import OutputNoiseModel
+from repro.reram.thresholding import InMemoryThresholdingUnit
+
+
+def agreement_under(
+    keys, queries, threshold, *, variation=0.0, equivalent_bits=20.0, seed=0
+):
+    """Fraction of pruning decisions matching the exact comparison."""
+    unit = InMemoryThresholdingUnit(
+        seq_len=keys.shape[0], head_dim=keys.shape[1],
+        array_rows=16, array_cols=32,
+        cell=MLCCellModel(variation_sigma=variation),
+        noise=OutputNoiseModel(equivalent_bits=equivalent_bits),
+        seed=seed,
+    )
+    unit.store_keys(keys)
+    exact = (queries @ keys.T < threshold).astype(np.uint8)
+    hw = unit.prune_all(queries, threshold)
+    return float(np.mean(hw == exact))
+
+
+@pytest.fixture(scope="module")
+def tensors():
+    rng = np.random.default_rng(77)
+    keys = rng.normal(size=(64, 16))
+    queries = rng.normal(size=(12, 16))
+    threshold = calibrate_threshold(queries @ keys.T, 0.7)
+    return keys, queries, threshold
+
+
+class TestNoiseDegradation:
+    def test_agreement_decreases_with_noise(self, tensors):
+        keys, queries, threshold = tensors
+        agreements = [
+            agreement_under(keys, queries, threshold, equivalent_bits=b)
+            for b in (10.0, 5.0, 2.0)
+        ]
+        # Monotone degradation (allowing tiny sampling wiggle).
+        assert agreements[0] >= agreements[1] - 0.02
+        assert agreements[1] >= agreements[2] - 0.02
+
+    def test_nominal_noise_keeps_high_agreement(self, tensors):
+        keys, queries, threshold = tensors
+        # 5-bit-equivalent (the paper's cited measurement) stays usable.
+        assert agreement_under(
+            keys, queries, threshold, equivalent_bits=5.0
+        ) > 0.7
+
+    def test_extreme_noise_still_valid_bits(self, tensors):
+        keys, queries, threshold = tensors
+        unit = InMemoryThresholdingUnit(
+            seq_len=64, head_dim=16, array_rows=16, array_cols=32,
+            noise=OutputNoiseModel(equivalent_bits=1.0),
+        )
+        unit.store_keys(keys)
+        bits = unit.prune_query(queries[0], threshold)
+        assert set(np.unique(bits)) <= {0, 1}
+
+
+class TestVariationDegradation:
+    def test_agreement_decreases_with_variation(self, tensors):
+        keys, queries, threshold = tensors
+        low = agreement_under(keys, queries, threshold, variation=0.01)
+        high = agreement_under(keys, queries, threshold, variation=0.3)
+        assert high <= low + 0.02
+
+    def test_variation_never_crashes(self, tensors):
+        keys, queries, threshold = tensors
+        for sigma in (0.0, 0.1, 0.5, 1.0):
+            agreement_under(keys, queries, threshold, variation=sigma)
+
+
+class TestThresholdDrift:
+    def test_margin_compensates_noise(self):
+        """Section III-A: a negative margin restores accuracy under
+        heavy analog noise, at the cost of pruning rate."""
+        task = make_classification_task(num_samples=24, seq_len=80, seed=31)
+        noisy = SprintPolicy(0.8, noise_sigma=0.5, threshold_margin=0.0,
+                             recompute=True)
+        margined = SprintPolicy(0.8, noise_sigma=0.5, threshold_margin=1.0,
+                                recompute=True)
+        acc_noisy = evaluate_accuracy(task, noisy)
+        acc_margined = evaluate_accuracy(task, margined)
+        assert acc_margined >= acc_noisy - 0.05
+
+    def test_margin_lowers_pruning_rate(self, rng):
+        scores = rng.normal(size=(48, 48))
+        scores[rng.random((48, 48)) < 0.1] += 3.0
+        plain = SprintPolicy(0.7, noise_sigma=0.0)
+        margined = SprintPolicy(0.7, noise_sigma=0.0, threshold_margin=0.8)
+        _, keep_plain = plain.process(scores)
+        _, keep_margined = margined.process(scores)
+        assert keep_margined.sum() > keep_plain.sum()
+
+
+class TestAccuracyUnderCompoundFaults:
+    def test_compound_noise_and_coarse_bits(self):
+        """Worst case: coarse scores AND heavy noise, no recompute --
+        accuracy must fall below the clean SPRINT configuration."""
+        task = make_classification_task(num_samples=24, seq_len=80, seed=37)
+        clean = evaluate_accuracy(
+            task, SprintPolicy(0.746, recompute=True, noise_sigma=0.02)
+        )
+        broken = evaluate_accuracy(
+            task,
+            SprintPolicy(
+                0.746, recompute=False, noise_sigma=0.6, score_bits=2
+            ),
+        )
+        assert broken <= clean
+
+    def test_recompute_rescues_coarse_decisions(self):
+        task = make_classification_task(num_samples=24, seq_len=80, seed=41)
+        with_rec = evaluate_accuracy(
+            task, SprintPolicy(0.746, score_bits=3, recompute=True)
+        )
+        without = evaluate_accuracy(
+            task, SprintPolicy(0.746, score_bits=3, recompute=False)
+        )
+        assert with_rec >= without - 0.05

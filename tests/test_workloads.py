@@ -1,0 +1,140 @@
+"""Unit tests for repro.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.attention.locality import measure_adjacent_overlap
+from repro.workloads.distributions import (
+    calibrated_score_matrix,
+    heavy_tailed_scores,
+)
+from repro.workloads.generator import (
+    WorkloadSample,
+    generate_random_masks,
+    generate_workload,
+    structured_keep_mask,
+)
+
+
+class TestDistributions:
+    def test_heavy_tailed_shape(self, rng):
+        scores = heavy_tailed_scores(32, rng=rng)
+        assert scores.shape == (32, 32)
+
+    def test_heavy_tail_present(self, rng):
+        scores = heavy_tailed_scores(64, rng=rng)
+        # Spikes push the right tail well beyond a pure Gaussian.
+        assert np.max(scores) > 3 * np.std(scores)
+
+    def test_calibrated_shape(self, rng):
+        scores = calibrated_score_matrix(48, 0.7, rng=rng)
+        assert scores.shape == (48, 48)
+
+    def test_locality_bounds(self, rng):
+        with pytest.raises(ValueError):
+            calibrated_score_matrix(16, 0.5, locality=1.5, rng=rng)
+
+    def test_deterministic_with_rng(self):
+        a = calibrated_score_matrix(16, 0.5, rng=np.random.default_rng(3))
+        b = calibrated_score_matrix(16, 0.5, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestStructuredKeepMask:
+    def test_pruning_rate_calibrated(self, rng):
+        for rate in (0.5, 0.7, 0.8):
+            keep = structured_keep_mask(128, rate, rng=rng)
+            measured = 1.0 - keep.mean()
+            assert abs(measured - rate) < 0.06
+
+    def test_diagonal_kept(self, rng):
+        keep = structured_keep_mask(64, 0.9, rng=rng)
+        assert np.all(np.diag(keep))
+
+    def test_causal_upper_triangle_empty(self, rng):
+        keep = structured_keep_mask(48, 0.6, causal=True, rng=rng)
+        upper = ~np.tril(np.ones((48, 48), dtype=bool))
+        assert not keep[upper].any()
+
+    def test_causal_rate_in_lower_triangle(self, rng):
+        keep = structured_keep_mask(128, 0.7, causal=True, rng=rng)
+        lower = np.tril(np.ones((128, 128), dtype=bool))
+        rate = 1.0 - keep[lower].mean()
+        assert abs(rate - 0.7) < 0.08
+
+    def test_locality_increases_overlap(self, rng):
+        low = structured_keep_mask(
+            128, 0.7, locality=0.1, rng=np.random.default_rng(7)
+        )
+        high = structured_keep_mask(
+            128, 0.7, locality=0.9, rng=np.random.default_rng(7)
+        )
+        assert (
+            measure_adjacent_overlap(high) > measure_adjacent_overlap(low)
+        )
+
+
+class TestRandomMasks:
+    def test_count_and_shape(self, rng):
+        masks = generate_random_masks(32, 0.75, count=3, rng=rng)
+        assert len(masks) == 3
+        assert masks[0].shape == (32, 32)
+
+    def test_exact_keep_count_per_row(self, rng):
+        masks = generate_random_masks(40, 0.75, count=1, rng=rng)
+        keep_per_row = masks[0].sum(axis=1)
+        assert np.all(keep_per_row == 10)
+
+
+class TestGenerateWorkload:
+    def test_sample_count(self):
+        wl = generate_workload(64, 0.7, num_samples=3, seed=0)
+        assert len(wl) == 3
+
+    def test_mean_pruning_rate(self):
+        wl = generate_workload(128, 0.75, num_samples=3, seed=0)
+        assert abs(wl.mean_pruning_rate() - 0.75) < 0.06
+
+    def test_padding_zeroes_tail(self):
+        wl = generate_workload(
+            64, 0.7, padding_ratio=0.5, num_samples=2, seed=0
+        )
+        for sample in wl:
+            assert not sample.keep_mask[sample.valid_len:, :].any()
+            assert not sample.keep_mask[:, sample.valid_len:].any()
+
+    def test_valid_len_tracks_padding(self):
+        wl = generate_workload(
+            100, 0.7, padding_ratio=0.4, num_samples=4, seed=2
+        )
+        for sample in wl:
+            assert abs(sample.valid_len - 60) <= 12
+
+    def test_no_padding_full_valid(self):
+        wl = generate_workload(64, 0.7, num_samples=1, seed=0)
+        assert wl.samples[0].valid_len == 64
+
+    def test_causal_samples(self):
+        wl = generate_workload(
+            64, 0.7, causal=True, num_samples=1, seed=0
+        )
+        sample = wl.samples[0]
+        assert sample.causal
+        upper = ~np.tril(np.ones((64, 64), dtype=bool))
+        assert not sample.keep_mask[upper].any()
+
+    def test_deterministic(self):
+        a = generate_workload(48, 0.6, num_samples=2, seed=9)
+        b = generate_workload(48, 0.6, num_samples=2, seed=9)
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(sa.keep_mask, sb.keep_mask)
+
+    def test_rejects_bad_padding(self):
+        with pytest.raises(ValueError):
+            generate_workload(32, 0.5, padding_ratio=1.0)
+
+    def test_pruning_vectors_convention(self):
+        wl = generate_workload(32, 0.5, num_samples=1, seed=0)
+        sample = wl.samples[0]
+        vectors = sample.pruning_vectors()
+        np.testing.assert_array_equal(vectors == 1, ~sample.keep_mask)
