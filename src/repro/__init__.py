@@ -15,6 +15,7 @@ each subpackage carries the full API:
 - :mod:`repro.energy`      -- Table II energy constants and accounting
 - :mod:`repro.workloads`   -- calibrated synthetic pruning/padding workloads
 - :mod:`repro.core`        -- the SPRINT system simulator (the contribution)
+- :mod:`repro.serving`     -- multi-request traffic, batching, tail latency
 - :mod:`repro.experiments` -- one module per paper figure/table
 """
 

@@ -14,7 +14,7 @@ from repro.accelerator.arithmetic import (
     saturating_mac,
 )
 from repro.accelerator.buffers import BufferStats, IndexBuffer, SRAMBuffer
-from repro.accelerator.corelet import Corelet, CoreletStats
+from repro.accelerator.corelet import Corelet, CoreletStats, SoftmaxPartial
 from repro.accelerator.engine import EngineStats, SprintEngine
 from repro.accelerator.baseline import (
     BaselineTraffic,
@@ -44,6 +44,7 @@ __all__ = [
     "SoftmaxUnit",
     "Corelet",
     "CoreletStats",
+    "SoftmaxPartial",
     "BaselineTraffic",
     "baseline_head_traffic",
     "baseline_compute_cycles",

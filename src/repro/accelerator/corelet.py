@@ -32,6 +32,25 @@ class CoreletStats:
     miss_bypasses: int = 0
 
 
+@dataclass
+class SoftmaxPartial:
+    """One CORELET's un-normalized softmax contribution for a query.
+
+    The shared accumulation FIFO merges these across CORELETs with a
+    streaming log-sum-exp: rescale each partial by ``exp(max_score -
+    global_max)``, add numerators and denominators, divide once.
+    """
+
+    #: Maximum raw score this CORELET saw (log-sum-exp pivot).
+    max_score: float
+    #: ``sum_i exp(s_i - max_score)`` over this CORELET's tokens.
+    exp_sum: float
+    #: ``sum_i exp(s_i - max_score) * v_i`` (un-normalized output).
+    numerator: np.ndarray
+    #: Tokens that contributed.
+    count: int
+
+
 class Corelet:
     """One independent attention pipeline.
 
@@ -80,18 +99,16 @@ class Corelet:
     def resident_tokens(self):
         return self.k_buffer.resident_tokens
 
-    def process_query(
-        self,
-        query: np.ndarray,
-        unpruned_tokens,
-        scale: Optional[float] = None,
-    ) -> np.ndarray:
-        """Score, normalize, and reduce one query against resident keys.
+    def _score_resident(
+        self, query: np.ndarray, unpruned_tokens, scale: Optional[float]
+    ):
+        """Shared QK front half: index walk, buffer touch, 8-bit scoring.
 
         Tokens whose data is missing are bypassed via the rotating
-        pointer and counted as misses; the result uses whatever subset
-        was available (the controller's prefetching makes true misses
-        rare, section VI).
+        pointer and counted as misses; scoring uses whatever subset was
+        available (the controller's prefetching makes true misses rare,
+        section VI).  Returns ``(scores, values)`` or ``None`` when no
+        token was resident.
         """
         query = np.asarray(query, dtype=np.float64)
         if query.shape != (self.head_dim,):
@@ -109,9 +126,9 @@ class Corelet:
             ordered.append(token)
         missing = len(self.key_index_buffer.pending())
         self.stats.miss_bypasses += missing
+        self.stats.queries += 1
         if not ordered:
-            self.stats.queries += 1
-            return np.zeros(self.head_dim)
+            return None
         keys = np.stack([self._key_data[t] for t in ordered])
         values = np.stack([self._value_data[t] for t in ordered])
         for t in ordered:
@@ -125,11 +142,8 @@ class Corelet:
             [self.qkpu.dot(q_quant.codes, k_codes) for k_codes in k_quant.codes],
             dtype=np.float64,
         )
-        scores = int_scores * (q_quant.scale * k_quant.scale)
-        probabilities = self.softmax.normalize(scores * scale)
-        out = self.vpu.weighted_sum(probabilities, values)
+        scores = int_scores * (q_quant.scale * k_quant.scale) * scale
         n = len(ordered)
-        self.stats.queries += 1
         self.stats.keys_scored += n
         self.stats.values_reduced += n
         self.stats.compute_cycles += (
@@ -137,4 +151,52 @@ class Corelet:
             + self.softmax.cycles(n)
             + n * self.vpu.cycles_per_value(self.head_dim)
         )
-        return out
+        return scores, values
+
+    def process_query(
+        self,
+        query: np.ndarray,
+        unpruned_tokens,
+        scale: Optional[float] = None,
+    ) -> np.ndarray:
+        """Score, normalize, and reduce one query against resident keys.
+
+        Softmax normalizes over *this CORELET's* tokens only -- correct
+        when one CORELET holds the whole unpruned set.  Multi-CORELET
+        execution merges :meth:`process_query_partial` results instead.
+        """
+        scored = self._score_resident(query, unpruned_tokens, scale)
+        if scored is None:
+            return np.zeros(self.head_dim)
+        scores, values = scored
+        probabilities = self.softmax.normalize(scores)
+        return self.vpu.weighted_sum(probabilities, values)
+
+    def process_query_partial(
+        self,
+        query: np.ndarray,
+        unpruned_tokens,
+        scale: Optional[float] = None,
+    ) -> SoftmaxPartial:
+        """Un-normalized contribution for the cross-CORELET LSE merge.
+
+        Exponentials use the same two-LUT path as :meth:`process_query`
+        but skip the local division and 8-bit probability rounding; the
+        numerator/denominator pair stays in the wide accumulation FIFO
+        until the engine's global merge normalizes once.
+        """
+        scored = self._score_resident(query, unpruned_tokens, scale)
+        if scored is None:
+            return SoftmaxPartial(
+                max_score=-np.inf, exp_sum=0.0,
+                numerator=np.zeros(self.head_dim), count=0,
+            )
+        scores, values = scored
+        max_score, exps = self.softmax.exponentials(scores)
+        numerator = self.vpu.weighted_sum(exps, values)
+        return SoftmaxPartial(
+            max_score=max_score,
+            exp_sum=float(np.sum(exps)),
+            numerator=numerator,
+            count=len(scores),
+        )

@@ -158,33 +158,49 @@ class SprintEngine:
                 int(token), self._keys[token], self._values[token]
             )
         unpruned = np.nonzero(pruning == 0)[0]
-        partial = np.zeros(self.head_dim)
-        weights_total = 0.0
         scale = 1.0 / np.sqrt(self.head_dim)
-        outputs = []
+        cycles_before = [c.stats.compute_cycles for c in self.corelets]
+        partials = []
         for cid, corelet in enumerate(self.corelets):
             mine = [int(t) for t in unpruned if self._assignment[t] == cid]
             if not mine:
                 continue
-            outputs.append((len(mine), corelet.process_query(
-                query, mine, scale=scale
-            )))
-        # Merge per-CORELET partial softmax outputs weighted by their
-        # token counts (each CORELET normalized over its own subset; the
-        # merge approximates the global normalization the hardware's
-        # shared accumulation FIFO performs exactly).
-        total = sum(n for n, _ in outputs)
-        if total == 0:
-            result = partial
+            partials.append(
+                corelet.process_query_partial(query, mine, scale=scale)
+            )
+        # Exact streaming log-sum-exp merge of the per-CORELET partial
+        # numerators/denominators -- the global normalization the
+        # hardware's shared accumulation FIFO performs: rescale every
+        # partial to the global score maximum, accumulate, divide once.
+        partials = [p for p in partials if p.count > 0]
+        if not partials:
+            result = np.zeros(self.head_dim)
         else:
-            result = sum((n / total) * out for n, out in outputs)
+            global_max = max(p.max_score for p in partials)
+            numerator = np.zeros(self.head_dim)
+            denominator = 0.0
+            for p in partials:
+                rescale = np.exp(p.max_score - global_max)
+                numerator += rescale * p.numerator
+                denominator += rescale * p.exp_sum
+            result = (
+                numerator / denominator
+                if denominator > 0
+                else np.zeros(self.head_dim)
+            )
         self.stats.queries += 1
         self.stats.vectors_fetched += len(traffic.fetch_indices)
         self.stats.vectors_reused += len(traffic.reuse_indices)
         self.stats.keys_recomputed += len(unpruned)
         self.stats.memory_latency_cycles += traffic.latency_cycles
+        # Per-query latency: the slowest CORELET's *increment* this
+        # query (the corelet counters are lifetime running totals).
         self.stats.compute_cycles += max(
-            (c.stats.compute_cycles for c in self.corelets), default=0
+            (
+                c.stats.compute_cycles - before
+                for c, before in zip(self.corelets, cycles_before)
+            ),
+            default=0,
         )
         return result
 

@@ -62,6 +62,29 @@ class SoftmaxUnit:
         # Quantize to the 8-bit probability output format.
         return PROB_FORMAT.to_real(PROB_FORMAT.quantize(probabilities))
 
+    def exponentials(self, scores: np.ndarray) -> tuple:
+        """Partial softmax: ``(row_max, exp(scores - row_max))``.
+
+        The exponentials come from the same two-LUT path as
+        :meth:`normalize`, but normalization is deferred: the caller
+        (the shared accumulation FIFO) merges partials from several
+        CORELETs with a streaming log-sum-exp before dividing once, so
+        no divider or 8-bit probability rounding happens here.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1:
+            raise ValueError("scores must be a vector")
+        if scores.size == 0:
+            return 0.0, scores.copy()
+        row_max = float(np.max(scores))
+        codes = SCORE_FORMAT.quantize(scores - row_max)
+        exps = lut_exponential(codes)
+        n = scores.size
+        self.stats.rows += 1
+        self.stats.lut_accesses += 2 * n
+        self.stats.multiplies += n
+        return row_max, exps
+
     def cycles(self, n: int) -> int:
         """Pipeline cycles for one row of ``n`` unpruned scores."""
         if n <= 0:

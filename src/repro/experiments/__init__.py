@@ -20,6 +20,7 @@ from repro.experiments import (
     fig13_breakdown,
     ffn_end_to_end,
     sensitivity,
+    serving,
     table3_comparison,
 )
 
@@ -37,5 +38,6 @@ __all__ = [
     "fig13_breakdown",
     "ffn_end_to_end",
     "sensitivity",
+    "serving",
     "table3_comparison",
 ]

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig12_energy,
     fig13_breakdown,
     sensitivity,
+    serving,
     table3_comparison,
 )
 
@@ -46,6 +47,9 @@ EXPERIMENTS: Dict[str, Tuple[dict, object]] = {
     "table3": ({"num_samples": 1}, table3_comparison),
     "ablations": ({}, ablations),
     "sensitivity": ({}, sensitivity),
+    "serving": (
+        {"num_requests": 100, "loads": (20.0, 80.0)}, serving
+    ),
 }
 
 

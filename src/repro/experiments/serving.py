@@ -1,0 +1,274 @@
+"""Serving study: load vs tail latency across execution modes.
+
+Not a paper figure -- this is the ROADMAP's production-serving
+extension.  For each arrival pattern (Poisson, bursty/MMPP, trace
+replay) and each execution mode, a load sweep runs the same request
+stream through the serving simulator and reports throughput, device
+utilization, and p50/p95/p99 latency.  The headline derived metric is
+*serving headroom*: the highest offered load each mode sustains while
+keeping p99 latency within the SLA -- SPRINT's pruning shortens service
+times, which compounds through queueing into disproportionate headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.configs import S_SPRINT, SprintConfig
+from repro.core.system import ExecutionMode
+from repro.serving.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    PoissonProcess,
+    TraceProcess,
+    generate_requests,
+)
+from repro.serving.batching import DynamicBatcher
+from repro.serving.devices import ServiceCostModel, SprintDevice
+from repro.serving.metrics import ServingReport, summarize
+from repro.serving.scheduler import ServingSimulator
+
+DEFAULT_MODES = (
+    ExecutionMode.BASELINE,
+    ExecutionMode.PRUNING_ONLY,
+    ExecutionMode.SPRINT,
+)
+DEFAULT_PATTERNS = ("poisson", "bursty", "trace")
+DEFAULT_LOADS = (10.0, 20.0, 40.0, 80.0, 160.0)
+
+
+@dataclass(frozen=True)
+class ServingRow:
+    """One (pattern, mode, offered load) point of the sweep."""
+
+    pattern: str
+    mode: str
+    offered_rps: float
+    throughput_rps: float
+    utilization: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    sla_violation_rate: float
+    mean_batch_size: float
+    meets_sla: bool
+
+
+def make_process(pattern: str, rate_rps: float) -> ArrivalProcess:
+    """Instantiate one of the three arrival patterns at a mean rate.
+
+    The bursty and trace processes are parameterized so their long-run
+    mean matches ``rate_rps``, keeping the sweep iso-load across
+    patterns.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if pattern == "poisson":
+        return PoissonProcess(rate_rps=rate_rps)
+    if pattern == "bursty":
+        # Calm at 0.6x for 0.8 s, burst at 2.6x for 0.2 s -> mean 1.0x.
+        return BurstyProcess(
+            calm_rate_rps=0.6 * rate_rps,
+            burst_rate_rps=2.6 * rate_rps,
+            calm_dwell_s=0.8,
+            burst_dwell_s=0.2,
+        )
+    if pattern == "trace":
+        # A diurnal-style recorded profile replayed around the mean:
+        # harmonic mean of the segment rates equals rate_rps.
+        profile = [0.5, 1.0, 2.0, 1.0]
+        k = sum(1.0 / f for f in profile) / len(profile)
+        return TraceProcess.from_rate_profile(
+            [f * rate_rps * k for f in profile], requests_per_segment=25
+        )
+    raise KeyError(f"unknown arrival pattern {pattern!r}")
+
+
+class ServingExperiment:
+    """The load-vs-tail-latency sweep over modes and arrival patterns.
+
+    Parameters
+    ----------
+    model:
+        Zoo model every request runs (per-request lengths still vary
+        with its padding distribution).
+    config:
+        Chip configuration; ``num_devices`` chips serve the stream.
+    sla_ms:
+        p99 latency target the headroom analysis ranks loads against.
+    """
+
+    def __init__(
+        self,
+        model: str = "BERT-B",
+        config: SprintConfig = S_SPRINT,
+        num_devices: int = 1,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 10.0,
+        sla_ms: float = 150.0,
+        len_bucket: int = 32,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.config = config
+        self.num_devices = num_devices
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.sla_ms = sla_ms
+        self.len_bucket = len_bucket
+        self.seed = seed
+        self._cost_models: Dict[str, ServiceCostModel] = {}
+
+    # ------------------------------------------------------------------
+    def _cost_model(self, mode: ExecutionMode) -> ServiceCostModel:
+        # One cache per mode, shared across the whole sweep.
+        if mode.value not in self._cost_models:
+            self._cost_models[mode.value] = ServiceCostModel(
+                self.config, mode, len_bucket=self.len_bucket,
+                seed=self.seed,
+            )
+        return self._cost_models[mode.value]
+
+    def simulate(
+        self,
+        pattern: str,
+        mode: ExecutionMode,
+        rate_rps: float,
+        num_requests: int,
+    ) -> ServingReport:
+        """One point: a full event-driven run, summarized."""
+        process = make_process(pattern, rate_rps)
+        # The stream seed mixes in the pattern but NOT the mode, so all
+        # modes face byte-identical traffic at each (pattern, load).
+        pattern_ix = (
+            DEFAULT_PATTERNS.index(pattern)
+            if pattern in DEFAULT_PATTERNS
+            else len(DEFAULT_PATTERNS)
+        )
+        stream_seed = self.seed * 1000 + pattern_ix
+        requests = generate_requests(
+            process, self.model, count=num_requests, seed=stream_seed
+        )
+        cost = self._cost_model(mode)
+        devices = [
+            SprintDevice(i, cost) for i in range(self.num_devices)
+        ]
+        batcher = DynamicBatcher(
+            max_batch_size=self.max_batch_size,
+            max_wait_s=self.max_wait_ms * 1e-3,
+        )
+        result = ServingSimulator(devices, batcher).run(requests)
+        return summarize(
+            result,
+            config=self.config.name,
+            mode=mode.value,
+            pattern=pattern,
+            offered_rps=process.mean_rate_rps,
+            sla_s=self.sla_ms * 1e-3,
+        )
+
+    def run(
+        self,
+        loads: Sequence[float] = DEFAULT_LOADS,
+        patterns: Sequence[str] = DEFAULT_PATTERNS,
+        modes: Sequence[ExecutionMode] = DEFAULT_MODES,
+        num_requests: int = 400,
+    ) -> List[ServingRow]:
+        rows: List[ServingRow] = []
+        for pattern in patterns:
+            for mode in modes:
+                for load in loads:
+                    report = self.simulate(
+                        pattern, mode, load, num_requests
+                    )
+                    rows.append(
+                        ServingRow(
+                            pattern=pattern,
+                            mode=mode.value,
+                            offered_rps=load,
+                            throughput_rps=report.throughput_rps,
+                            utilization=report.utilization,
+                            p50_ms=report.latency.p50_s * 1e3,
+                            p95_ms=report.latency.p95_s * 1e3,
+                            p99_ms=report.latency.p99_s * 1e3,
+                            sla_violation_rate=report.sla_violation_rate,
+                            mean_batch_size=report.mean_batch_size,
+                            meets_sla=report.meets_sla(),
+                        )
+                    )
+        return rows
+
+
+def max_sla_load(rows: Sequence[ServingRow]) -> Dict[Tuple[str, str], float]:
+    """Serving headroom: per (pattern, mode), the highest offered load
+    whose p99 stayed within the SLA (0.0 when none did)."""
+    best: Dict[Tuple[str, str], float] = {}
+    for row in rows:
+        key = (row.pattern, row.mode)
+        best.setdefault(key, 0.0)
+        if row.meets_sla:
+            best[key] = max(best[key], row.offered_rps)
+    return best
+
+
+# ----------------------------------------------------------------------
+# runner-compatible module-level API
+# ----------------------------------------------------------------------
+def run(
+    model: str = "BERT-B",
+    config: SprintConfig = S_SPRINT,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    modes: Sequence[ExecutionMode] = DEFAULT_MODES,
+    num_requests: int = 400,
+    sla_ms: float = 150.0,
+    seed: int = 0,
+    **experiment_kwargs,
+) -> List[ServingRow]:
+    experiment = ServingExperiment(
+        model=model, config=config, sla_ms=sla_ms, seed=seed,
+        **experiment_kwargs,
+    )
+    return experiment.run(
+        loads=loads, patterns=patterns, modes=modes,
+        num_requests=num_requests,
+    )
+
+
+def format_table(rows: Sequence[ServingRow]) -> str:
+    lines = [
+        "Serving study: load vs tail latency (per arrival pattern/mode)",
+        f"{'pattern':<8} {'mode':<13} {'rps':>7} {'thru':>7} {'util':>6} "
+        f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8} {'viol':>6} {'SLA':>4}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.pattern:<8} {r.mode:<13} {r.offered_rps:>7.1f} "
+            f"{r.throughput_rps:>7.1f} {r.utilization:>6.1%} "
+            f"{r.p50_ms:>8.2f} {r.p95_ms:>8.2f} {r.p99_ms:>8.2f} "
+            f"{r.sla_violation_rate:>6.1%} "
+            f"{'ok' if r.meets_sla else 'MISS':>4}"
+        )
+    headroom = max_sla_load(rows)
+    patterns = sorted({p for p, _ in headroom})
+    for pattern in patterns:
+        base = headroom.get((pattern, ExecutionMode.BASELINE.value), 0.0)
+        parts = []
+        for (pat, mode), load in sorted(headroom.items()):
+            if pat != pattern:
+                continue
+            ratio = f" ({load / base:.1f}x)" if base > 0 else ""
+            parts.append(f"{mode} {load:.0f} rps{ratio}")
+        lines.append(
+            f"headroom @ p99 SLA [{pattern}]: " + ", ".join(parts)
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,70 @@
+"""Serving-traffic simulation on top of the SPRINT cycle model.
+
+Turns the per-sample, per-head simulator into a production-serving
+study: request streams (Poisson / bursty / trace replay) flow through a
+dynamic batcher onto one or more simulated SPRINT chips, producing
+throughput, device utilization, and p50/p95/p99 latency with SLA
+accounting.
+
+Typical use::
+
+    from repro.core.configs import S_SPRINT
+    from repro.core.system import ExecutionMode
+    from repro.serving import (
+        DynamicBatcher, PoissonProcess, ServiceCostModel,
+        ServingSimulator, SprintDevice, generate_requests, summarize,
+    )
+
+    process = PoissonProcess(rate_rps=200.0)
+    requests = generate_requests(process, "BERT-B", count=1000, seed=0)
+    cost = ServiceCostModel(S_SPRINT, ExecutionMode.SPRINT)
+    sim = ServingSimulator(
+        [SprintDevice(0, cost)], DynamicBatcher(max_batch_size=8)
+    )
+    report = summarize(
+        sim.run(requests), config=S_SPRINT.name, mode="sprint",
+        pattern=process.name, offered_rps=process.mean_rate_rps,
+        sla_s=0.1,
+    )
+    print(report.describe())
+"""
+
+from repro.serving.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    PoissonProcess,
+    TraceProcess,
+    generate_requests,
+    sample_valid_len,
+)
+from repro.serving.batching import BatcherStats, DynamicBatcher
+from repro.serving.devices import SampleCost, ServiceCostModel, SprintDevice
+from repro.serving.events import Event, EventKind, EventQueue
+from repro.serving.metrics import LatencyStats, ServingReport, summarize
+from repro.serving.requests import Batch, Request, RequestRecord
+from repro.serving.scheduler import ServingResult, ServingSimulator
+
+__all__ = [
+    "ArrivalProcess",
+    "Batch",
+    "BatcherStats",
+    "BurstyProcess",
+    "DynamicBatcher",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "LatencyStats",
+    "PoissonProcess",
+    "Request",
+    "RequestRecord",
+    "SampleCost",
+    "ServiceCostModel",
+    "ServingReport",
+    "ServingResult",
+    "ServingSimulator",
+    "SprintDevice",
+    "TraceProcess",
+    "generate_requests",
+    "sample_valid_len",
+    "summarize",
+]

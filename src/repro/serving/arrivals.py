@@ -1,0 +1,229 @@
+"""Request arrival processes: Poisson, bursty (MMPP), and trace replay.
+
+Each process produces deterministic-under-seed arrival timestamps;
+:func:`generate_requests` turns them into :class:`Request` objects by
+drawing a model from a weighted mix and a padded input length around the
+model's mean padding ratio (matching ``repro.workloads.generator``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.models.zoo import ModelSpec, get_model
+from repro.serving.requests import Request
+
+
+class ArrivalProcess:
+    """Base class: a stream of arrival timestamps (seconds)."""
+
+    #: Short name used in experiment tables.
+    name = "abstract"
+
+    def arrival_times(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Long-run offered load in requests per second."""
+        raise NotImplementedError
+
+
+@dataclass
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at a constant mean rate."""
+
+    rate_rps: float
+    name = "poisson"
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+
+    def arrival_times(self, count, rng):
+        gaps = rng.exponential(1.0 / self.rate_rps, size=count)
+        return np.cumsum(gaps)
+
+    @property
+    def mean_rate_rps(self) -> float:
+        return self.rate_rps
+
+
+@dataclass
+class BurstyProcess(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (calm/burst phases).
+
+    Dwell times in each state are exponential; arrivals within a state
+    are Poisson at that state's rate.  At a state switch the residual
+    inter-arrival gap is redrawn from the new state's rate, which is
+    exact for exponential gaps (memorylessness).
+    """
+
+    calm_rate_rps: float
+    burst_rate_rps: float
+    calm_dwell_s: float = 1.0
+    burst_dwell_s: float = 0.25
+    name = "bursty"
+
+    def __post_init__(self):
+        if min(self.calm_rate_rps, self.burst_rate_rps) <= 0:
+            raise ValueError("rates must be positive")
+        if min(self.calm_dwell_s, self.burst_dwell_s) <= 0:
+            raise ValueError("dwell times must be positive")
+
+    def arrival_times(self, count, rng):
+        rates = (self.calm_rate_rps, self.burst_rate_rps)
+        dwells = (self.calm_dwell_s, self.burst_dwell_s)
+        times = np.empty(count)
+        t, state = 0.0, 0
+        next_switch = rng.exponential(dwells[state])
+        produced = 0
+        while produced < count:
+            gap = rng.exponential(1.0 / rates[state])
+            if t + gap >= next_switch:
+                t = next_switch
+                state ^= 1
+                next_switch = t + rng.exponential(dwells[state])
+                continue
+            t += gap
+            times[produced] = t
+            produced += 1
+        return times
+
+    @property
+    def mean_rate_rps(self) -> float:
+        # Time-weighted mean of the two phases.
+        total = self.calm_dwell_s + self.burst_dwell_s
+        return (
+            self.calm_rate_rps * self.calm_dwell_s
+            + self.burst_rate_rps * self.burst_dwell_s
+        ) / total
+
+
+@dataclass
+class TraceProcess(ArrivalProcess):
+    """Replay recorded inter-arrival gaps, cycling when exhausted."""
+
+    inter_arrival_s: Sequence[float]
+    #: Time-axis scale; 0.5 replays the trace at twice the speed.
+    time_scale: float = 1.0
+    name = "trace"
+
+    def __post_init__(self):
+        gaps = np.asarray(self.inter_arrival_s, dtype=np.float64)
+        if gaps.size == 0:
+            raise ValueError("trace must contain at least one gap")
+        if np.any(gaps < 0):
+            raise ValueError("inter-arrival gaps must be non-negative")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self._gaps = gaps
+
+    def arrival_times(self, count, rng):
+        reps = -(-count // self._gaps.size)
+        gaps = np.tile(self._gaps, reps)[:count] * self.time_scale
+        return np.cumsum(gaps)
+
+    @property
+    def mean_rate_rps(self) -> float:
+        mean_gap = float(np.mean(self._gaps)) * self.time_scale
+        return 1.0 / mean_gap if mean_gap > 0 else float("inf")
+
+    @classmethod
+    def from_rate_profile(
+        cls,
+        rates_rps: Sequence[float],
+        requests_per_segment: int,
+        time_scale: float = 1.0,
+    ) -> "TraceProcess":
+        """Synthesize a replayable trace from a piecewise rate profile.
+
+        Each profile segment contributes ``requests_per_segment`` gaps
+        of ``1/rate`` seconds -- a deterministic stand-in for a recorded
+        production trace (e.g. a diurnal load curve).
+        """
+        if requests_per_segment < 1:
+            raise ValueError("requests_per_segment must be positive")
+        gaps: List[float] = []
+        for rate in rates_rps:
+            if rate <= 0:
+                raise ValueError("profile rates must be positive")
+            gaps.extend([1.0 / rate] * requests_per_segment)
+        return cls(inter_arrival_s=gaps, time_scale=time_scale)
+
+
+#: A model mix: either spec/name -> weight, or a bare spec (weight 1).
+ModelMix = Union[
+    ModelSpec, str, Dict[Union[ModelSpec, str], float],
+    Sequence[Tuple[Union[ModelSpec, str], float]],
+]
+
+
+def _normalize_mix(mix: ModelMix) -> Tuple[List[ModelSpec], np.ndarray]:
+    if isinstance(mix, (ModelSpec, str)):
+        pairs = [(mix, 1.0)]
+    elif isinstance(mix, dict):
+        pairs = list(mix.items())
+    else:
+        pairs = list(mix)
+    if not pairs:
+        raise ValueError("model mix must not be empty")
+    specs = [
+        m if isinstance(m, ModelSpec) else get_model(m) for m, _ in pairs
+    ]
+    weights = np.array([w for _, w in pairs], dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("mix weights must be non-negative and sum > 0")
+    return specs, weights / weights.sum()
+
+
+def sample_valid_len(
+    spec: ModelSpec, rng: np.random.Generator
+) -> int:
+    """Draw one request's non-padded length around the model's mean.
+
+    Mirrors the jitter the calibrated workload generator applies to the
+    padding ratio, so serving traffic and figure workloads agree.
+    """
+    if spec.padding_ratio <= 0.0:
+        return spec.seq_len
+    jitter = rng.uniform(-0.05, 0.05)
+    ratio = float(np.clip(spec.padding_ratio + jitter, 0.0, 0.95))
+    return max(2, int(round(spec.seq_len * (1.0 - ratio))))
+
+
+def generate_requests(
+    process: ArrivalProcess,
+    mix: ModelMix,
+    count: int,
+    seed: int = 0,
+    start_id: int = 0,
+) -> List[Request]:
+    """Materialize ``count`` requests from an arrival process and a mix.
+
+    Deterministic under ``seed``: the same call always yields identical
+    timestamps, model draws, and input lengths.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(seed)
+    specs, weights = _normalize_mix(mix)
+    times = process.arrival_times(count, rng)
+    picks = rng.choice(len(specs), size=count, p=weights)
+    requests = []
+    for i in range(count):
+        spec = specs[int(picks[i])]
+        requests.append(
+            Request(
+                request_id=start_id + i,
+                arrival_s=float(times[i]),
+                spec=spec,
+                valid_len=sample_valid_len(spec, rng),
+            )
+        )
+    return requests

@@ -1,0 +1,103 @@
+"""Dynamic batching: group compatible requests under size/wait knobs.
+
+The batcher keeps one FIFO queue per model.  A batch seals when it
+reaches ``max_batch_size``, or when its oldest member has waited
+``max_wait_s`` (the scheduler drives the timeout via events).  Requests
+for different models never share a batch -- they need different weights
+and learned thresholds programmed into the accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serving.requests import Batch, Request
+
+
+@dataclass
+class BatcherStats:
+    """Aggregate batcher behaviour over one simulation."""
+
+    requests_in: int = 0
+    batches_out: int = 0
+    size_triggered: int = 0
+    timeout_triggered: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches_out == 0:
+            return 0.0
+        return self.requests_in / self.batches_out
+
+
+class DynamicBatcher:
+    """Size- and latency-bounded request grouping.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Seal a batch as soon as it holds this many requests.
+    max_wait_s:
+        Upper bound on the time any request spends waiting for
+        batch-mates.  ``0`` degenerates to one-request batches.
+    """
+
+    def __init__(self, max_batch_size: int = 8, max_wait_s: float = 2e-3):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.stats = BatcherStats()
+        self._queues: Dict[str, List[Request]] = {}
+        self._next_batch_id = 0
+
+    # ------------------------------------------------------------------
+    def _seal(self, model: str, now_s: float, by_size: bool) -> Batch:
+        requests = self._queues.pop(model)
+        batch = Batch(
+            batch_id=self._next_batch_id, requests=requests, sealed_s=now_s
+        )
+        self._next_batch_id += 1
+        self.stats.batches_out += 1
+        if by_size:
+            self.stats.size_triggered += 1
+        else:
+            self.stats.timeout_triggered += 1
+        return batch
+
+    # ------------------------------------------------------------------
+    def add(self, request: Request, now_s: float) -> Optional[Batch]:
+        """Admit one request; returns a sealed batch on a size trigger."""
+        self.stats.requests_in += 1
+        queue = self._queues.setdefault(request.spec.name, [])
+        queue.append(request)
+        if len(queue) >= self.max_batch_size:
+            return self._seal(request.spec.name, now_s, by_size=True)
+        return None
+
+    def deadline_for(self, request: Request) -> float:
+        """Latest instant this request may wait for batch-mates."""
+        return request.arrival_s + self.max_wait_s
+
+    def flush_due(self, now_s: float) -> List[Batch]:
+        """Seal every queue whose oldest member's wait bound expired."""
+        due = [
+            model
+            for model, queue in self._queues.items()
+            if now_s >= queue[0].arrival_s + self.max_wait_s
+        ]
+        return [self._seal(m, now_s, by_size=False) for m in due]
+
+    def flush_all(self, now_s: float) -> List[Batch]:
+        """Seal everything (end of stream)."""
+        return [
+            self._seal(m, now_s, by_size=False)
+            for m in list(self._queues)
+        ]
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,166 @@
+"""Device model: a SPRINT chip serving batches, with a cycle-cost cache.
+
+A :class:`ServiceCostModel` turns (model, input length) into per-sample
+cycles and energy by rolling the existing per-head cycle model
+(:class:`repro.core.system.SprintSystem`) up to whole-model granularity
+exactly like :class:`repro.core.multihead.MultiHeadSimulator` does.
+Input lengths are bucketed so a 100k-request simulation touches the
+(slow, exact) cycle model only a handful of times per model.
+
+A :class:`SprintDevice` is one chip: it executes one batch at a time,
+serializing the batch's samples through the accelerator and charging a
+fixed per-batch setup (threshold/projection reprogramming, pipeline
+drain) that dynamic batching amortizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.configs import SprintConfig
+from repro.core.multihead import MultiHeadSimulator
+from repro.core.system import ExecutionMode
+from repro.models.zoo import ModelSpec
+from repro.serving.requests import Batch
+
+
+@dataclass(frozen=True)
+class SampleCost:
+    """Whole-model cost of one sample at one (bucketed) input length."""
+
+    cycles: float
+    energy_pj: float
+
+
+class ServiceCostModel:
+    """Memoized (model, length, mode) -> per-sample cycles/energy.
+
+    Parameters
+    ----------
+    config:
+        The chip configuration (Table I column).
+    mode:
+        Execution mode every request in this simulation runs under.
+    len_bucket:
+        Input lengths round up to multiples of this before hitting the
+        cycle model; smaller buckets are more precise but slower.
+    seed:
+        Seed for the calibrated masks behind each cache entry (the cost
+        cache is deterministic under it).
+    """
+
+    def __init__(
+        self,
+        config: SprintConfig,
+        mode: ExecutionMode,
+        len_bucket: int = 32,
+        seed: int = 0,
+        **system_kwargs,
+    ):
+        if len_bucket < 1:
+            raise ValueError("len_bucket must be positive")
+        self.config = config
+        self.mode = mode
+        self.len_bucket = len_bucket
+        self.seed = seed
+        self._simulator = MultiHeadSimulator(config, **system_kwargs)
+        self._cache: Dict[Tuple[str, int], SampleCost] = {}
+
+    # ------------------------------------------------------------------
+    def bucket_len(self, spec: ModelSpec, valid_len: int) -> int:
+        """Round a request length up to its simulation bucket."""
+        if valid_len < 1:
+            raise ValueError("valid_len must be positive")
+        rounded = -(-valid_len // self.len_bucket) * self.len_bucket
+        return min(spec.seq_len, max(2, rounded))
+
+    def sample_cost(self, spec: ModelSpec, valid_len: int) -> SampleCost:
+        """Whole-model cycles/energy for one sample of ``valid_len``."""
+        length = self.bucket_len(spec, valid_len)
+        key = (spec.name, length)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        # The batch runs with padding stripped to the bucket length: the
+        # serving layer, unlike the figure workloads, knows each
+        # request's true length.
+        sized = dataclasses.replace(
+            spec, seq_len=length, padding_ratio=0.0
+        )
+        report = self._simulator.simulate(
+            sized, self.mode, num_samples=1, seed=self.seed
+        )
+        cost = SampleCost(
+            cycles=float(report.total_cycles),
+            energy_pj=float(report.total_energy_pj),
+        )
+        self._cache[key] = cost
+        return cost
+
+    @property
+    def cache_entries(self) -> int:
+        return len(self._cache)
+
+
+class SprintDevice:
+    """One accelerator chip executing sealed batches serially.
+
+    Samples within a batch serialize through the CORELET pipelines (a
+    CORELET is a per-head pipeline, so there is no cross-sample
+    parallelism to exploit); every sample pays the cost of the batch's
+    longest member (dynamic batching pads to the maximum length).  The
+    per-batch ``setup_cycles`` covers reprogramming learned thresholds
+    and projection weights plus pipeline fill/drain.
+    """
+
+    def __init__(
+        self,
+        device_id: int,
+        cost_model: ServiceCostModel,
+        setup_cycles: int = 4096,
+    ):
+        if setup_cycles < 0:
+            raise ValueError("setup_cycles must be non-negative")
+        self.device_id = device_id
+        self.cost_model = cost_model
+        self.setup_cycles = setup_cycles
+        self.busy_until_s: float = 0.0
+        self.busy_s: float = 0.0
+        self.batches_done: int = 0
+        self.samples_done: int = 0
+        self.energy_pj: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def frequency_hz(self) -> float:
+        return self.cost_model.config.frequency_ghz * 1e9
+
+    def is_idle(self, now_s: float) -> bool:
+        return now_s >= self.busy_until_s
+
+    def service_time_s(self, batch: Batch) -> float:
+        """Wall-clock seconds this device needs for ``batch``."""
+        per_sample = self.cost_model.sample_cost(
+            batch.spec, batch.max_valid_len
+        )
+        cycles = self.setup_cycles + per_sample.cycles * batch.size
+        return cycles / self.frequency_hz
+
+    def start_batch(self, batch: Batch, now_s: float) -> float:
+        """Begin executing ``batch`` at ``now_s``; returns finish time."""
+        if not self.is_idle(now_s):
+            raise RuntimeError(
+                f"device {self.device_id} busy until {self.busy_until_s}"
+            )
+        service = self.service_time_s(batch)
+        per_sample = self.cost_model.sample_cost(
+            batch.spec, batch.max_valid_len
+        )
+        self.busy_until_s = now_s + service
+        self.busy_s += service
+        self.batches_done += 1
+        self.samples_done += batch.size
+        self.energy_pj += per_sample.energy_pj * batch.size
+        return self.busy_until_s

@@ -1,0 +1,133 @@
+"""Serving metrics: throughput, utilization, tail latency, SLA checks.
+
+Mirrors the reporting style of :mod:`repro.core.results`: a dataclass
+per aggregate with derived properties and a ``describe()`` that prints
+the table rows the serving experiments lead with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serving.scheduler import ServingResult
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Percentile summary of one latency population (seconds)."""
+
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples) -> "LatencyStats":
+        arr = np.asarray(list(samples), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("at least one latency sample required")
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return cls(
+            mean_s=float(arr.mean()),
+            p50_s=float(p50),
+            p95_s=float(p95),
+            p99_s=float(p99),
+            max_s=float(arr.max()),
+        )
+
+
+@dataclass
+class ServingReport:
+    """One (config, mode, arrival pattern, load) serving outcome."""
+
+    config: str
+    mode: str
+    pattern: str
+    offered_rps: float
+    requests: int
+    duration_s: float
+    latency: LatencyStats
+    queue_wait: LatencyStats
+    throughput_rps: float
+    #: Mean busy fraction across devices over the run's span.
+    utilization: float
+    mean_batch_size: float
+    energy_uj: float
+    sla_s: Optional[float] = None
+    sla_violations: int = 0
+
+    @property
+    def sla_violation_rate(self) -> float:
+        return self.sla_violations / self.requests if self.requests else 0.0
+
+    def meets_sla(self) -> bool:
+        """p99 within the SLA (the criterion the sweeps rank loads by)."""
+        if self.sla_s is None:
+            return True
+        return self.latency.p99_s <= self.sla_s
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.config} / {self.mode} / {self.pattern} "
+            f"@ {self.offered_rps:,.1f} rps:",
+            f"  requests          : {self.requests:,} "
+            f"over {self.duration_s:,.2f} s",
+            f"  throughput        : {self.throughput_rps:,.1f} rps",
+            f"  utilization       : {self.utilization:.1%}",
+            f"  latency p50/p95/p99: "
+            f"{self.latency.p50_s * 1e3:,.2f} / "
+            f"{self.latency.p95_s * 1e3:,.2f} / "
+            f"{self.latency.p99_s * 1e3:,.2f} ms",
+            f"  mean batch size   : {self.mean_batch_size:.2f}",
+            f"  energy            : {self.energy_uj:,.1f} uJ",
+        ]
+        if self.sla_s is not None:
+            lines.append(
+                f"  SLA {self.sla_s * 1e3:,.1f} ms     : "
+                f"{self.sla_violations:,} violations "
+                f"({self.sla_violation_rate:.2%})"
+            )
+        return "\n".join(lines)
+
+
+def summarize(
+    result: ServingResult,
+    config: str,
+    mode: str,
+    pattern: str,
+    offered_rps: float,
+    sla_s: Optional[float] = None,
+) -> ServingReport:
+    """Fold one :class:`ServingResult` into a :class:`ServingReport`."""
+    latencies = [rec.latency_s for rec in result.records]
+    waits = [rec.queue_wait_s for rec in result.records]
+    duration = result.duration_s
+    span = duration if duration > 0 else float("inf")
+    busy = np.asarray(result.device_busy_s, dtype=np.float64)
+    utilization = float(np.mean(busy / span)) if busy.size else 0.0
+    violations = (
+        int(sum(1 for lat in latencies if lat > sla_s))
+        if sla_s is not None
+        else 0
+    )
+    sizes = [rec.batch_size for rec in result.records]
+    return ServingReport(
+        config=config,
+        mode=mode,
+        pattern=pattern,
+        offered_rps=offered_rps,
+        requests=result.completed,
+        duration_s=duration,
+        latency=LatencyStats.from_samples(latencies),
+        queue_wait=LatencyStats.from_samples(waits),
+        throughput_rps=result.completed / span,
+        utilization=utilization,
+        mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
+        energy_uj=float(sum(result.device_energy_pj)) / 1e6,
+        sla_s=sla_s,
+        sla_violations=violations,
+    )

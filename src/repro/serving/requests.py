@@ -1,0 +1,110 @@
+"""Inference requests and their lifecycle records.
+
+A :class:`Request` is one user inference call: a model, a (possibly
+padded) input length, and an arrival time.  The serving simulator fills
+in a :class:`RequestRecord` as the request moves through the dynamic
+batcher, the dispatch queue, and a device -- the record carries every
+timestamp the tail-latency analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.models.zoo import ModelSpec
+
+
+@dataclass
+class Request:
+    """One inference request in the arrival stream.
+
+    Attributes
+    ----------
+    request_id:
+        Unique, monotonically increasing within a stream.
+    arrival_s:
+        Arrival time in seconds from the start of the simulation.
+    spec:
+        The model this request runs (drawn from the stream's mix).
+    valid_len:
+        Non-padded tokens in this request's input (drawn around the
+        model's mean padding ratio, like the workload generator does).
+    """
+
+    request_id: int
+    arrival_s: float
+    spec: ModelSpec
+    valid_len: int
+
+    def __post_init__(self):
+        if self.valid_len < 1:
+            raise ValueError("valid_len must be positive")
+        if self.valid_len > self.spec.seq_len:
+            raise ValueError("valid_len exceeds the model's seq_len")
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps for one completed request (seconds)."""
+
+    request: Request
+    #: When the dynamic batcher sealed this request's batch.
+    batched_s: float = 0.0
+    #: When a device started executing the batch.
+    service_start_s: float = 0.0
+    #: When the batch (and hence the request) finished.
+    finish_s: float = 0.0
+    #: Size of the batch the request rode in.
+    batch_size: int = 1
+    #: Device that executed the batch.
+    device_id: int = -1
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def batching_wait_s(self) -> float:
+        """Time spent waiting in the batcher before the batch sealed."""
+        return self.batched_s - self.request.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Arrival to service start (batching + dispatch queueing)."""
+        return self.service_start_s - self.request.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.service_start_s
+
+
+@dataclass
+class Batch:
+    """A group of compatible requests dispatched as one unit."""
+
+    batch_id: int
+    requests: list = field(default_factory=list)
+    #: When the batcher sealed the batch (size or wait trigger).
+    sealed_s: float = 0.0
+
+    def __post_init__(self):
+        if not self.requests:
+            raise ValueError("a batch needs at least one request")
+        specs = {r.spec.name for r in self.requests}
+        if len(specs) > 1:
+            raise ValueError(f"mixed-model batch: {sorted(specs)}")
+
+    @property
+    def spec(self) -> ModelSpec:
+        return self.requests[0].spec
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def max_valid_len(self) -> int:
+        """Dynamic batching pads every member to the longest input."""
+        return max(r.valid_len for r in self.requests)

@@ -1,0 +1,167 @@
+"""The serving event loop: arrivals -> batcher -> devices -> records.
+
+:class:`ServingSimulator` wires the pieces together as a discrete-event
+simulation: request arrivals feed the dynamic batcher; sealed batches
+enter a FIFO dispatch queue; idle devices pull from it; completions
+free the device and stamp every member request's record.  The loop is
+fully deterministic -- same requests, same knobs, same result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.serving.batching import DynamicBatcher
+from repro.serving.devices import SprintDevice
+from repro.serving.events import EventKind, EventQueue
+from repro.serving.requests import Batch, Request, RequestRecord
+
+
+@dataclass
+class ServingResult:
+    """Everything one simulation run produced."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    #: Wall-clock span of the run: first arrival to last completion.
+    start_s: float = 0.0
+    end_s: float = 0.0
+    #: Per-device busy seconds (index = device position).
+    device_busy_s: List[float] = field(default_factory=list)
+    device_energy_pj: List[float] = field(default_factory=list)
+    batches: int = 0
+    size_triggered_batches: int = 0
+    timeout_triggered_batches: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+
+class ServingSimulator:
+    """Simulate one (devices, batcher) deployment over a request stream.
+
+    Parameters
+    ----------
+    devices:
+        One or more :class:`SprintDevice` (multi-chip deployments load-
+        balance over them; the first idle device takes the next batch).
+    batcher:
+        The dynamic batcher; its knobs set the batching/latency trade.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[SprintDevice],
+        batcher: DynamicBatcher,
+    ):
+        devices = list(devices)
+        if not devices:
+            raise ValueError("at least one device required")
+        self.devices = devices
+        self.batcher = batcher
+        self._consumed = False
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> ServingResult:
+        """Process every request to completion; returns the records.
+
+        Single-use: devices and the batcher accumulate wall-clock and
+        counter state during a run, so reusing them would corrupt the
+        next run's timing.  Build a fresh simulator per stream.
+        """
+        if self._consumed:
+            raise RuntimeError(
+                "ServingSimulator.run() is single-use: devices and "
+                "batcher carry per-run state; build a new simulator"
+            )
+        self._consumed = True
+        requests = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        if not requests:
+            raise ValueError("request stream must not be empty")
+        seen = set()
+        for r in requests:
+            if r.request_id in seen:
+                raise ValueError(f"duplicate request id {r.request_id}")
+            seen.add(r.request_id)
+
+        queue = EventQueue()
+        ready: List[Batch] = []  # sealed batches awaiting a device
+        records: Dict[int, RequestRecord] = {}
+        arrivals_left = len(requests)
+
+        for r in requests:
+            queue.push(r.arrival_s, EventKind.ARRIVAL, r)
+
+        def seal(batch: Batch) -> None:
+            for member in batch.requests:
+                records[member.request_id] = RequestRecord(
+                    request=member,
+                    batched_s=batch.sealed_s,
+                    batch_size=batch.size,
+                )
+            ready.append(batch)
+
+        def dispatch(now_s: float) -> None:
+            while ready:
+                device = next(
+                    (d for d in self.devices if d.is_idle(now_s)), None
+                )
+                if device is None:
+                    return
+                batch = ready.pop(0)
+                finish = device.start_batch(batch, now_s)
+                for member in batch.requests:
+                    rec = records[member.request_id]
+                    rec.service_start_s = now_s
+                    rec.finish_s = finish
+                    rec.device_id = device.device_id
+                queue.push(finish, EventKind.DEVICE_DONE, batch)
+
+        while queue:
+            event = queue.pop()
+            now = event.time_s
+            if event.kind == EventKind.ARRIVAL:
+                arrivals_left -= 1
+                sealed = self.batcher.add(event.payload, now)
+                if sealed is not None:
+                    seal(sealed)
+                elif self.batcher.max_wait_s > 0:
+                    queue.push(
+                        self.batcher.deadline_for(event.payload),
+                        EventKind.BATCH_TIMEOUT,
+                    )
+                else:
+                    # Zero wait: the request never lingers in the
+                    # batcher; seal its (possibly singleton) queue now.
+                    for b in self.batcher.flush_due(now):
+                        seal(b)
+                if arrivals_left == 0 and self.batcher.pending:
+                    # Stream over: don't make the tail wait out its
+                    # timeout for batch-mates that will never come.
+                    for b in self.batcher.flush_all(now):
+                        seal(b)
+            elif event.kind == EventKind.BATCH_TIMEOUT:
+                for b in self.batcher.flush_due(now):
+                    seal(b)
+            elif event.kind == EventKind.DEVICE_DONE:
+                pass  # the device's busy_until_s already expired
+            dispatch(now)
+
+        assert not ready and self.batcher.pending == 0
+        result_records = [records[r.request_id] for r in requests]
+        assert len(result_records) == len(requests)
+        return ServingResult(
+            records=result_records,
+            start_s=requests[0].arrival_s,
+            end_s=max(rec.finish_s for rec in result_records),
+            device_busy_s=[d.busy_s for d in self.devices],
+            device_energy_pj=[d.energy_pj for d in self.devices],
+            batches=self.batcher.stats.batches_out,
+            size_triggered_batches=self.batcher.stats.size_triggered,
+            timeout_triggered_batches=self.batcher.stats.timeout_triggered,
+        )
