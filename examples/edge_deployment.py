@@ -46,12 +46,11 @@ def main() -> None:
     for kb in cache_sizes:
         config = config_with_cache(kb)
         system = SprintSystem(config)
-        base = system.simulate_workload(
-            workload, ExecutionMode.BASELINE, spec.name
+        reports = system.simulate_modes(
+            workload, (ExecutionMode.BASELINE, ExecutionMode.SPRINT), spec.name
         )
-        sprint = system.simulate_workload(
-            workload, ExecutionMode.SPRINT, spec.name
-        )
+        base = reports[ExecutionMode.BASELINE.value]
+        sprint = reports[ExecutionMode.SPRINT.value]
         coverage = min(1.0, config.kv_capacity_vectors / spec.seq_len)
         fetch_per_query = (
             sprint.counts["key_fetches"] / max(sprint.counts["queries"], 1)

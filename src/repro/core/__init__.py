@@ -14,11 +14,19 @@ from repro.core.design_space import (
     pareto_frontier,
     sweep,
 )
+from repro.core.batched import (
+    BatchedKernel,
+    BatchedWorkload,
+    simulate_sld_traffic,
+)
 from repro.core.multihead import ModelReport, MultiHeadSimulator
 from repro.core.results import HeadReport, SimulationReport
 from repro.core.system import ExecutionMode, SprintSystem
 
 __all__ = [
+    "BatchedKernel",
+    "BatchedWorkload",
+    "simulate_sld_traffic",
     "DesignPoint",
     "sweep",
     "pareto_frontier",

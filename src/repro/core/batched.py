@@ -1,0 +1,703 @@
+"""Batched, vectorized simulation core.
+
+This module is the engine behind :class:`repro.core.system.SprintSystem`:
+instead of walking a workload one sample (and one query) at a time in
+Python, samples are stacked into a :class:`BatchedWorkload` and each
+execution mode's :class:`ModeStrategy` computes per-query keep counts,
+SLD fetch/reuse traffic, pipeline cycles, and energy event tallies for
+the whole workload with array-level bookkeeping.
+
+The layering is:
+
+- :class:`BatchedWorkload` -- samples padded/stacked by sequence length
+  into one ``(B, S, S)`` keep-mask tensor;
+- :class:`BatchedKernel` -- the shared vectorized primitives (CORELET
+  imbalance, pipeline cycles, SLD residency traffic, fetch latency);
+- :class:`DenseStrategy` / :class:`PruningOnlyStrategy` /
+  :class:`SprintStrategy` -- one strategy per :class:`ExecutionMode`,
+  each producing per-sample :class:`~repro.core.results.HeadReport`\\ s
+  that are bit-identical to the historical per-sample simulator.
+
+Exactness is a hard contract *within this module*: every strategy
+transcribes the per-sample arithmetic into elementwise array arithmetic
+(identical IEEE operations in identical order), and the vectorized SLD
+residency sweeps are provably equivalent to the retained query-by-query
+LRU reference (``slow_exact=True``) -- see :func:`simulate_sld_traffic`.
+One deliberate semantic change vs the pre-refactor simulator: LRU
+eviction ties (equally-old vectors) used to be broken in unspecified
+``np.argpartition`` order; they are now canonicalized to evict the
+lowest key index first.  That makes residency well-defined (and
+reproducible across numpy versions) but shifts SPRINT-mode fetch/reuse
+counts, cycles, and energy by ~0.1-1% on some workloads relative to
+pre-refactor outputs; the golden reports in ``tests/data/`` pin the
+canonicalized semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configs import SprintConfig
+from repro.core.results import HeadReport
+from repro.energy.model import EnergyModel
+from repro.memory.timing import DEFAULT_TIMING
+from repro.workloads.generator import WorkloadSample
+
+
+class ExecutionMode(enum.Enum):
+    """The four evaluation scenarios of the paper."""
+
+    BASELINE = "baseline"
+    MASK_ONLY = "mask_only"
+    PRUNING_ONLY = "pruning_only"
+    SPRINT = "sprint"
+
+
+# ----------------------------------------------------------------------
+# SLD residency traffic
+# ----------------------------------------------------------------------
+def _sld_traffic_loop(
+    keep: np.ndarray, capacity_vectors: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference query-by-query LRU walk (the ``slow_exact`` path).
+
+    Eviction is least-recently-used with a deterministic tie-break:
+    among equally-old vectors the lowest key index is evicted first
+    (vectors needed by the current query are preferred survivors).
+    """
+    keep = np.asarray(keep, dtype=bool)
+    num_queries, num_keys = keep.shape
+    resident = np.zeros(num_keys, dtype=bool)
+    last_use = np.full(num_keys, -1, dtype=np.int64)
+    fetches = np.zeros(num_queries, dtype=np.int64)
+    reuses = np.zeros(num_queries, dtype=np.int64)
+    for t in range(num_queries):
+        needed = keep[t]
+        if not needed.any():
+            continue
+        hits = needed & resident
+        misses = needed & ~resident
+        fetches[t] = int(misses.sum())
+        reuses[t] = int(hits.sum())
+        last_use[needed] = t
+        resident |= needed
+        over = int(resident.sum()) - capacity_vectors
+        if over > 0:
+            res_idx = np.nonzero(resident)[0]
+            # Prefer evicting vectors the current query does not need.
+            cold = res_idx[~needed[res_idx]]
+            pool = cold if cold.size >= over else res_idx
+            order = np.argsort(last_use[pool], kind="stable")[:over]
+            resident[pool[order]] = False
+    return fetches, reuses
+
+
+#: ``_LOW_SET_BITS[m, r]`` masks the ``r`` least-significant set bits of
+#: byte ``m`` -- the boundary-group survivors inside one packed byte
+#: (``np.packbits`` is big-endian, so higher key indices sit toward the
+#: least-significant bits).
+_LOW_SET_BITS = np.zeros((256, 9), dtype=np.uint8)
+for _m in range(256):
+    _mask = 0
+    _r = 0
+    for _bit in range(8):  # LSB upward = highest key index first
+        if _m & (1 << _bit):
+            _r += 1
+            _mask |= 1 << _bit
+        _LOW_SET_BITS[_m, _r:] = _mask
+del _m, _mask, _r, _bit
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _sld_traffic_packed(
+    keep: np.ndarray, capacity_vectors: int
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Bit-packed residency sweep (the fast path).
+
+    Works on the closed form of the LRU buffer (see
+    :func:`_sld_traffic_rank`): the resident set before query ``t`` is
+    the union of the last ``w*`` queries' keys plus the highest-index
+    remainder of the query just before that window, where ``w*[t]`` is
+    the largest window whose distinct-key count fits capacity.  With
+    keep masks packed to bits, window unions are byte ORs, distinct
+    counts are popcounts, and the boundary-query survivors reduce to a
+    256-entry byte mask table -- so the expected cost is a few packed
+    passes instead of O(queries x keys) integer scans.
+
+    ``w*`` is found by scanning window sizes upward; pathological
+    regimes (capacity so large the window never fills) return ``None``
+    so the caller can fall back to the histogram-ranking sweep.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    num_queries, num_keys = keep.shape
+    fetches = keep.sum(axis=1).astype(np.int64)
+    reuses = np.zeros(num_queries, dtype=np.int64)
+    if num_queries <= 1 or num_keys == 0 or capacity_vectors <= 0:
+        return fetches, reuses
+    packed = np.packbits(keep, axis=1)
+    row_ids = np.arange(num_queries, dtype=np.int64)
+    # -- scan window sizes upward for w*[t]: the largest w such that
+    #    the keys of queries [t-w, t) number at most `capacity`.
+    w_star = np.full(num_queries, -1, dtype=np.int64)
+    unresolved = np.ones(num_queries, dtype=bool)
+    w_star[0] = 0  # query 0 has an empty history: nothing resident
+    unresolved[0] = False
+    window_or = np.zeros_like(packed)  # OR of rows [t-w, t), w = 0
+    or_levels = [window_or]
+    distinct_levels = [np.zeros(num_queries, dtype=np.int64)]
+    w = 0
+    max_window = min(num_queries, 64)
+    while unresolved.any() and w < max_window:
+        w += 1
+        window_or = window_or.copy()
+        window_or[w:] |= packed[: num_queries - w]
+        distinct = np.bitwise_count(window_or).sum(
+            axis=1, dtype=np.int64
+        )
+        or_levels.append(window_or)
+        distinct_levels.append(distinct)
+        exceeded = unresolved & (distinct > capacity_vectors)
+        w_star[exceeded] = w - 1
+        unresolved &= ~exceeded
+        saturated = unresolved & (row_ids == w)  # full history fits
+        w_star[saturated] = w
+        unresolved &= ~saturated
+    if unresolved.any():
+        return None  # window never filled; use the histogram sweep
+    # -- per-row window union / distinct count at w*[t]
+    or_stack = np.stack(or_levels)
+    window_at = or_stack[w_star, row_ids]
+    distinct_at = np.stack(distinct_levels)[w_star, row_ids]
+    avail = capacity_vectors - distinct_at
+    # Keys used inside the window are unconditionally resident.
+    reuses = np.bitwise_count(packed & window_at).sum(axis=1, dtype=np.int64)
+    # The query just before the window (the boundary query) keeps only
+    # its `avail` highest-index keys not already inside the window.
+    boundary_row = row_ids - w_star - 1
+    has_boundary = boundary_row >= 0
+    members = np.zeros_like(packed)
+    members[has_boundary] = (
+        packed[boundary_row[has_boundary]] & ~window_at[has_boundary]
+    )
+    member_counts = np.bitwise_count(members).astype(np.int64)
+    after = member_counts[:, ::-1].cumsum(axis=1)[:, ::-1] - member_counts
+    slots = np.clip(avail[:, None] - after, 0, 8)
+    survivors = _LOW_SET_BITS[members, slots]
+    reuses += np.bitwise_count(packed & survivors).sum(axis=1, dtype=np.int64)
+    return fetches - reuses, reuses
+
+
+def _sld_traffic_rank(
+    keep: np.ndarray, capacity_vectors: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram-ranking residency sweep (general vectorized fallback).
+
+    The LRU-with-index-tie-break buffer admits a closed form: trimming
+    the residency set to capacity at every step under the total order
+    ``(last_use, key_index)`` leaves exactly the top-``capacity`` keys
+    of that order resident.  So key ``k`` is a reuse at query ``t`` iff
+    it was used before ``t`` and fewer than ``capacity`` keys rank above
+    it by ``(last use strictly before t, key index)``.
+
+    The rank test needs no sorting: a per-row histogram of last-use
+    times gives ``#{keys used more recently}`` by suffix-summing, and
+    the index tie-break only matters inside the single last-use value
+    group that straddles the capacity boundary, where a reverse cumsum
+    yields each key's within-group rank (higher indices survive).  The
+    whole sweep is a fixed number of O(queries x keys) elementwise /
+    cumsum passes with no sequential Python loop.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    num_queries, num_keys = keep.shape
+    fetches = keep.sum(axis=1).astype(np.int64)
+    reuses = np.zeros(num_queries, dtype=np.int64)
+    if num_queries <= 1 or num_keys == 0 or capacity_vectors <= 0:
+        return fetches, reuses
+    age_dtype = np.int16 if num_queries < 2 ** 15 else np.int64
+    # age[t, j] = 1 + most recent query < t that needed key j (0: never).
+    rows = np.arange(1, num_queries + 1, dtype=age_dtype)[:, None]
+    use_time = keep * rows
+    age = np.zeros((num_queries, num_keys), dtype=age_dtype)
+    np.maximum.accumulate(use_time[:-1], axis=0, out=age[1:])
+    # Per-row age histogram and suffix counts G[t, v] = #{j: age >= v}.
+    offsets = np.arange(num_queries, dtype=np.int64) * (num_queries + 1)
+    hist = np.bincount(
+        np.add(age, offsets[:, None]).ravel(),
+        minlength=num_queries * (num_queries + 1),
+    ).reshape(num_queries, num_queries + 1)
+    newer = hist[:, ::-1].cumsum(axis=1)[:, ::-1]
+    # Whole age groups are decisively resident or evicted: the smallest
+    # age with G <= capacity marks the fully-resident region (G is
+    # non-increasing in v, and G[t, num_queries] == 0, so it exists).
+    full_age = (newer <= capacity_vectors).argmax(axis=1)
+    # Never-used keys (age 0) are not resident even when the buffer has
+    # room for everything, so the resident threshold is at least age 1.
+    resident_age = np.maximum(full_age, 1).astype(age_dtype)[:, None]
+    reuses = np.count_nonzero(keep & (age >= resident_age), axis=1).astype(
+        np.int64
+    )
+    # The one group per row straddling the capacity boundary additionally
+    # keeps its `capacity - G[t, full_age]` highest key indices.
+    avail = capacity_vectors - np.take_along_axis(
+        newer, full_age[:, None], axis=1
+    )
+    boundary = age == (resident_age - 1)
+    ties = np.cumsum(boundary, axis=1, dtype=np.int32)  # {j <= k} ties
+    group_size = ties[:, -1:]
+    # ties-from-the-right = group_size - ties + 1 for a member; survivors
+    # are members with at most `avail` group keys at an index >= theirs.
+    # Rows with resident_age == 1 have the never-used keys (age 0) as
+    # their "boundary" group, which is never resident: gate them out.
+    hit_boundary = (
+        keep
+        & boundary
+        & (group_size - ties + 1 <= avail)
+        & (resident_age > 1)
+    )
+    reuses += np.count_nonzero(hit_boundary, axis=1)
+    return fetches - reuses, reuses
+
+
+def simulate_sld_traffic(
+    keep_mask: np.ndarray,
+    capacity_vectors: int,
+    slow_exact: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-query (fetch, reuse) vector counts under LRU residency.
+
+    Each query's unpruned keys are either resident (reuse, Eq. 5) or
+    fetched (Eq. 4); the buffer evicts least-recently-used vectors
+    beyond ``capacity_vectors``, lowest key index first among ties.
+    Exactly the SLD-engine behaviour with a capacity-aware residency
+    set.
+
+    Parameters
+    ----------
+    keep_mask:
+        Boolean ``(queries, keys)`` keep mask.
+    capacity_vectors:
+        K (equivalently V) buffer capacity in vectors.
+    slow_exact:
+        ``True`` runs the retained query-by-query LRU reference loop
+        instead of the vectorized residency sweep.  All paths return
+        identical counts; the loop exists as the executable
+        specification the sweeps are tested against.
+    """
+    if slow_exact:
+        return _sld_traffic_loop(keep_mask, capacity_vectors)
+    if _HAS_BITWISE_COUNT:
+        result = _sld_traffic_packed(keep_mask, capacity_vectors)
+        if result is not None:
+            return result
+    return _sld_traffic_rank(keep_mask, capacity_vectors)
+
+
+# ----------------------------------------------------------------------
+# batched workload view
+# ----------------------------------------------------------------------
+@dataclass
+class BatchedWorkload:
+    """Samples of equal ``seq_len`` stacked into one mask tensor.
+
+    Attributes
+    ----------
+    keep:
+        Boolean ``(B, S, S)``; padded rows/columns are ``False``.
+    valid_len:
+        ``(B,)`` non-padded token counts.
+    causal:
+        ``(B,)`` causal flags (drives the mask-aware dense reduction).
+    seq_len:
+        The shared model sequence length ``S``.
+    """
+
+    keep: np.ndarray
+    valid_len: np.ndarray
+    causal: np.ndarray
+    seq_len: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[WorkloadSample]) -> "BatchedWorkload":
+        if not samples:
+            raise ValueError("at least one sample required")
+        seq_lens = {s.seq_len for s in samples}
+        if len(seq_lens) != 1:
+            raise ValueError(
+                f"samples must share seq_len; got {sorted(seq_lens)}"
+            )
+        return cls(
+            keep=np.stack([np.asarray(s.keep_mask, dtype=bool) for s in samples]),
+            valid_len=np.array([s.valid_len for s in samples], dtype=np.int64),
+            causal=np.array([s.causal for s in samples], dtype=bool),
+            seq_len=seq_lens.pop(),
+        )
+
+    def __len__(self) -> int:
+        return self.keep.shape[0]
+
+
+# ----------------------------------------------------------------------
+# shared vectorized primitives
+# ----------------------------------------------------------------------
+class BatchedKernel:
+    """Vectorized primitives shared by the mode strategies.
+
+    Holds the hardware configuration, memory timing, and the two
+    ablation knobs; every method operates on whole-batch arrays.
+    """
+
+    def __init__(
+        self,
+        config: SprintConfig,
+        timing=DEFAULT_TIMING,
+        enable_sld: bool = True,
+        enable_interleaving: bool = True,
+        sld_slow_exact: bool = False,
+    ):
+        self.config = config
+        self.timing = timing
+        self.enable_sld = enable_sld
+        self.enable_interleaving = enable_interleaving
+        self.sld_slow_exact = sld_slow_exact
+
+    # -- CORELET imbalance ---------------------------------------------
+    def per_corelet_worst(
+        self, keep: np.ndarray, num_cols: np.ndarray = None
+    ) -> np.ndarray:
+        """Per-query worst-case unpruned tokens on any CORELET, ``(B, S)``.
+
+        ``num_cols`` gives each sample's mapped key count (its valid
+        length); it only matters for the sequential-block ablation,
+        where block boundaries depend on the mapped width.  Token
+        interleaving is width-agnostic because padded columns are all
+        ``False``.
+        """
+        n = self.config.num_corelets
+        batch, _, keys = keep.shape
+        if self.enable_interleaving:
+            counts = np.stack(
+                [keep[:, :, c::n].sum(axis=2) for c in range(n)], axis=2
+            )
+            return counts.max(axis=2)
+        widths = (
+            np.full(batch, keys, dtype=np.int64)
+            if num_cols is None
+            else np.asarray(num_cols, dtype=np.int64)
+        )
+        out = np.zeros(keep.shape[:2], dtype=np.int64)
+        for i in range(batch):
+            block = -(-int(widths[i]) // n)
+            counts = np.stack(
+                [
+                    keep[i, :, c * block : (c + 1) * block].sum(axis=1)
+                    for c in range(n)
+                ],
+                axis=1,
+            )
+            out[i] = counts.max(axis=1)
+        return out
+
+    # -- cycle model ----------------------------------------------------
+    def pipeline_cycles(
+        self, worst_tokens: np.ndarray, row_totals: np.ndarray
+    ) -> np.ndarray:
+        """Per-query compute cycles for QK -> Softmax -> V (elementwise)."""
+        cfg = self.config
+        per_key = -(-cfg.head_dim // cfg.mac_taps)
+        n = cfg.num_corelets
+        softmax_tokens = -(-row_totals // n)
+        softmax = softmax_tokens + -(-softmax_tokens // 2)  # 2 dividers
+        return (
+            worst_tokens * per_key * 2 + softmax + cfg.pipeline_overhead_cycles
+        )
+
+    def fetch_cycles(self, vectors: np.ndarray) -> np.ndarray:
+        """Memory-channel cycles to move per-query vector counts."""
+        return self.config.vector_fetch_cycles_array(vectors)
+
+    # -- SLD traffic ----------------------------------------------------
+    def sld_traffic(
+        self, batch: BatchedWorkload
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample, per-query (fetch, reuse) counts, each ``(B, S)``.
+
+        Queries beyond a sample's valid length contribute zeros.  The
+        residency sweep runs per sample (its output depends on that
+        sample's full mask history) but is internally loop-free.
+        """
+        capacity = self.config.kv_capacity_vectors
+        fetches = np.zeros(batch.keep.shape[:2], dtype=np.int64)
+        reuses = np.zeros_like(fetches)
+        for i in range(len(batch)):
+            valid = int(batch.valid_len[i])
+            f, r = simulate_sld_traffic(
+                batch.keep[i, :valid, :valid],
+                capacity,
+                slow_exact=self.sld_slow_exact,
+            )
+            fetches[i, :valid] = f
+            reuses[i, :valid] = r
+        return fetches, reuses
+
+
+# ----------------------------------------------------------------------
+# mode strategies
+# ----------------------------------------------------------------------
+class ModeStrategy:
+    """One execution mode's batched event/cycle/energy accounting."""
+
+    mode: ExecutionMode
+
+    def simulate_batch(
+        self, kernel: BatchedKernel, batch: BatchedWorkload
+    ) -> List[HeadReport]:
+        """Per-sample head reports, in batch order."""
+        raise NotImplementedError
+
+
+class DenseStrategy(ModeStrategy):
+    """BASELINE / MASK_ONLY: no pruning; optional 2-D sequence reduction.
+
+    Dense cost depends only on the effective sequence length and the
+    causal flag, never on the mask contents, so identical samples share
+    one report computation.
+    """
+
+    def __init__(self, mask_aware: bool):
+        self.mask_aware = mask_aware
+        self.mode = (
+            ExecutionMode.MASK_ONLY if mask_aware else ExecutionMode.BASELINE
+        )
+
+    def simulate_batch(
+        self, kernel: BatchedKernel, batch: BatchedWorkload
+    ) -> List[HeadReport]:
+        cache: Dict[Tuple[int, bool], HeadReport] = {}
+        reports = []
+        for i in range(len(batch)):
+            s = int(batch.valid_len[i]) if self.mask_aware else batch.seq_len
+            causal = self.mask_aware and bool(batch.causal[i])
+            key = (s, causal)
+            if key not in cache:
+                cache[key] = self._dense_report(kernel, s, causal)
+            reports.append(cache[key])
+        return reports
+
+    def _dense_report(
+        self, kernel: BatchedKernel, s: int, causal: bool
+    ) -> HeadReport:
+        cfg = kernel.config
+        capacity = cfg.kv_capacity_vectors
+        resident = min(capacity, s)
+        # Per-query key counts: dense unless the mask-aware config can
+        # exploit a static causal mask (two-dimensional reduction).
+        if causal:
+            keys_per_query = np.arange(1, s + 1, dtype=np.int64)
+        else:
+            keys_per_query = np.full(s, s, dtype=np.int64)
+        streamed_per_query = np.maximum(keys_per_query - resident, 0)
+        key_fetches = int(streamed_per_query.sum()) + resident
+        value_fetches = int(streamed_per_query.sum()) + resident
+        query_fetches = s
+        qk = int(keys_per_query.sum())
+        energy = EnergyModel(vector_bytes=cfg.vector_bytes)
+        energy.count_reram_vector_reads(
+            key_fetches + value_fetches + query_fetches
+        )
+        energy.count_reram_vector_writes(3 * s)
+        energy.count_buffer_vector_reads(2 * qk)
+        energy.count_buffer_vector_writes(key_fetches + value_fetches)
+        energy.count_qk_dot_products(qk)
+        energy.count_softmax_elements(qk)
+        energy.count_v_mac_rows(qk)
+        # Cycles: every query scores its keys; fetches overlap compute.
+        # Dense per-CORELET load is the even split ceil(keys/n), so the
+        # shared pipeline model applies with row totals = key counts.
+        worst = -(-keys_per_query // cfg.num_corelets)
+        compute = kernel.pipeline_cycles(worst, keys_per_query)
+        memory = kernel.fetch_cycles(2 * streamed_per_query)
+        cycles = int(np.maximum(compute, memory).sum())
+        counts = {
+            "key_fetches": float(key_fetches),
+            "value_fetches": float(value_fetches),
+            "query_fetches": float(query_fetches),
+            "reram_writes": float(3 * s),
+            "qk_dot_products": float(qk),
+            "softmax_elements": float(qk),
+            "v_mac_rows": float(qk),
+            "unpruned_total": float(qk),
+            "queries": float(s),
+        }
+        return HeadReport(
+            mode=self.mode.value, cycles=cycles,
+            energy=energy.breakdown, counts=counts,
+        )
+
+
+class PruningOnlyStrategy(ModeStrategy):
+    """On-chip learned runtime pruning without in-memory support.
+
+    Every key still streams on chip and every Q.K dot product happens,
+    but Softmax and the V pipeline run only on the unpruned subset.
+    """
+
+    mode = ExecutionMode.PRUNING_ONLY
+
+    def simulate_batch(
+        self, kernel: BatchedKernel, batch: BatchedWorkload
+    ) -> List[HeadReport]:
+        cfg = kernel.config
+        keep = batch.keep
+        s = batch.seq_len
+        capacity = cfg.kv_capacity_vectors
+        resident = min(capacity, s)
+        streamed = s - resident
+        # Every key still streams on chip for the full Q.K computation.
+        key_fetches = s * streamed + resident
+        query_fetches = s
+        # Values fetch only when unpruned and outside the pinned region.
+        v_fetch_per_query = keep[:, :, resident:].sum(axis=2)
+        value_fetches = v_fetch_per_query.sum(axis=1) + resident
+        unpruned = keep.sum(axis=2)
+        total_unpruned = unpruned.sum(axis=1)
+        qk = s * s
+        energy = EnergyModel(vector_bytes=cfg.vector_bytes)
+        energy.count_reram_vector_reads(
+            key_fetches + value_fetches + query_fetches
+        )
+        energy.count_reram_vector_writes(3 * s)
+        energy.count_buffer_vector_reads(qk + total_unpruned)
+        energy.count_buffer_vector_writes(key_fetches + value_fetches)
+        energy.count_qk_dot_products(qk)
+        energy.count_softmax_elements(total_unpruned)
+        energy.count_v_mac_rows(total_unpruned)
+        per_key = -(-cfg.head_dim // cfg.mac_taps)
+        worst_qk = -(-s // cfg.num_corelets)
+        worst_v = kernel.per_corelet_worst(keep)
+        softmax_tokens = -(-unpruned // cfg.num_corelets)
+        softmax = softmax_tokens + -(-softmax_tokens // 2)
+        compute = (
+            worst_qk * per_key + softmax + worst_v * per_key
+            + cfg.pipeline_overhead_cycles
+        )
+        memory = kernel.fetch_cycles(streamed + v_fetch_per_query)
+        cycles = np.maximum(compute, memory).sum(axis=1)
+        breakdowns = energy.breakdown.split()
+        reports = []
+        for i in range(len(batch)):
+            counts = {
+                "key_fetches": float(key_fetches),
+                "value_fetches": float(value_fetches[i]),
+                "query_fetches": float(query_fetches),
+                "reram_writes": float(3 * s),
+                "qk_dot_products": float(qk),
+                "softmax_elements": float(total_unpruned[i]),
+                "v_mac_rows": float(total_unpruned[i]),
+                "unpruned_total": float(total_unpruned[i]),
+                "queries": float(s),
+            }
+            reports.append(
+                HeadReport(
+                    mode=self.mode.value, cycles=int(cycles[i]),
+                    energy=breakdowns[i], counts=counts,
+                )
+            )
+        return reports
+
+
+class SprintStrategy(ModeStrategy):
+    """SPRINT: in-memory thresholding + SLD delta fetches + recompute."""
+
+    mode = ExecutionMode.SPRINT
+
+    def simulate_batch(
+        self, kernel: BatchedKernel, batch: BatchedWorkload
+    ) -> List[HeadReport]:
+        cfg = kernel.config
+        keep = batch.keep
+        valid = batch.valid_len
+        if kernel.enable_sld:
+            fetches, reuses = kernel.sld_traffic(batch)
+        else:
+            # Ablation: no locality reuse -- every unpruned vector is a
+            # fresh fetch for every query.
+            fetches = keep.sum(axis=2)
+            reuses = np.zeros_like(fetches)
+        unpruned = keep.sum(axis=2)
+        total_unpruned = unpruned.sum(axis=1)
+        total_fetches = fetches.sum(axis=1)
+        key_fetches = total_fetches
+        value_fetches = total_fetches  # pruning vectors identical for K/V
+        query_fetches = valid
+        # In-memory thresholding events: one analog pass per column tile
+        # per row tile per query, comparators across the valid columns.
+        rows, cols = cfg.transposable_array
+        col_tiles = -(-valid // cols)
+        row_tiles = -(-cfg.head_dim // rows)
+        array_ops = valid * col_tiles * row_tiles
+        comparator_ops = valid * valid
+        energy = EnergyModel(vector_bytes=cfg.vector_bytes)
+        energy.count_reram_vector_reads(
+            key_fetches + value_fetches + query_fetches
+        )
+        energy.count_reram_vector_writes(3 * valid)
+        energy.count_inmemory_array_ops(array_ops)
+        energy.count_comparator_ops(comparator_ops)
+        energy.count_buffer_vector_reads(2 * total_unpruned)
+        energy.count_buffer_vector_writes(key_fetches + value_fetches)
+        energy.count_qk_dot_products(total_unpruned)
+        energy.count_softmax_elements(total_unpruned)
+        energy.count_v_mac_rows(total_unpruned)
+        worst = kernel.per_corelet_worst(keep, num_cols=valid)
+        compute = kernel.pipeline_cycles(worst, unpruned)
+        memory = kernel.fetch_cycles(2 * fetches) + kernel.timing.t_axth
+        in_valid = (
+            np.arange(batch.seq_len, dtype=np.int64)[None, :] < valid[:, None]
+        )
+        cycles = np.where(in_valid, np.maximum(compute, memory), 0).sum(axis=1)
+        sld_reuses = reuses.sum(axis=1)
+        breakdowns = energy.breakdown.split()
+        reports = []
+        for i in range(len(batch)):
+            counts = {
+                "key_fetches": float(total_fetches[i]),
+                "value_fetches": float(total_fetches[i]),
+                "query_fetches": float(valid[i]),
+                "reram_writes": float(3 * valid[i]),
+                "qk_dot_products": float(total_unpruned[i]),
+                "softmax_elements": float(total_unpruned[i]),
+                "v_mac_rows": float(total_unpruned[i]),
+                "unpruned_total": float(total_unpruned[i]),
+                "inmemory_array_ops": float(array_ops[i]),
+                "comparator_ops": float(comparator_ops[i]),
+                "sld_reuses": float(sld_reuses[i]),
+                "queries": float(valid[i]),
+            }
+            reports.append(
+                HeadReport(
+                    mode=self.mode.value, cycles=int(cycles[i]),
+                    energy=breakdowns[i], counts=counts,
+                )
+            )
+        return reports
+
+
+_STRATEGIES: Dict[ExecutionMode, ModeStrategy] = {
+    ExecutionMode.BASELINE: DenseStrategy(mask_aware=False),
+    ExecutionMode.MASK_ONLY: DenseStrategy(mask_aware=True),
+    ExecutionMode.PRUNING_ONLY: PruningOnlyStrategy(),
+    ExecutionMode.SPRINT: SprintStrategy(),
+}
+
+
+def strategy_for(mode: ExecutionMode) -> ModeStrategy:
+    """The (stateless, shared) strategy instance for ``mode``."""
+    try:
+        return _STRATEGIES[mode]
+    except (KeyError, TypeError):
+        raise ValueError(f"unknown mode {mode!r}") from None

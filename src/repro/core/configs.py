@@ -10,6 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+#: Per-query pipeline fill/drain cycles (score FIFO, normalization hand-
+#: off between QK-PU, Softmax, and V-PU stages).  Single source of truth
+#: for both the cycle model and the per-query tracer.
+PIPELINE_OVERHEAD_CYCLES = 24
+
 
 @dataclass(frozen=True)
 class SprintConfig:
@@ -32,6 +39,9 @@ class SprintConfig:
     mlc_bits: int = 4
     head_dim: int = 64
     mac_taps: int = 64
+    #: Per-query pipeline fill/drain cycles shared by the cycle model
+    #: (:mod:`repro.core.batched`) and the tracer (:mod:`repro.core.trace`).
+    pipeline_overhead_cycles: int = PIPELINE_OVERHEAD_CYCLES
 
     @property
     def vector_bytes(self) -> int:
@@ -68,6 +78,18 @@ class SprintConfig:
         per_vector = -(-self.vector_bytes * 8 // self.channel_bits)
         waves = -(-vectors // self.channels)
         return waves * per_vector
+
+    def vector_fetch_cycles_array(self, vectors: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`vector_fetch_cycles` over an integer array.
+
+        Element-for-element identical to the scalar method; used by the
+        batched simulation core so per-query memory latency stops being
+        N scalar calls.
+        """
+        vectors = np.asarray(vectors, dtype=np.int64)
+        per_vector = -(-self.vector_bytes * 8 // self.channel_bits)
+        waves = -(-vectors // self.channels)
+        return np.where(vectors > 0, waves * per_vector, 0)
 
 
 S_SPRINT = SprintConfig(

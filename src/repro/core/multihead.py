@@ -30,6 +30,10 @@ class ModelReport:
     num_layers: int
     #: Heads processed concurrently (CORELET-limited).
     head_parallelism: int
+    #: Bytes per embedding vector, taken from the simulated
+    #: :class:`~repro.core.configs.SprintConfig` so data-movement
+    #: roll-ups use the config's real vector size.
+    vector_bytes: int = 64
 
     @property
     def total_cycles(self) -> float:
@@ -47,7 +51,17 @@ class ModelReport:
             self.per_head.total_energy_pj * self.num_heads * self.num_layers
         )
 
-    def total_data_movement_bytes(self, vector_bytes: int = 64) -> float:
+    def total_data_movement_bytes(
+        self, vector_bytes: Optional[int] = None
+    ) -> float:
+        """Whole-model main-memory traffic in bytes.
+
+        ``vector_bytes`` defaults to the simulated config's own vector
+        size (it used to default to a hardcoded 64, silently misscaling
+        non-64B configs).
+        """
+        if vector_bytes is None:
+            vector_bytes = self.vector_bytes
         return (
             self.per_head.data_movement_bytes(vector_bytes)
             * self.num_heads
@@ -72,6 +86,10 @@ class MultiHeadSimulator:
     complete per-head pipeline), so up to ``num_corelets`` heads run in
     parallel.  Within a head, that head's keys use the full CORELET --
     the per-head simulation therefore runs with a single-CORELET view.
+
+    The per-head workload is simulated through the batched
+    :meth:`SprintSystem.simulate_workload` core, so model roll-ups and
+    the serving cost cache share the vectorized workload-level path.
     """
 
     def __init__(self, config: SprintConfig, **system_kwargs):
@@ -109,6 +127,7 @@ class MultiHeadSimulator:
             num_heads=spec.num_heads,
             num_layers=spec.num_layers,
             head_parallelism=self.config.num_corelets,
+            vector_bytes=self.config.vector_bytes,
         )
 
     def compare(

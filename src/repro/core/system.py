@@ -1,8 +1,8 @@
 """The SPRINT system simulator (event-count + cycle model, section VII).
 
-Simulates one attention head's execution per input sample under four
-execution modes and produces event counts, a Figure 13-style energy
-breakdown, and a latency estimate:
+Simulates one attention head's execution under four execution modes and
+produces event counts, a Figure 13-style energy breakdown, and a latency
+estimate:
 
 - ``BASELINE``     -- iso-resource design, no pruning, no mask filtering;
 - ``MASK_ONLY``    -- baseline plus two-dimensional sequence reduction;
@@ -17,72 +17,37 @@ latency is the worst case across CORELETs of the pipelined
 QK -> Softmax -> V work, overlapped with the memory system's delta
 fetches (prefetched by the controller), with ``tAxTh`` charged for the
 in-memory thresholding handshake.
+
+The heavy lifting lives in :mod:`repro.core.batched`: workloads are
+simulated as one stacked batch through per-mode strategy classes, so
+sweeps, the multi-head roll-up, and the serving cost cache all share a
+single vectorized workload-level code path.  :meth:`SprintSystem.simulate_sample`
+is the same engine run on a batch of one.
 """
 
 from __future__ import annotations
 
-import enum
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.configs import SprintConfig
+from repro.core.batched import (
+    BatchedKernel,
+    BatchedWorkload,
+    ExecutionMode,
+    simulate_sld_traffic,
+    strategy_for,
+)
+from repro.core.configs import PIPELINE_OVERHEAD_CYCLES, SprintConfig
 from repro.core.results import HeadReport, SimulationReport
-from repro.energy.model import EnergyModel
 from repro.memory.timing import DEFAULT_TIMING
 from repro.models.zoo import ModelSpec
 from repro.workloads.generator import Workload, WorkloadSample, generate_workload
 
-
-class ExecutionMode(enum.Enum):
-    """The four evaluation scenarios of the paper."""
-
-    BASELINE = "baseline"
-    MASK_ONLY = "mask_only"
-    PRUNING_ONLY = "pruning_only"
-    SPRINT = "sprint"
-
-
-#: Per-query pipeline fill/drain cycles (score FIFO, normalization hand-
-#: off between QK-PU, Softmax, and V-PU stages).
-PIPELINE_OVERHEAD_CYCLES = 24
-
-
-def simulate_sld_traffic(
-    keep_mask: np.ndarray, capacity_vectors: int
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-query (fetch, reuse) vector counts under LRU residency.
-
-    Walks queries in order; each query's unpruned keys are either
-    resident (reuse, Eq. 5) or fetched (Eq. 4), and the buffer evicts
-    least-recently-used vectors beyond ``capacity_vectors``.  Exactly the
-    SLD-engine behaviour with a capacity-aware residency set.
-    """
-    keep = np.asarray(keep_mask, dtype=bool)
-    num_queries, num_keys = keep.shape
-    resident = np.zeros(num_keys, dtype=bool)
-    last_use = np.full(num_keys, -1, dtype=np.int64)
-    fetches = np.zeros(num_queries, dtype=np.int64)
-    reuses = np.zeros(num_queries, dtype=np.int64)
-    for t in range(num_queries):
-        needed = keep[t]
-        if not needed.any():
-            continue
-        hits = needed & resident
-        misses = needed & ~resident
-        fetches[t] = int(misses.sum())
-        reuses[t] = int(hits.sum())
-        last_use[needed] = t
-        resident |= needed
-        over = int(resident.sum()) - capacity_vectors
-        if over > 0:
-            res_idx = np.nonzero(resident)[0]
-            # Prefer evicting vectors the current query does not need.
-            cold = res_idx[~needed[res_idx]]
-            pool = cold if cold.size >= over else res_idx
-            order = np.argpartition(last_use[pool], over - 1)[:over]
-            resident[pool[order]] = False
-    return fetches, reuses
+__all__ = [
+    "ExecutionMode",
+    "PIPELINE_OVERHEAD_CYCLES",
+    "SprintSystem",
+    "simulate_sld_traffic",
+]
 
 
 class SprintSystem:
@@ -100,6 +65,10 @@ class SprintSystem:
     enable_interleaving:
         Ablation knob: ``False`` maps keys to CORELETs in sequential
         blocks instead of token interleaving (Figure 8's comparison).
+    sld_slow_exact:
+        ``True`` routes SLD traffic through the retained query-by-query
+        LRU reference loop instead of the vectorized residency sweep
+        (identical counts; used by parity tests and benchmarks).
     """
 
     def __init__(
@@ -108,255 +77,82 @@ class SprintSystem:
         timing=DEFAULT_TIMING,
         enable_sld: bool = True,
         enable_interleaving: bool = True,
+        sld_slow_exact: bool = False,
     ):
         self.config = config
         self.timing = timing
         self.enable_sld = enable_sld
         self.enable_interleaving = enable_interleaving
-
-    # ------------------------------------------------------------------
-    # helpers
-    # ------------------------------------------------------------------
-    def _per_corelet_worst(self, keep: np.ndarray) -> np.ndarray:
-        """Per-query worst-case unpruned tokens on any CORELET."""
-        n = self.config.num_corelets
-        if self.enable_interleaving:
-            counts = np.stack(
-                [keep[:, c::n].sum(axis=1) for c in range(n)], axis=1
-            )
-        else:
-            block = -(-keep.shape[1] // n)
-            counts = np.stack(
-                [
-                    keep[:, c * block : (c + 1) * block].sum(axis=1)
-                    for c in range(n)
-                ],
-                axis=1,
-            )
-        return counts.max(axis=1)
-
-    def _pipeline_cycles(
-        self, worst_tokens: np.ndarray, row_totals: np.ndarray
-    ) -> np.ndarray:
-        """Per-query compute cycles for QK -> Softmax -> V."""
-        per_key = -(-self.config.head_dim // self.config.mac_taps)
-        n = self.config.num_corelets
-        softmax_tokens = -(-row_totals // n)
-        softmax = softmax_tokens + -(-softmax_tokens // 2)  # 2 dividers
-        return (
-            worst_tokens * per_key * 2 + softmax + PIPELINE_OVERHEAD_CYCLES
+        self.kernel = BatchedKernel(
+            config,
+            timing=timing,
+            enable_sld=enable_sld,
+            enable_interleaving=enable_interleaving,
+            sld_slow_exact=sld_slow_exact,
         )
 
     # ------------------------------------------------------------------
-    # per-sample simulation
+    # simulation entry points
     # ------------------------------------------------------------------
     def simulate_sample(
         self, sample: WorkloadSample, mode: ExecutionMode
     ) -> HeadReport:
         """Simulate one attention head on one input sample."""
-        if mode == ExecutionMode.BASELINE:
-            return self._simulate_dense(sample, mask_aware=False)
-        if mode == ExecutionMode.MASK_ONLY:
-            return self._simulate_dense(sample, mask_aware=True)
-        if mode == ExecutionMode.PRUNING_ONLY:
-            return self._simulate_pruning_only(sample)
-        if mode == ExecutionMode.SPRINT:
-            return self._simulate_sprint(sample)
-        raise ValueError(f"unknown mode {mode!r}")
+        return self.simulate_heads([sample], mode)[0]
 
-    # -- baseline / mask-only ------------------------------------------
-    def _simulate_dense(
-        self, sample: WorkloadSample, mask_aware: bool
-    ) -> HeadReport:
-        cfg = self.config
-        s = sample.valid_len if mask_aware else sample.seq_len
-        capacity = cfg.kv_capacity_vectors
-        resident = min(capacity, s)
-        # Per-query key counts: dense unless the mask-aware config can
-        # exploit a static causal mask (two-dimensional reduction).
-        if mask_aware and sample.causal:
-            keys_per_query = np.arange(1, s + 1, dtype=np.int64)
-        else:
-            keys_per_query = np.full(s, s, dtype=np.int64)
-        streamed_per_query = np.maximum(keys_per_query - resident, 0)
-        key_fetches = int(streamed_per_query.sum()) + resident
-        value_fetches = int(streamed_per_query.sum()) + resident
-        query_fetches = s
-        qk = int(keys_per_query.sum())
-        energy = EnergyModel(vector_bytes=cfg.vector_bytes)
-        energy.count_reram_vector_reads(
-            key_fetches + value_fetches + query_fetches
-        )
-        energy.count_reram_vector_writes(3 * s)
-        energy.count_buffer_vector_reads(2 * qk)
-        energy.count_buffer_vector_writes(key_fetches + value_fetches)
-        energy.count_qk_dot_products(qk)
-        energy.count_softmax_elements(qk)
-        energy.count_v_mac_rows(qk)
-        # Cycles: every query scores its keys; fetches overlap compute.
-        per_key = -(-cfg.head_dim // cfg.mac_taps)
-        worst = -(-keys_per_query // cfg.num_corelets)
-        softmax = worst + -(-worst // 2)
-        compute = worst * per_key * 2 + softmax + PIPELINE_OVERHEAD_CYCLES
-        memory = np.array(
-            [cfg.vector_fetch_cycles(2 * int(f)) for f in streamed_per_query]
-        )
-        cycles = int(np.maximum(compute, memory).sum())
-        counts = {
-            "key_fetches": float(key_fetches),
-            "value_fetches": float(value_fetches),
-            "query_fetches": float(query_fetches),
-            "reram_writes": float(3 * s),
-            "qk_dot_products": float(qk),
-            "softmax_elements": float(qk),
-            "v_mac_rows": float(qk),
-            "unpruned_total": float(qk),
-            "queries": float(s),
-        }
-        mode = ExecutionMode.MASK_ONLY if mask_aware else ExecutionMode.BASELINE
-        return HeadReport(
-            mode=mode.value, cycles=int(cycles),
-            energy=energy.breakdown, counts=counts,
-        )
+    def simulate_heads(
+        self, samples: Sequence[WorkloadSample], mode: ExecutionMode
+    ) -> List[HeadReport]:
+        """Per-sample head reports for ``samples``, batched by seq_len.
 
-    # -- on-chip runtime pruning (no in-memory support) -----------------
-    def _simulate_pruning_only(self, sample: WorkloadSample) -> HeadReport:
-        cfg = self.config
-        s = sample.seq_len
-        keep = sample.keep_mask
-        capacity = cfg.kv_capacity_vectors
-        resident = min(capacity, s)
-        streamed = s - resident
-        # Every key still streams on chip for the full Q.K computation.
-        key_fetches = s * streamed + resident
-        query_fetches = s
-        # Values fetch only when unpruned and outside the pinned region.
-        v_fetch_per_query = keep[:, resident:].sum(axis=1)
-        value_fetches = int(v_fetch_per_query.sum()) + resident
-        unpruned = keep.sum(axis=1)
-        total_unpruned = int(unpruned.sum())
-        qk = s * s
-        energy = EnergyModel(vector_bytes=cfg.vector_bytes)
-        energy.count_reram_vector_reads(
-            key_fetches + value_fetches + query_fetches
-        )
-        energy.count_reram_vector_writes(3 * s)
-        energy.count_buffer_vector_reads(qk + total_unpruned)
-        energy.count_buffer_vector_writes(key_fetches + value_fetches)
-        energy.count_qk_dot_products(qk)
-        energy.count_softmax_elements(total_unpruned)
-        energy.count_v_mac_rows(total_unpruned)
-        per_key = -(-cfg.head_dim // cfg.mac_taps)
-        worst_qk = -(-s // cfg.num_corelets)
-        worst_v = self._per_corelet_worst(keep)
-        softmax_tokens = -(-unpruned // cfg.num_corelets)
-        softmax = softmax_tokens + -(-softmax_tokens // 2)
-        compute = (
-            worst_qk * per_key + softmax + worst_v * per_key
-            + PIPELINE_OVERHEAD_CYCLES
-        )
-        memory = np.array(
-            [
-                cfg.vector_fetch_cycles(int(streamed + v))
-                for v in v_fetch_per_query
-            ]
-        )
-        cycles = int(np.maximum(compute, memory).sum())
-        counts = {
-            "key_fetches": float(key_fetches),
-            "value_fetches": float(value_fetches),
-            "query_fetches": float(query_fetches),
-            "reram_writes": float(3 * s),
-            "qk_dot_products": float(qk),
-            "softmax_elements": float(total_unpruned),
-            "v_mac_rows": float(total_unpruned),
-            "unpruned_total": float(total_unpruned),
-            "queries": float(s),
-        }
-        return HeadReport(
-            mode=ExecutionMode.PRUNING_ONLY.value,
-            cycles=cycles, energy=energy.breakdown, counts=counts,
-        )
+        Samples sharing a sequence length are stacked and simulated as
+        one :class:`~repro.core.batched.BatchedWorkload`; the returned
+        list preserves input order.
+        """
+        strategy = strategy_for(mode)
+        samples = list(samples)
+        buckets: Dict[int, List[int]] = {}
+        for i, sample in enumerate(samples):
+            buckets.setdefault(sample.seq_len, []).append(i)
+        reports: List[Optional[HeadReport]] = [None] * len(samples)
+        for indices in buckets.values():
+            batch = BatchedWorkload.from_samples([samples[i] for i in indices])
+            for i, report in zip(indices, strategy.simulate_batch(self.kernel, batch)):
+                reports[i] = report
+        return reports
 
-    # -- SPRINT ----------------------------------------------------------
-    def _simulate_sprint(self, sample: WorkloadSample) -> HeadReport:
-        cfg = self.config
-        valid = sample.valid_len
-        keep = sample.keep_mask[:valid, :valid]
-        capacity = cfg.kv_capacity_vectors
-        if self.enable_sld:
-            fetches, reuses = simulate_sld_traffic(keep, capacity)
-        else:
-            # Ablation: no locality reuse -- every unpruned vector is a
-            # fresh fetch for every query.
-            fetches = keep.sum(axis=1)
-            reuses = np.zeros_like(fetches)
-        unpruned = keep.sum(axis=1)
-        total_unpruned = int(unpruned.sum())
-        total_fetches = int(fetches.sum())
-        key_fetches = total_fetches
-        value_fetches = total_fetches  # pruning vectors identical for K/V
-        query_fetches = valid
-        # In-memory thresholding events: one analog pass per column tile
-        # per row tile per query, comparators across the valid columns.
-        rows, cols = cfg.transposable_array
-        col_tiles = -(-valid // cols)
-        row_tiles = -(-cfg.head_dim // rows)
-        array_ops = valid * col_tiles * row_tiles
-        comparator_ops = valid * valid
-        energy = EnergyModel(vector_bytes=cfg.vector_bytes)
-        energy.count_reram_vector_reads(
-            key_fetches + value_fetches + query_fetches
-        )
-        energy.count_reram_vector_writes(3 * valid)
-        energy.count_inmemory_array_ops(array_ops)
-        energy.count_comparator_ops(comparator_ops)
-        energy.count_buffer_vector_reads(2 * total_unpruned)
-        energy.count_buffer_vector_writes(key_fetches + value_fetches)
-        energy.count_qk_dot_products(total_unpruned)
-        energy.count_softmax_elements(total_unpruned)
-        energy.count_v_mac_rows(total_unpruned)
-        worst = self._per_corelet_worst(keep)
-        compute = self._pipeline_cycles(worst, unpruned)
-        memory = np.array(
-            [cfg.vector_fetch_cycles(2 * int(f)) for f in fetches]
-        ) + self.timing.t_axth
-        cycles = int(np.maximum(compute, memory).sum())
-        counts = {
-            "key_fetches": float(key_fetches),
-            "value_fetches": float(value_fetches),
-            "query_fetches": float(query_fetches),
-            "reram_writes": float(3 * valid),
-            "qk_dot_products": float(total_unpruned),
-            "softmax_elements": float(total_unpruned),
-            "v_mac_rows": float(total_unpruned),
-            "unpruned_total": float(total_unpruned),
-            "inmemory_array_ops": float(array_ops),
-            "comparator_ops": float(comparator_ops),
-            "sld_reuses": float(reuses.sum()),
-            "queries": float(valid),
-        }
-        return HeadReport(
-            mode=ExecutionMode.SPRINT.value,
-            cycles=cycles, energy=energy.breakdown, counts=counts,
-        )
-
-    # ------------------------------------------------------------------
-    # workload / model simulation
-    # ------------------------------------------------------------------
     def simulate_workload(
         self,
         workload: Workload,
         mode: ExecutionMode,
         model_name: str = "custom",
     ) -> SimulationReport:
-        heads = [self.simulate_sample(s, mode) for s in workload]
+        """Simulate a whole workload in one batched pass."""
+        heads = self.simulate_heads(list(workload), mode)
         return SimulationReport.from_heads(
             model=model_name,
             config=self.config.name,
             mode=mode.value,
             heads=heads,
         )
+
+    def simulate_modes(
+        self,
+        workload: Workload,
+        modes: Sequence[ExecutionMode],
+        model_name: str = "custom",
+    ) -> Dict[str, SimulationReport]:
+        """One workload under several execution modes, keyed by mode value.
+
+        Convenience wrapper for the base-vs-SPRINT comparison pattern
+        the experiment sweeps use: one call, one workload object, every
+        mode simulated over the identical masks (each mode is one
+        batched :meth:`simulate_workload` pass).
+        """
+        return {
+            mode.value: self.simulate_workload(workload, mode, model_name)
+            for mode in modes
+        }
 
     def simulate_model(
         self,

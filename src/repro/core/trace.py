@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.configs import SprintConfig
-from repro.core.system import PIPELINE_OVERHEAD_CYCLES, simulate_sld_traffic
+from repro.core.system import simulate_sld_traffic
 from repro.memory.timing import DEFAULT_TIMING
 from repro.workloads.generator import WorkloadSample
 
@@ -62,8 +62,9 @@ class TraceRecorder:
     ) -> "TraceRecorder":
         """Trace the SPRINT execution of one workload sample.
 
-        Mirrors :meth:`repro.core.system.SprintSystem._simulate_sprint`
-        but keeps every per-query record instead of summing.
+        Mirrors :class:`repro.core.batched.SprintStrategy` (the SPRINT
+        cycle model) but keeps every per-query record instead of
+        summing.
         """
         valid = sample.valid_len
         keep = sample.keep_mask[:valid, :valid]
@@ -80,14 +81,11 @@ class TraceRecorder:
         softmax_tokens = -(-unpruned // n)
         softmax = softmax_tokens + -(-softmax_tokens // 2)
         compute = (
-            worst * per_key * 2 + softmax + PIPELINE_OVERHEAD_CYCLES
+            worst * per_key * 2 + softmax + config.pipeline_overhead_cycles
         )
+        memory = config.vector_fetch_cycles_array(2 * fetches) + timing.t_axth
         recorder = cls()
         for q in range(valid):
-            memory = (
-                config.vector_fetch_cycles(2 * int(fetches[q]))
-                + timing.t_axth
-            )
             recorder.events.append(
                 QueryTraceEvent(
                     query=q,
@@ -95,7 +93,7 @@ class TraceRecorder:
                     fetched=int(fetches[q]),
                     reused=int(reuses[q]),
                     compute_cycles=int(compute[q]),
-                    memory_cycles=int(memory),
+                    memory_cycles=int(memory[q]),
                 )
             )
         return recorder

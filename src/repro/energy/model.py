@@ -11,9 +11,15 @@ Softmax.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Union
+
+import numpy as np
 
 from repro.energy.constants import TABLE_II, EnergyConstants
+
+#: Event tallies are either one sample's scalar count or a per-sample
+#: count vector (the batched simulation core feeds whole workloads).
+Tally = Union[float, np.ndarray]
 
 #: Canonical breakdown categories, Figure 13 order.
 CATEGORIES = (
@@ -30,14 +36,42 @@ CATEGORIES = (
 
 @dataclass
 class EnergyBreakdown:
-    """Picojoule totals per category."""
+    """Picojoule totals per category.
 
-    pj: Dict[str, float] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+    Values are scalars for a single sample's accounting, or per-sample
+    ``float64`` arrays when tallied through the batched interface (see
+    :meth:`split` to recover one scalar breakdown per sample).
+    """
 
-    def add(self, category: str, picojoules: float) -> None:
+    pj: Dict[str, Tally] = field(default_factory=lambda: {c: 0.0 for c in CATEGORIES})
+
+    def add(self, category: str, picojoules: Tally) -> None:
         if category not in self.pj:
             raise KeyError(f"unknown energy category {category!r}")
-        self.pj[category] += picojoules
+        # Reassignment (not +=) so a scalar slot can widen to an array.
+        self.pj[category] = self.pj[category] + picojoules
+
+    def split(self) -> List["EnergyBreakdown"]:
+        """One scalar breakdown per sample of an array-valued tally.
+
+        Categories never tallied stay scalar zero and broadcast to every
+        sample; at least one category must be an array to infer the
+        sample count.
+        """
+        sizes = {v.shape[0] for v in self.pj.values() if isinstance(v, np.ndarray)}
+        if len(sizes) > 1:
+            raise ValueError(f"inconsistent tally lengths {sorted(sizes)}")
+        if not sizes:
+            raise ValueError("no array-valued categories to split")
+        out = []
+        for i in range(sizes.pop()):
+            sample = EnergyBreakdown()
+            for category, value in self.pj.items():
+                sample.pj[category] = (
+                    float(value[i]) if isinstance(value, np.ndarray) else value
+                )
+            out.append(sample)
+        return out
 
     @property
     def total_pj(self) -> float:
@@ -83,7 +117,13 @@ class EnergyBreakdown:
 
 
 class EnergyModel:
-    """Translate event counts into an :class:`EnergyBreakdown`."""
+    """Translate event counts into an :class:`EnergyBreakdown`.
+
+    Every ``count_*`` tally accepts either a scalar (one sample) or a
+    per-sample ``int64``/``float64`` array.  Array tallies multiply the
+    Table II constant elementwise, so batching a workload produces
+    bit-identical per-sample picojoules to N scalar tallies.
+    """
 
     def __init__(
         self,
@@ -95,44 +135,44 @@ class EnergyModel:
         self.breakdown = EnergyBreakdown()
 
     # -- main memory ----------------------------------------------------
-    def count_reram_vector_reads(self, n: float) -> None:
+    def count_reram_vector_reads(self, n: Tally) -> None:
         self.breakdown.add(
             "reram_read", n * self.constants.reram_read_vector_pj(self.vector_bytes)
         )
 
-    def count_reram_vector_writes(self, n: float) -> None:
+    def count_reram_vector_writes(self, n: Tally) -> None:
         self.breakdown.add(
             "reram_write", n * self.constants.reram_write_vector_pj(self.vector_bytes)
         )
 
     # -- in-memory pruning ----------------------------------------------
-    def count_inmemory_array_ops(self, n: float) -> None:
+    def count_inmemory_array_ops(self, n: Tally) -> None:
         self.breakdown.add(
             "inmemory_pruning", n * self.constants.inmemory_array_op_pj
         )
 
-    def count_comparator_ops(self, n_columns: float) -> None:
+    def count_comparator_ops(self, n_columns: Tally) -> None:
         self.breakdown.add(
             "inmemory_pruning", n_columns * self.constants.comparator_single_pj
         )
 
     # -- on-chip buffers --------------------------------------------------
-    def count_buffer_vector_reads(self, n: float) -> None:
+    def count_buffer_vector_reads(self, n: Tally) -> None:
         self.breakdown.add(
             "onchip_read", n * self.constants.kv_buffer_vector_pj(self.vector_bytes)
         )
 
-    def count_buffer_vector_writes(self, n: float) -> None:
+    def count_buffer_vector_writes(self, n: Tally) -> None:
         self.breakdown.add(
             "onchip_write", n * self.constants.kv_buffer_vector_pj(self.vector_bytes)
         )
 
     # -- compute ----------------------------------------------------------
-    def count_qk_dot_products(self, n: float) -> None:
+    def count_qk_dot_products(self, n: Tally) -> None:
         self.breakdown.add("qkpu", n * self.constants.dot_product_64tap_pj)
 
-    def count_v_mac_rows(self, n: float) -> None:
+    def count_v_mac_rows(self, n: Tally) -> None:
         self.breakdown.add("vpu", n * self.constants.dot_product_64tap_pj)
 
-    def count_softmax_elements(self, n: float) -> None:
+    def count_softmax_elements(self, n: Tally) -> None:
         self.breakdown.add("softmax", n * self.constants.softmax_element_pj)

@@ -176,12 +176,13 @@ def run_locality_ablation(
             seq_len, pruning_rate, padding_ratio=0.0,
             num_samples=1, locality=locality, seed=seed,
         )
-        base = system.simulate_workload(
-            workload, ExecutionMode.BASELINE, "ablation"
+        reports = system.simulate_modes(
+            workload,
+            (ExecutionMode.BASELINE, ExecutionMode.SPRINT),
+            "ablation",
         )
-        sprint = system.simulate_workload(
-            workload, ExecutionMode.SPRINT, "ablation"
-        )
+        base = reports[ExecutionMode.BASELINE.value]
+        sprint = reports[ExecutionMode.SPRINT.value]
         overlap = measure_adjacent_overlap(workload.samples[0].keep_mask)
         rows.append(
             LocalityAblationRow(

@@ -45,12 +45,11 @@ def run_pruning_rate_sweep(
             seq_len, rate, padding_ratio=padding_ratio,
             num_samples=1, seed=seed,
         )
-        base = system.simulate_workload(
-            workload, ExecutionMode.BASELINE, "sweep"
+        reports = system.simulate_modes(
+            workload, (ExecutionMode.BASELINE, ExecutionMode.SPRINT), "sweep"
         )
-        sprint = system.simulate_workload(
-            workload, ExecutionMode.SPRINT, "sweep"
-        )
+        base = reports[ExecutionMode.BASELINE.value]
+        sprint = reports[ExecutionMode.SPRINT.value]
         rows.append(
             PruningRateRow(
                 pruning_rate=rate,
@@ -85,12 +84,11 @@ def run_sequence_length_sweep(
         workload = generate_workload(
             s, pruning_rate, padding_ratio=0.0, num_samples=1, seed=seed
         )
-        base = system.simulate_workload(
-            workload, ExecutionMode.BASELINE, "sweep"
+        reports = system.simulate_modes(
+            workload, (ExecutionMode.BASELINE, ExecutionMode.SPRINT), "sweep"
         )
-        sprint = system.simulate_workload(
-            workload, ExecutionMode.SPRINT, "sweep"
-        )
+        base = reports[ExecutionMode.BASELINE.value]
+        sprint = reports[ExecutionMode.SPRINT.value]
         rows.append(
             SequenceLengthRow(
                 seq_len=s,

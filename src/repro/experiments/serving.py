@@ -151,6 +151,12 @@ class ServingExperiment:
             process, self.model, count=num_requests, seed=stream_seed
         )
         cost = self._cost_model(mode)
+        if requests:
+            # Warm every length bucket the stream touches up front (one
+            # batched cycle-model pass per bucket, shared across loads).
+            cost.prime(
+                requests[0].spec, [r.valid_len for r in requests]
+            )
         devices = [
             SprintDevice(i, cost) for i in range(self.num_devices)
         ]

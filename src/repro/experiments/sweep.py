@@ -2,7 +2,9 @@
 
 Figures 10-13 all consume the same grid of simulation reports; this
 module runs each (model, config, mode, samples, seed) cell once per
-process and caches the result.
+process and caches the result.  Each model's calibrated workload is
+generated once and shared across every (config, mode) cell, and each
+cell runs through the batched ``simulate_workload`` core.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from repro.core.configs import L_SPRINT, M_SPRINT, S_SPRINT, SprintConfig
 from repro.core.results import SimulationReport
 from repro.core.system import ExecutionMode, SprintSystem
 from repro.models.zoo import get_model
+from repro.workloads.generator import Workload, generate_workload
 
 ALL_MODELS = (
     "BERT-B", "BERT-L", "ALBERT-XL", "ALBERT-XXL",
@@ -31,6 +34,23 @@ def samples_for(model_name: str, requested: int) -> int:
 
 
 @lru_cache(maxsize=None)
+def workload_for(model_name: str, num_samples: int, seed: int) -> Workload:
+    """One calibrated workload per (model, samples, seed), shared by
+    every config and mode cell of the grid (mask generation dominates
+    small sweeps otherwise)."""
+    spec = get_model(model_name)
+    return generate_workload(
+        seq_len=spec.seq_len,
+        pruning_rate=spec.pruning_rate,
+        padding_ratio=spec.padding_ratio,
+        num_samples=num_samples,
+        locality=spec.locality,
+        causal=spec.causal,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=None)
 def simulate(
     model_name: str,
     config_name: str,
@@ -38,14 +58,14 @@ def simulate(
     num_samples: int = 2,
     seed: int = 1,
 ) -> SimulationReport:
-    """One memoized simulation cell."""
+    """One memoized simulation cell (batched over the shared workload)."""
     config = {c.name: c for c in ALL_CONFIGS}[config_name]
     system = SprintSystem(config)
-    return system.simulate_model(
-        get_model(model_name),
-        ExecutionMode(mode_value),
-        num_samples=samples_for(model_name, num_samples),
-        seed=seed,
+    workload = workload_for(
+        model_name, samples_for(model_name, num_samples), seed
+    )
+    return system.simulate_workload(
+        workload, ExecutionMode(mode_value), model_name=model_name
     )
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.configs import SprintConfig
 from repro.core.multihead import MultiHeadSimulator
@@ -98,6 +98,21 @@ class ServiceCostModel:
         )
         self._cache[key] = cost
         return cost
+
+    def prime(self, spec: ModelSpec, valid_lens: Iterable[int]) -> int:
+        """Fill the cost cache for every bucket a request stream touches.
+
+        Serving simulations know each request's length up front, so the
+        (slow, exact) cycle model can be run for all distinct buckets
+        before the event loop starts instead of faulting in mid-run.
+        Each bucket's workload flows through the batched
+        :meth:`~repro.core.system.SprintSystem.simulate_workload` core.
+        Returns the number of distinct buckets now cached.
+        """
+        buckets = {self.bucket_len(spec, v) for v in valid_lens}
+        for length in sorted(buckets):
+            self.sample_cost(spec, length)
+        return len(buckets)
 
     @property
     def cache_entries(self) -> int:

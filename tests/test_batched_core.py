@@ -1,0 +1,272 @@
+"""Parity tests for the batched simulation core (repro.core.batched).
+
+The batched workload-level path must be *bit-identical* to the
+per-sample path: same counts, same cycles, same per-category energy.
+Golden reports captured from the per-sample simulator pin the absolute
+numbers; the remaining tests check internal consistency (batching vs
+singles, packed vs ranking vs reference SLD sweeps, array vs scalar
+energy tallies).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.batched import (
+    BatchedWorkload,
+    _sld_traffic_loop,
+    _sld_traffic_packed,
+    _sld_traffic_rank,
+)
+from repro.core.configs import (
+    L_SPRINT,
+    M_SPRINT,
+    PIPELINE_OVERHEAD_CYCLES,
+    S_SPRINT,
+)
+from repro.core.multihead import MultiHeadSimulator
+from repro.core.system import ExecutionMode, SprintSystem
+from repro.energy.model import EnergyModel
+from repro.models.zoo import get_model
+from repro.workloads.generator import generate_workload
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_system_reports.json"
+)
+
+
+def _golden_workloads():
+    """The exact (system, workload, mode) cases the goldens recorded."""
+    spec = get_model("BERT-B")
+    wl = generate_workload(
+        seq_len=spec.seq_len, pruning_rate=spec.pruning_rate,
+        padding_ratio=spec.padding_ratio, num_samples=2,
+        locality=spec.locality, causal=spec.causal, seed=1,
+    )
+    for cfg in (S_SPRINT, M_SPRINT):
+        system = SprintSystem(cfg)
+        for mode in ExecutionMode:
+            yield system, wl, mode
+    wl_causal = generate_workload(
+        seq_len=128, pruning_rate=0.7, padding_ratio=0.3,
+        num_samples=3, causal=True, seed=7,
+    )
+    system = SprintSystem(L_SPRINT)
+    for mode in ExecutionMode:
+        yield system, wl_causal, mode
+    wl_small = generate_workload(
+        seq_len=96, pruning_rate=0.746, padding_ratio=0.2,
+        num_samples=3, seed=11,
+    )
+    yield (
+        SprintSystem(S_SPRINT, enable_sld=False), wl_small,
+        ExecutionMode.SPRINT,
+    )
+    yield (
+        SprintSystem(L_SPRINT, enable_interleaving=False), wl_small,
+        ExecutionMode.SPRINT,
+    )
+
+
+class TestGoldenParity:
+    def test_batched_reports_match_per_sample_goldens(self):
+        """Exact (==, not approx) equality with the recorded per-sample
+        simulator output: cycles, every count, every energy category."""
+        with open(GOLDEN_PATH) as f:
+            goldens = json.load(f)
+        cases = list(_golden_workloads())
+        assert len(cases) == len(goldens)
+        for (system, workload, mode), golden in zip(cases, goldens):
+            report = system.simulate_workload(workload, mode)
+            assert report.mode == golden["mode"]
+            assert report.samples == golden["samples"]
+            assert report.cycles == golden["cycles"]
+            assert report.counts == golden["counts"]
+            assert report.energy.pj == golden["energy_pj"]
+
+
+class TestBatchedVsSingles:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_workload_equals_sample_loop(self, mode):
+        """One batched pass == N single-sample passes, bit for bit."""
+        wl = generate_workload(
+            seq_len=80, pruning_rate=0.7, padding_ratio=0.4,
+            num_samples=4, seed=13,
+        )
+        system = SprintSystem(S_SPRINT)
+        batched = system.simulate_heads(list(wl), mode)
+        singles = [system.simulate_sample(s, mode) for s in wl]
+        for b, s in zip(batched, singles):
+            assert b.cycles == s.cycles
+            assert b.counts == s.counts
+            assert b.energy.pj == s.energy.pj
+
+    def test_mixed_seq_len_buckets_preserve_order(self):
+        wl_a = generate_workload(48, 0.6, num_samples=2, seed=1)
+        wl_b = generate_workload(64, 0.6, num_samples=2, seed=2)
+        samples = [
+            wl_a.samples[0], wl_b.samples[0],
+            wl_a.samples[1], wl_b.samples[1],
+        ]
+        system = SprintSystem(S_SPRINT)
+        batched = system.simulate_heads(samples, ExecutionMode.SPRINT)
+        singles = [
+            system.simulate_sample(s, ExecutionMode.SPRINT) for s in samples
+        ]
+        for b, s in zip(batched, singles):
+            assert b.cycles == s.cycles and b.counts == s.counts
+
+    def test_slow_exact_system_matches_default(self):
+        wl = generate_workload(
+            96, 0.746, padding_ratio=0.2, num_samples=3, seed=5
+        )
+        fast = SprintSystem(S_SPRINT).simulate_workload(
+            wl, ExecutionMode.SPRINT
+        )
+        slow = SprintSystem(S_SPRINT, sld_slow_exact=True).simulate_workload(
+            wl, ExecutionMode.SPRINT
+        )
+        assert fast.cycles == slow.cycles
+        assert fast.counts == slow.counts
+        assert fast.energy.pj == slow.energy.pj
+
+    def test_simulate_modes_matches_individual_calls(self):
+        wl = generate_workload(64, 0.7, num_samples=2, seed=9)
+        system = SprintSystem(M_SPRINT)
+        modes = (ExecutionMode.BASELINE, ExecutionMode.SPRINT)
+        combined = system.simulate_modes(wl, modes, "m")
+        for mode in modes:
+            solo = system.simulate_workload(wl, mode, "m")
+            assert combined[mode.value].cycles == solo.cycles
+            assert combined[mode.value].counts == solo.counts
+
+    def test_unknown_mode_raises(self):
+        wl = generate_workload(16, 0.5, num_samples=1, seed=0)
+        with pytest.raises(ValueError):
+            SprintSystem(S_SPRINT).simulate_workload(wl, "sprint")
+
+
+class TestBatchedWorkload:
+    def test_rejects_mixed_seq_len(self):
+        a = generate_workload(32, 0.5, num_samples=1, seed=0).samples[0]
+        b = generate_workload(48, 0.5, num_samples=1, seed=0).samples[0]
+        with pytest.raises(ValueError, match="seq_len"):
+            BatchedWorkload.from_samples([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BatchedWorkload.from_samples([])
+
+    def test_stacks_fields(self):
+        wl = generate_workload(
+            32, 0.5, padding_ratio=0.3, num_samples=3, seed=4
+        )
+        batch = BatchedWorkload.from_samples(wl.samples)
+        assert len(batch) == 3
+        assert batch.keep.shape == (3, 32, 32)
+        assert batch.valid_len.tolist() == [s.valid_len for s in wl]
+
+
+class TestSldSweepImplementations:
+    """All three SLD paths agree; the loop is the specification."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_three_way_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        for queries, keys, cap in (
+            (40, 40, 9), (61, 33, 16), (33, 61, 100), (28, 28, 3),
+        ):
+            keep = rng.random((queries, keys)) < rng.uniform(0.1, 0.7)
+            loop = _sld_traffic_loop(keep, cap)
+            rank = _sld_traffic_rank(keep, cap)
+            np.testing.assert_array_equal(loop[0], rank[0])
+            np.testing.assert_array_equal(loop[1], rank[1])
+            packed = _sld_traffic_packed(keep, cap)
+            if packed is not None:
+                np.testing.assert_array_equal(loop[0], packed[0])
+                np.testing.assert_array_equal(loop[1], packed[1])
+
+    def test_packed_falls_back_when_capacity_exceeds_history(self):
+        # 128 queries over 11 keys at huge capacity: the window never
+        # fills, so the packed scan punts to the ranking sweep.
+        rng = np.random.default_rng(0)
+        keep = rng.random((128, 11)) < 0.3
+        assert _sld_traffic_packed(keep, 4096) is None
+        loop = _sld_traffic_loop(keep, 4096)
+        rank = _sld_traffic_rank(keep, 4096)
+        np.testing.assert_array_equal(loop[0], rank[0])
+        np.testing.assert_array_equal(loop[1], rank[1])
+
+    def test_single_query_and_empty(self):
+        one = np.ones((1, 9), dtype=bool)
+        for impl in (_sld_traffic_loop, _sld_traffic_rank):
+            fetches, reuses = impl(one, 4)
+            assert fetches.tolist() == [9] and reuses.tolist() == [0]
+        empty = np.zeros((5, 8), dtype=bool)
+        for impl in (_sld_traffic_loop, _sld_traffic_rank):
+            fetches, reuses = impl(empty, 4)
+            assert fetches.sum() == 0 and reuses.sum() == 0
+
+
+class TestVectorizedEnergyTally:
+    def test_array_tally_matches_scalar_loop(self):
+        counts = np.array([3, 17, 0, 255], dtype=np.int64)
+        batched = EnergyModel(vector_bytes=64)
+        batched.count_reram_vector_reads(counts)
+        batched.count_qk_dot_products(2 * counts)
+        batched.count_inmemory_array_ops(counts)
+        batched.count_comparator_ops(counts * counts)
+        per_sample = batched.breakdown.split()
+        assert len(per_sample) == len(counts)
+        for i, n in enumerate(counts):
+            scalar = EnergyModel(vector_bytes=64)
+            scalar.count_reram_vector_reads(int(n))
+            scalar.count_qk_dot_products(2 * int(n))
+            scalar.count_inmemory_array_ops(int(n))
+            scalar.count_comparator_ops(int(n) * int(n))
+            assert per_sample[i].pj == scalar.breakdown.pj
+
+    def test_split_requires_array(self):
+        model = EnergyModel()
+        model.count_softmax_elements(5)
+        with pytest.raises(ValueError):
+            model.breakdown.split()
+
+    def test_split_rejects_ragged(self):
+        model = EnergyModel()
+        model.count_softmax_elements(np.array([1.0, 2.0]))
+        model.count_qk_dot_products(np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            model.breakdown.split()
+
+
+class TestSharedConstants:
+    def test_pipeline_overhead_single_source(self):
+        from repro.core import system
+
+        assert S_SPRINT.pipeline_overhead_cycles == PIPELINE_OVERHEAD_CYCLES
+        assert system.PIPELINE_OVERHEAD_CYCLES == PIPELINE_OVERHEAD_CYCLES
+
+    def test_vector_fetch_cycles_array_matches_scalar(self):
+        vectors = np.array([0, 1, 15, 16, 17, 400], dtype=np.int64)
+        expected = [S_SPRINT.vector_fetch_cycles(int(v)) for v in vectors]
+        got = S_SPRINT.vector_fetch_cycles_array(vectors)
+        assert got.tolist() == expected
+
+
+class TestModelReportVectorBytes:
+    def test_data_movement_uses_config_vector_bytes(self):
+        sim = MultiHeadSimulator(S_SPRINT)
+        report = sim.simulate(
+            get_model("ViT-B"), ExecutionMode.SPRINT, num_samples=1, seed=2
+        )
+        assert report.vector_bytes == S_SPRINT.vector_bytes
+        assert report.total_data_movement_bytes() == (
+            report.total_data_movement_bytes(S_SPRINT.vector_bytes)
+        )
+        # An explicit override still wins (and scales linearly).
+        assert report.total_data_movement_bytes(128) == pytest.approx(
+            2.0 * report.total_data_movement_bytes(64)
+        )

@@ -51,6 +51,55 @@ class TestSimulateSldTraffic:
             fetches + reuses, keep.sum(axis=1)
         )
 
+    def test_capacity_below_single_query_set(self):
+        # One query needs more vectors than the whole buffer holds: the
+        # buffer can never serve a full repeat, only the survivors.
+        keep = np.zeros((3, 12), dtype=bool)
+        keep[:, :8] = True
+        fetches, reuses = simulate_sld_traffic(keep, capacity_vectors=5)
+        assert fetches[0] == 8 and reuses[0] == 0
+        # Later queries reuse exactly the 5 resident survivors.
+        np.testing.assert_array_equal(fetches[1:], [3, 3])
+        np.testing.assert_array_equal(reuses[1:], [5, 5])
+
+    def test_all_pruned_queries(self):
+        keep = np.zeros((6, 16), dtype=bool)
+        fetches, reuses = simulate_sld_traffic(keep, capacity_vectors=4)
+        assert fetches.sum() == 0 and reuses.sum() == 0
+        assert fetches.shape == (6,)
+
+    def test_zero_capacity_never_reuses(self):
+        keep = np.ones((4, 4), dtype=bool)
+        fetches, reuses = simulate_sld_traffic(keep, capacity_vectors=0)
+        np.testing.assert_array_equal(fetches, [4, 4, 4, 4])
+        assert reuses.sum() == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_vectorized_matches_slow_exact(self, seed):
+        """The vectorized residency sweep IS the LRU loop, count-for-count."""
+        rng = np.random.default_rng(seed)
+        for queries, keys, cap in (
+            (37, 53, 11), (64, 64, 16), (96, 96, 200), (50, 23, 1),
+        ):
+            keep = rng.random((queries, keys)) < rng.uniform(0.05, 0.6)
+            slow = simulate_sld_traffic(keep, cap, slow_exact=True)
+            fast = simulate_sld_traffic(keep, cap)
+            np.testing.assert_array_equal(slow[0], fast[0])
+            np.testing.assert_array_equal(slow[1], fast[1])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vectorized_matches_slow_exact_calibrated(self, seed):
+        from repro.workloads.generator import generate_workload as gen
+
+        wl = gen(96, 0.746, padding_ratio=0.3, num_samples=2, seed=seed)
+        for sample in wl:
+            keep = sample.keep_mask[: sample.valid_len, : sample.valid_len]
+            for cap in (7, 32, 64, 4096):
+                slow = simulate_sld_traffic(keep, cap, slow_exact=True)
+                fast = simulate_sld_traffic(keep, cap)
+                np.testing.assert_array_equal(slow[0], fast[0])
+                np.testing.assert_array_equal(slow[1], fast[1])
+
 
 @pytest.fixture(scope="module")
 def bert_reports():
