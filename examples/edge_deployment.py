@@ -12,8 +12,6 @@ Usage::
     python examples/edge_deployment.py
 """
 
-import numpy as np
-
 from repro.core.configs import SprintConfig
 from repro.core.system import ExecutionMode, SprintSystem
 from repro.models.zoo import get_model

@@ -8,7 +8,7 @@ temporary buffer and a short stall covers the write into K-buf/V-buf.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

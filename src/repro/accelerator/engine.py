@@ -18,8 +18,8 @@ sweeps.  Outputs of the two are cross-checked in the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

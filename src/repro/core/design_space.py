@@ -11,7 +11,7 @@ Figure 14 layout (S-SPRINT = 1.18 x 0.8 mm2 at 16 KB / 1 CORELET).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.configs import SprintConfig
 from repro.core.system import ExecutionMode, SprintSystem

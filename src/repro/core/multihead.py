@@ -9,8 +9,8 @@ heads beyond the CORELET count serialize.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.core.configs import SprintConfig
 from repro.core.results import SimulationReport

@@ -53,14 +53,28 @@ def _ffn_energy_pj(tokens: int, embed_dim: int) -> float:
     return dot_ops * TABLE_II.dot_product_64tap_pj + buffer_pj
 
 
+MODES = (ExecutionMode.BASELINE, ExecutionMode.SPRINT)
+
+
+def grid_cells(
+    models: Sequence[str] = DEFAULT_MODELS,
+    config: SprintConfig = M_SPRINT,
+    num_samples: int = 2,
+    seed: int = 1,
+):
+    """Sweep cells a same-argument :func:`run` consumes (for sharding)."""
+    from repro.experiments import sweep
+
+    return sweep.cells(models, (config,), MODES, num_samples, seed)
+
+
 def run(
     models: Sequence[str] = DEFAULT_MODELS,
     config: SprintConfig = M_SPRINT,
     num_samples: int = 2,
     seed: int = 1,
 ) -> List[FfnRow]:
-    modes = (ExecutionMode.BASELINE, ExecutionMode.SPRINT)
-    reports = grid(models, (config,), modes, num_samples, seed)
+    reports = grid(models, (config,), MODES, num_samples, seed)
     rows: List[FfnRow] = []
     for model in models:
         spec = get_model(model)

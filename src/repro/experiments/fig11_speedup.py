@@ -26,18 +26,32 @@ class Fig11Row:
     pruning_only_speedup: float
 
 
+MODES = (
+    ExecutionMode.BASELINE,
+    ExecutionMode.PRUNING_ONLY,
+    ExecutionMode.SPRINT,
+)
+
+
+def grid_cells(
+    models: Sequence[str] = ALL_MODELS,
+    configs: Sequence[SprintConfig] = ALL_CONFIGS,
+    num_samples: int = 2,
+    seed: int = 1,
+):
+    """Sweep cells a same-argument :func:`run` consumes (for sharding)."""
+    from repro.experiments import sweep
+
+    return sweep.cells(models, configs, MODES, num_samples, seed)
+
+
 def run(
     models: Sequence[str] = ALL_MODELS,
     configs: Sequence[SprintConfig] = ALL_CONFIGS,
     num_samples: int = 2,
     seed: int = 1,
 ) -> List[Fig11Row]:
-    modes = (
-        ExecutionMode.BASELINE,
-        ExecutionMode.PRUNING_ONLY,
-        ExecutionMode.SPRINT,
-    )
-    reports = grid(models, configs, modes, num_samples, seed)
+    reports = grid(models, configs, MODES, num_samples, seed)
     rows: List[Fig11Row] = []
     for model in models:
         for config in configs:

@@ -36,18 +36,32 @@ class Fig13Row:
         return 1.0 / total if total > 0 else float("inf")
 
 
+MODES = (
+    ExecutionMode.BASELINE,
+    ExecutionMode.PRUNING_ONLY,
+    ExecutionMode.SPRINT,
+)
+
+
+def grid_cells(
+    models: Sequence[str] = ALL_MODELS,
+    config: SprintConfig = M_SPRINT,
+    num_samples: int = 2,
+    seed: int = 1,
+):
+    """Sweep cells a same-argument :func:`run` consumes (for sharding)."""
+    from repro.experiments import sweep
+
+    return sweep.cells(models, (config,), MODES, num_samples, seed)
+
+
 def run(
     models: Sequence[str] = ALL_MODELS,
     config: SprintConfig = M_SPRINT,
     num_samples: int = 2,
     seed: int = 1,
 ) -> List[Fig13Row]:
-    modes = (
-        ExecutionMode.BASELINE,
-        ExecutionMode.PRUNING_ONLY,
-        ExecutionMode.SPRINT,
-    )
-    reports = grid(models, (config,), modes, num_samples, seed)
+    reports = grid(models, (config,), MODES, num_samples, seed)
     rows: List[Fig13Row] = []
     for model in models:
         base = reports[(model, config.name, ExecutionMode.BASELINE.value)]

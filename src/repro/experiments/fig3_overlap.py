@@ -18,7 +18,7 @@ from repro.attention.locality import (
     expected_random_overlap,
     measure_adjacent_overlap,
 )
-from repro.models.zoo import MODEL_ZOO, get_model
+from repro.models.zoo import get_model
 from repro.workloads.generator import generate_random_masks, generate_workload
 
 DEFAULT_MODELS = ("BERT-B", "ViT-B", "ALBERT-XXL")

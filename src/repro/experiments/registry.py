@@ -1,0 +1,80 @@
+"""The experiment registry: every paper figure/table, typed.
+
+Lives apart from :mod:`repro.experiments.runner` so the parallel
+runtime (:mod:`repro.runtime`) can resolve experiments without
+importing the CLI (which imports the runtime back).
+
+Each entry maps a short name to ``(fast_kwargs, module)`` where the
+module satisfies :class:`ExperimentModule`: ``run(**kwargs)`` returns
+the experiment's structured rows (dataclass lists, not strings) and
+``format_table(rows)`` renders them as the printed paper-style table.
+Grid-backed experiments additionally expose ``grid_cells(**kwargs)``
+so the runtime can shard their simulation cells across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Protocol, Tuple, runtime_checkable
+
+from repro.experiments import (
+    ablations,
+    ffn_end_to_end,
+    fig1_memory_energy,
+    fig2_heatmap,
+    fig3_overlap,
+    fig5_bit_sensitivity,
+    fig8_imbalance,
+    fig9_accuracy,
+    fig10_data_movement,
+    fig11_speedup,
+    fig12_energy,
+    fig13_breakdown,
+    sensitivity,
+    serving,
+    table3_comparison,
+)
+
+
+@runtime_checkable
+class ExperimentModule(Protocol):
+    """Structural contract every registered experiment module meets."""
+
+    run: Callable[..., Any]
+    format_table: Callable[..., str]
+
+
+#: Keyword arguments an experiment's ``run`` accepts (the registry
+#: stores the reduced-size set used by ``--fast``).
+RunKwargs = Dict[str, Any]
+
+ExperimentSpec = Tuple[RunKwargs, ExperimentModule]
+
+#: name -> (run kwargs for fast mode, module)
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "fig1": ({"seq_lengths": (32, 128, 512)}, fig1_memory_energy),
+    "fig2": ({}, fig2_heatmap),
+    "fig3": ({"num_samples": 1}, fig3_overlap),
+    "fig5": ({"num_samples": 16}, fig5_bit_sensitivity),
+    "fig8": ({"num_samples": 1}, fig8_imbalance),
+    "fig9": ({"num_samples": 16}, fig9_accuracy),
+    "fig10": ({"num_samples": 1}, fig10_data_movement),
+    "fig11": ({"num_samples": 1}, fig11_speedup),
+    "fig12": ({"num_samples": 1}, fig12_energy),
+    "fig13": ({"num_samples": 1}, fig13_breakdown),
+    "ffn": ({"num_samples": 1}, ffn_end_to_end),
+    "table3": ({"num_samples": 1}, table3_comparison),
+    "ablations": ({}, ablations),
+    "sensitivity": ({}, sensitivity),
+    "serving": ({"num_requests": 100, "loads": (20.0, 80.0)}, serving),
+}
+
+
+def resolve(name: str, fast: bool = False) -> Tuple[RunKwargs, ExperimentModule]:
+    """The (kwargs, module) a run of ``name`` uses; KeyError if unknown."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    fast_kwargs, module = EXPERIMENTS[name]
+    return (dict(fast_kwargs) if fast else {}), module

@@ -3,70 +3,49 @@
 ``sprint-experiments`` (console script) or ``python -m
 repro.experiments.runner`` runs the full set; pass experiment names
 (e.g. ``fig11 table3``) to run a subset, ``--fast`` for smaller sample
-counts.
+counts.  The CLI fronts :mod:`repro.runtime`:
+
+* ``--jobs N`` shards independent experiments (and, inside the heavy
+  sweeps, independent model cells) across ``N`` worker processes;
+* ``--cache-dir DIR`` replays unchanged experiments from the
+  content-addressed result cache instead of re-simulating;
+* ``--json-out DIR`` writes each experiment's structured artifact to
+  ``DIR/<name>.json`` alongside the printed table (which is itself a
+  rendering of the artifact).
+
+Exit status is 0 only when every requested experiment succeeded;
+failures are reported per experiment and turn into exit code 1
+instead of aborting the batch mid-run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable, Dict, Tuple
+from typing import Optional, Sequence
 
-from repro.experiments import (
-    ablations,
-    ffn_end_to_end,
-    fig1_memory_energy,
-    fig2_heatmap,
-    fig3_overlap,
-    fig5_bit_sensitivity,
-    fig8_imbalance,
-    fig9_accuracy,
-    fig10_data_movement,
-    fig11_speedup,
-    fig12_energy,
-    fig13_breakdown,
-    sensitivity,
-    serving,
-    table3_comparison,
+from repro.experiments.registry import (
+    EXPERIMENTS,  # noqa: F401 - re-exported (tests and back-compat)
+    ExperimentModule,  # noqa: F401 - re-exported (tests and back-compat)
+    resolve,
 )
+from repro.runtime import Artifact, ExperimentPool, ResultCache
 
-#: name -> (run kwargs for fast mode, module)
-EXPERIMENTS: Dict[str, Tuple[dict, object]] = {
-    "fig1": ({"seq_lengths": (32, 128, 512)}, fig1_memory_energy),
-    "fig2": ({}, fig2_heatmap),
-    "fig3": ({"num_samples": 1}, fig3_overlap),
-    "fig5": ({"num_samples": 16}, fig5_bit_sensitivity),
-    "fig8": ({"num_samples": 1}, fig8_imbalance),
-    "fig9": ({"num_samples": 16}, fig9_accuracy),
-    "fig10": ({"num_samples": 1}, fig10_data_movement),
-    "fig11": ({"num_samples": 1}, fig11_speedup),
-    "fig12": ({"num_samples": 1}, fig12_energy),
-    "fig13": ({"num_samples": 1}, fig13_breakdown),
-    "ffn": ({"num_samples": 1}, ffn_end_to_end),
-    "table3": ({"num_samples": 1}, table3_comparison),
-    "ablations": ({}, ablations),
-    "sensitivity": ({}, sensitivity),
-    "serving": (
-        {"num_requests": 100, "loads": (20.0, 80.0)}, serving
-    ),
-}
+
+def run_structured(name: str, fast: bool = False) -> Artifact:
+    """Run one experiment by short name and return its artifact."""
+    from repro.runtime.artifacts import build_artifact
+
+    kwargs, module = resolve(name, fast)
+    return build_artifact(name, kwargs, module)
 
 
 def run_experiment(name: str, fast: bool = False) -> str:
     """Run one experiment by short name and return its formatted table."""
-    if name not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {name!r}; choose from "
-            f"{', '.join(EXPERIMENTS)}"
-        )
-    fast_kwargs, module = EXPERIMENTS[name]
-    kwargs = fast_kwargs if fast else {}
-    rows = module.run(**kwargs)
-    return module.format_table(rows)
+    return run_structured(name, fast=fast).table
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the SPRINT paper's figures and tables."
     )
@@ -77,16 +56,64 @@ def main(argv=None) -> int:
         help="subset to run (default: all): " + ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
-        "--fast", action="store_true",
+        "--fast",
+        action="store_true",
         help="smaller sample counts for a quick pass",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to shard experiments across (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache; unchanged experiments "
+        "replay instantly",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="DIR",
+        default=None,
+        help="write each experiment's JSON artifact to DIR/<name>.json",
+    )
     args = parser.parse_args(argv)
-    for name in args.experiments:
-        start = time.time()
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    unknown = [n for n in args.experiments if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; choose from "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    pool = ExperimentPool(jobs=args.jobs, cache=cache)
+    outcomes = pool.run(args.experiments, fast=args.fast)
+
+    failures = []
+    for name, outcome in outcomes.items():
         print("=" * 72)
-        print(run_experiment(name, fast=args.fast))
-        print(f"[{name} done in {time.time() - start:.1f}s]")
+        if not outcome.ok:
+            failures.append(name)
+            print(f"[{name} FAILED: {outcome.error}]")
+            continue
+        print(outcome.artifact.table)
+        source = "cache" if outcome.cached else f"{outcome.seconds:.1f}s"
+        print(f"[{name} done ({source})]")
+        if args.json_out:
+            outcome.artifact.write(args.json_out)
         sys.stdout.flush()
+    if failures:
+        print(
+            f"{len(failures)}/{len(outcomes)} experiment(s) failed: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -13,7 +13,7 @@ times, which compounds through queueing into disproportionate headroom.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.configs import S_SPRINT, SprintConfig
 from repro.core.system import ExecutionMode

@@ -5,12 +5,18 @@ module runs each (model, config, mode, samples, seed) cell once per
 process and caches the result.  Each model's calibrated workload is
 generated once and shared across every (config, mode) cell, and each
 cell runs through the batched ``simulate_workload`` core.
+
+The cell grid is also the unit of parallelism for the experiment
+runtime (:mod:`repro.runtime.pool`): ``cells`` enumerates the keys a
+grid call will consume, worker processes compute them remotely, and
+``prime`` installs the shipped-back reports so the consuming
+experiments aggregate without re-simulating.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.configs import L_SPRINT, M_SPRINT, S_SPRINT, SprintConfig
 from repro.core.results import SimulationReport
@@ -50,7 +56,41 @@ def workload_for(model_name: str, num_samples: int, seed: int) -> Workload:
     )
 
 
-@lru_cache(maxsize=None)
+#: One grid cell: (model, config name, mode value, num_samples, seed).
+#: ``num_samples`` is the *requested* count; ``samples_for`` capping is
+#: internal to the cell so keys stay stable across call sites.
+CellKey = Tuple[str, str, str, int, int]
+
+#: Reports installed by :func:`prime` (e.g. computed in a worker
+#: process and shipped back); consulted before the local memo.
+_PRIMED: Dict[CellKey, SimulationReport] = {}
+
+
+def cells(
+    models: Sequence[str],
+    configs: Sequence[SprintConfig],
+    modes: Sequence[ExecutionMode],
+    num_samples: int = 2,
+    seed: int = 1,
+) -> List[CellKey]:
+    """The cell keys a same-argument :func:`grid` call will consume."""
+    return [
+        (model, config.name, mode.value, num_samples, seed)
+        for model in models
+        for config in configs
+        for mode in modes
+    ]
+
+
+def prime(key: CellKey, report: SimulationReport) -> None:
+    """Install an externally computed cell (parallel-runtime hook)."""
+    _PRIMED[tuple(key)] = report
+
+
+def clear_primed() -> None:
+    _PRIMED.clear()
+
+
 def simulate(
     model_name: str,
     config_name: str,
@@ -59,6 +99,21 @@ def simulate(
     seed: int = 1,
 ) -> SimulationReport:
     """One memoized simulation cell (batched over the shared workload)."""
+    key = (model_name, config_name, mode_value, num_samples, seed)
+    primed = _PRIMED.get(key)
+    if primed is not None:
+        return primed
+    return _simulate(*key)
+
+
+@lru_cache(maxsize=None)
+def _simulate(
+    model_name: str,
+    config_name: str,
+    mode_value: str,
+    num_samples: int,
+    seed: int,
+) -> SimulationReport:
     config = {c.name: c for c in ALL_CONFIGS}[config_name]
     system = SprintSystem(config)
     workload = workload_for(

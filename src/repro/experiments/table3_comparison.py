@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from repro.core.configs import M_SPRINT, SprintConfig
 from repro.core.system import ExecutionMode
 from repro.energy.area import (
@@ -70,6 +68,19 @@ def simulate_msprint_metrics(
         seconds=total_seconds,
         joules=total_joules,
         area_mm2=M_SPRINT_AREA_MM2,
+    )
+
+
+def grid_cells(
+    models: Sequence[str] = ALL_MODELS,
+    num_samples: int = 2,
+    seed: int = 1,
+):
+    """Sweep cells a same-argument :func:`run` consumes (for sharding)."""
+    from repro.experiments import sweep
+
+    return sweep.cells(
+        models, (M_SPRINT,), (ExecutionMode.SPRINT,), num_samples, seed
     )
 
 

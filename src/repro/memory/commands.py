@@ -10,7 +10,7 @@ because it targets an isolated buffer rather than a memory row.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

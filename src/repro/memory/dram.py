@@ -8,7 +8,7 @@ PRECHARGE + ACTIVATE penalty (section V, Background).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.memory.commands import CommandKind
 from repro.memory.timing import TimingParameters

@@ -10,7 +10,7 @@ hand the accelerator the indices it can start computing on immediately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np

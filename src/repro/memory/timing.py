@@ -8,8 +8,7 @@ the paper's conservative derating versus NVSim (1.6x read delay).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
 
 from repro.memory.commands import CommandKind
 

@@ -13,7 +13,7 @@ GPT-2-L's WikiText-2 perplexity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

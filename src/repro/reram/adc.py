@@ -9,7 +9,7 @@ the power and >30x the area of the 1-bit design ([136, 139]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -18,7 +18,7 @@ controller must respect between ``CopyQ`` and ``ReadP``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

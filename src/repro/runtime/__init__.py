@@ -1,0 +1,32 @@
+"""Parallel experiment runtime: orchestrator, result cache, artifacts.
+
+The three layers the ``sprint-experiments`` CLI is built on:
+
+* :mod:`repro.runtime.pool` — :class:`ExperimentPool`, the
+  process-sharded orchestrator (``--jobs``),
+* :mod:`repro.runtime.cache` — :class:`ResultCache`, the
+  content-addressed artifact cache (``--cache-dir``),
+* :mod:`repro.runtime.artifacts` — :class:`Artifact`, the JSON
+  result layer (``--json-out``).
+"""
+
+from repro.runtime.artifacts import (
+    ARTIFACT_SCHEMA,
+    Artifact,
+    build_artifact,
+    to_jsonable,
+)
+from repro.runtime.cache import ResultCache, cache_key, code_version
+from repro.runtime.pool import ExperimentOutcome, ExperimentPool
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "Artifact",
+    "ExperimentOutcome",
+    "ExperimentPool",
+    "ResultCache",
+    "build_artifact",
+    "cache_key",
+    "code_version",
+    "to_jsonable",
+]

@@ -1,0 +1,123 @@
+"""Structured experiment artifacts: JSON alongside the printed table.
+
+Every experiment run produces an :class:`Artifact` — the structured
+rows serialized to JSON-safe data plus the rendered table (the table
+is a *rendering of* the artifact, produced once from the live row
+objects and carried along).  Artifacts are what the runner writes to
+``--json-out``, what the cache replays, and what CI diffs and uploads.
+
+The JSON is deliberately free of wall-clock and host information so a
+run with ``--jobs 4`` is byte-identical to ``--jobs 1`` and a cache
+replay is byte-identical to the original computation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+#: Bump when the artifact JSON layout changes incompatibly.
+ARTIFACT_SCHEMA = 1
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Deterministically convert experiment results to JSON-safe data.
+
+    Dataclass rows become field-ordered dicts, numpy scalars/arrays
+    become Python scalars/nested lists, tuples become lists.  Mapping
+    insertion order is preserved (experiment code builds dicts in a
+    deterministic order; sets must be sorted by the producer).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return to_jsonable(obj.tolist())
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot serialize {type(obj).__name__} into an artifact")
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One experiment's machine-readable result.
+
+    ``kwargs`` are the resolved run kwargs (after ``--fast``
+    substitution), so the artifact records exactly what was computed;
+    ``cache_key`` ties it back to the :class:`~repro.runtime.cache.
+    ResultCache` entry it was (or would be) stored under.
+    """
+
+    name: str
+    kwargs: Dict[str, Any]
+    code_version: str
+    cache_key: str
+    rows: Any
+    table: str
+    schema: int = ARTIFACT_SCHEMA
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": self.schema,
+            "name": self.name,
+            "kwargs": self.kwargs,
+            "code_version": self.code_version,
+            "cache_key": self.cache_key,
+            "rows": self.rows,
+            "table": self.table,
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Artifact":
+        payload = json.loads(text)
+        return cls(
+            name=payload["name"],
+            kwargs=payload["kwargs"],
+            code_version=payload["code_version"],
+            cache_key=payload["cache_key"],
+            rows=payload["rows"],
+            table=payload["table"],
+            schema=payload["schema"],
+        )
+
+    def write(self, out_dir: Union[str, Path]) -> Path:
+        """Write ``<out_dir>/<name>.json``; returns the path."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{self.name}.json"
+        path.write_text(self.to_json())
+        return path
+
+
+def build_artifact(name: str, kwargs: Dict[str, Any], module: Any) -> Artifact:
+    """Run ``module.run(**kwargs)`` and package the result.
+
+    This is the single construction path used by the serial runner,
+    the process-pool workers, and the cache fill, so artifacts are
+    identical no matter where they were computed.
+    """
+    from repro.runtime.cache import cache_key, code_version
+
+    rows = module.run(**kwargs)
+    return Artifact(
+        name=name,
+        kwargs=to_jsonable(dict(kwargs)),
+        code_version=code_version(),
+        cache_key=cache_key(name, kwargs),
+        rows=to_jsonable(rows),
+        table=module.format_table(rows),
+    )

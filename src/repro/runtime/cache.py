@@ -1,0 +1,86 @@
+"""Content-addressed disk cache for experiment artifacts.
+
+A cache key is the SHA-256 of three ingredients:
+
+1. the experiment name,
+2. the canonical JSON of its resolved run kwargs — config dataclasses
+   (e.g. :class:`~repro.core.configs.SprintConfig`) hash by field
+   values, so changing any hardware parameter changes the key, and
+3. the code version — a digest over every ``repro`` source file, so
+   editing the simulator invalidates every cached result.
+
+Hits replay the stored artifact (rows + rendered table) with zero
+simulation work; misses fall through to the orchestrator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.runtime.artifacts import Artifact, to_jsonable
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the installed ``repro`` package's source tree."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def canonical_kwargs(kwargs: Dict[str, Any]) -> str:
+    """Stable JSON encoding of run kwargs (sorted keys, no spaces)."""
+    return json.dumps(to_jsonable(dict(kwargs)), sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(name: str, kwargs: Dict[str, Any], version: Optional[str] = None) -> str:
+    """Content address of one (experiment, kwargs, code) computation."""
+    if version is None:
+        version = code_version()
+    payload = f"{name}\n{canonical_kwargs(kwargs)}\n{version}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Artifacts stored as ``<root>/<cache_key>.json``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def get(self, key: str) -> Optional[Artifact]:
+        path = self.path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            artifact = Artifact.from_json(path.read_text())
+        except (ValueError, KeyError, TypeError):
+            # A torn/stale entry is a miss, not an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def put(self, artifact: Artifact) -> Path:
+        path = self.path(artifact.cache_key)
+        path.write_text(artifact.to_json())
+        return path

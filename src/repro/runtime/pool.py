@@ -1,0 +1,214 @@
+"""Process-sharded experiment orchestrator.
+
+:class:`ExperimentPool` runs a set of experiments across
+``ProcessPoolExecutor`` workers.  Two kinds of work unit are sharded:
+
+* **Standalone experiments** (fig1, fig5, sensitivity, serving, ...)
+  run whole in a worker, which returns the finished artifact.
+* **Grid-backed experiments** (fig10-13, ffn, table3) all consume the
+  shared :mod:`repro.experiments.sweep` cell grid.  The pool takes the
+  union of their declared ``grid_cells()``, shards the cells by model
+  (so each model's calibrated workload is generated once per shard),
+  simulates shards in workers, primes the parent's sweep cache with
+  the shipped-back reports, and then aggregates each experiment
+  in-process — cheap, and the grid is computed exactly once no matter
+  how many experiments consume it.
+
+Determinism: every cell key and experiment kwarg carries its seed, so
+results do not depend on worker count or scheduling; artifacts are
+byte-identical across ``--jobs`` values.  When a :class:`~repro.
+runtime.cache.ResultCache` is attached, hits skip both kinds of work
+entirely and fresh results are written back after the run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import registry, sweep
+from repro.runtime.artifacts import Artifact, build_artifact
+from repro.runtime.cache import ResultCache, cache_key
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's result plus how it was obtained."""
+
+    name: str
+    artifact: Optional[Artifact]
+    seconds: float
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_standalone(name: str, kwargs: Dict[str, Any]) -> Tuple[Artifact, float]:
+    """Worker: run one whole experiment; returns (artifact, seconds)."""
+    _, module = registry.EXPERIMENTS[name]
+    start = time.perf_counter()
+    artifact = build_artifact(name, kwargs, module)
+    return artifact, time.perf_counter() - start
+
+
+def _simulate_cells(
+    cells: Sequence[sweep.CellKey],
+) -> List[Tuple[sweep.CellKey, Any]]:
+    """Worker: simulate one shard of sweep cells (same-model, so the
+    calibrated workload is generated once and shared)."""
+    return [(key, sweep.simulate(*key)) for key in cells]
+
+
+class ExperimentPool:
+    """Shard experiments (and their sweep cells) across processes."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        mp_context: Optional[mp.context.BaseContext] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        if mp_context is None:
+            # fork keeps worker start-up cheap (warm imports) and
+            # inherits the parent's hash seed, so any residual
+            # dict/set ordering matches the serial run exactly.
+            methods = mp.get_all_start_methods()
+            method = "fork" if "fork" in methods else methods[0]
+            mp_context = mp.get_context(method)
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def run(
+        self, names: Sequence[str], fast: bool = False
+    ) -> Dict[str, ExperimentOutcome]:
+        """Run ``names`` (cache -> shard -> aggregate); insertion-ordered.
+
+        Raises :class:`KeyError` for unknown names before any work
+        starts.  Per-experiment failures are captured in the outcome's
+        ``error`` field rather than aborting the batch.
+        """
+        outcomes: Dict[str, Optional[ExperimentOutcome]] = {}
+        pending: List[Tuple[str, Dict[str, Any], Any]] = []
+        for name in names:
+            if name in outcomes:
+                continue
+            kwargs, module = registry.resolve(name, fast)
+            outcomes[name] = None
+            if self.cache is not None:
+                hit = self.cache.get(cache_key(name, kwargs))
+                if hit is not None:
+                    outcomes[name] = ExperimentOutcome(name, hit, 0.0, cached=True)
+                    continue
+            pending.append((name, kwargs, module))
+
+        # Workers pay off when there is more than one experiment to
+        # spread out, or when even a single pending experiment has a
+        # shardable cell grid behind it.
+        use_workers = self.jobs > 1 and (
+            len(pending) > 1
+            or any(hasattr(module, "grid_cells") for _, _, module in pending)
+        )
+        if use_workers:
+            self._run_sharded(pending, outcomes)
+        else:
+            for name, kwargs, module in pending:
+                outcomes[name] = self._run_local(name, kwargs, module)
+
+        if self.cache is not None:
+            for outcome in outcomes.values():
+                if outcome.ok and not outcome.cached:
+                    self.cache.put(outcome.artifact)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _run_local(self, name, kwargs, module) -> ExperimentOutcome:
+        start = time.perf_counter()
+        try:
+            artifact = build_artifact(name, kwargs, module)
+        except Exception as exc:  # noqa: BLE001 - reported per experiment
+            return ExperimentOutcome(
+                name,
+                None,
+                time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return ExperimentOutcome(name, artifact, time.perf_counter() - start)
+
+    def _run_sharded(self, pending, outcomes) -> None:
+        grid_backed = [spec for spec in pending if hasattr(spec[2], "grid_cells")]
+        standalone = [spec for spec in pending if not hasattr(spec[2], "grid_cells")]
+
+        # Union of cells the grid-backed experiments will consume,
+        # sharded by (model, samples, seed) so each shard shares one
+        # calibrated workload.
+        needed: Dict[sweep.CellKey, None] = {}
+        for _name, kwargs, module in grid_backed:
+            try:
+                cell_keys = module.grid_cells(**kwargs)
+            except Exception:  # noqa: BLE001
+                # Cell enumeration is an optimization; a drifting
+                # grid_cells signature must not abort the batch.  The
+                # experiment still runs via _run_local below, which
+                # isolates (and reports) any real failure.
+                continue
+            for key in cell_keys:
+                needed.setdefault(tuple(key), None)
+        shards: Dict[Tuple[str, int, int], List[sweep.CellKey]] = {}
+        for key in needed:
+            shards.setdefault((key[0], key[3], key[4]), []).append(key)
+
+        executor = ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=self._mp_context
+        )
+        with executor:
+            cell_futures = [
+                executor.submit(_simulate_cells, shard)
+                for shard in shards.values()
+            ]
+            standalone_futures = {
+                executor.submit(_run_standalone, name, kwargs): name
+                for name, kwargs, _module in standalone
+            }
+            for future in as_completed(cell_futures):
+                try:
+                    for key, report in future.result():
+                        sweep.prime(key, report)
+                except Exception as exc:  # noqa: BLE001
+                    # A failed shard is re-attempted (and any real
+                    # simulation error surfaced) by the consuming
+                    # experiment below — but serially, so say so.
+                    print(
+                        f"warning: sweep shard failed ({type(exc).__name__}: "
+                        f"{exc}); falling back to in-process simulation",
+                        file=sys.stderr,
+                    )
+            # Cells are primed: aggregate the grid consumers in-parent
+            # while the standalone workers keep running.  Priming is
+            # scoped to this run so module-global sweep state does not
+            # leak into unrelated later callers.
+            try:
+                for name, kwargs, module in grid_backed:
+                    outcomes[name] = self._run_local(name, kwargs, module)
+            finally:
+                sweep.clear_primed()
+            for future, name in standalone_futures.items():
+                try:
+                    artifact, seconds = future.result()
+                except Exception as exc:  # noqa: BLE001
+                    outcomes[name] = ExperimentOutcome(
+                        name,
+                        None,
+                        0.0,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    outcomes[name] = ExperimentOutcome(name, artifact, seconds)

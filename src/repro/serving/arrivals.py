@@ -9,7 +9,7 @@ model's mean padding ratio (matching ``repro.workloads.generator``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 

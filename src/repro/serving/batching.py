@@ -9,7 +9,7 @@ and learned thresholds programmed into the accelerator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.serving.requests import Batch, Request

@@ -10,7 +10,6 @@ timestamp the tail-latency analysis needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.models.zoo import ModelSpec
 

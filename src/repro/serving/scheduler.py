@@ -10,7 +10,7 @@ fully deterministic -- same requests, same knobs, same result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.serving.batching import DynamicBatcher
 from repro.serving.devices import SprintDevice

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.attention.quantization import (
-    QuantizedTensor,
     combine_msb_lsb,
     dequantize,
     quantize_scores,

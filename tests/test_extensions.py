@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.accelerator.engine import SprintEngine
-from repro.core.configs import M_SPRINT, S_SPRINT
+from repro.core.configs import M_SPRINT
 from repro.core.design_space import (
     DesignPoint,
     best_under_area,
@@ -15,7 +15,6 @@ from repro.core.design_space import (
     sweep,
 )
 from repro.core.multihead import MultiHeadSimulator
-from repro.core.system import ExecutionMode
 from repro.memory.commands import MemoryRequest
 from repro.memory.frontend import ControllerFrontend
 from repro.models.zoo import get_model

@@ -82,7 +82,7 @@ class TestCommandScheduler:
 
     def test_compute_blocks_bank_reads(self):
         sched = make_scheduler(num_channels=1, banks=1)
-        ready = sched.schedule_thresholding(channel=0, bank=0)
+        sched.schedule_thresholding(channel=0, bank=0)
         done = sched.schedule_requests([MemoryRequest(token_index=0)])
         # The read cannot complete before the in-flight thresholding.
         assert done >= DEFAULT_TIMING.t_axth

@@ -1,7 +1,6 @@
 """Additional property-based tests: buffers, frontend, endurance, CLI."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

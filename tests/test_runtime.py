@@ -1,0 +1,300 @@
+"""Tests for the parallel experiment runtime and the runner CLI.
+
+Covers the ISSUE-3 acceptance surface: registry protocol conformance,
+CLI subset selection and error paths, ``--fast`` kwargs plumbing,
+ResultCache hit/miss semantics (same key replays, changed config
+re-runs), artifact serialization, and jobs-count independence of the
+artifact bytes.
+"""
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.configs import S_SPRINT
+from repro.experiments import registry, sweep
+from repro.experiments.runner import EXPERIMENTS, main, run_structured
+from repro.runtime import (
+    Artifact,
+    ExperimentPool,
+    ResultCache,
+    cache_key,
+    code_version,
+    to_jsonable,
+)
+
+
+@dataclass(frozen=True)
+class _Row:
+    label: str
+    value: float
+
+
+def _fake_module(calls):
+    """A registry-shaped module that records its run kwargs."""
+
+    def run(**kwargs):
+        calls.append(dict(kwargs))
+        return [_Row("n", float(kwargs.get("num_samples", 0)))]
+
+    def format_table(rows):
+        return "Fake table: " + ", ".join(f"{r.label}={r.value}" for r in rows)
+
+    return SimpleNamespace(run=run, format_table=format_table)
+
+
+@pytest.fixture()
+def fake_registry(monkeypatch):
+    calls = []
+    monkeypatch.setitem(
+        registry.EXPERIMENTS, "fake", ({"num_samples": 3}, _fake_module(calls))
+    )
+    return calls
+
+
+# ----------------------------------------------------------------------
+# registry protocol
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_modules_satisfy_protocol(self):
+        for name, (fast_kwargs, module) in EXPERIMENTS.items():
+            assert isinstance(module, registry.ExperimentModule), name
+            assert callable(module.run) and callable(module.format_table)
+            assert isinstance(fast_kwargs, dict)
+
+    def test_resolve_fast_vs_full(self):
+        fast_kwargs, module = registry.resolve("fig5", fast=True)
+        assert fast_kwargs == {"num_samples": 16}
+        full_kwargs, same_module = registry.resolve("fig5", fast=False)
+        assert full_kwargs == {} and same_module is module
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError):
+            registry.resolve("fig99")
+
+    def test_grid_consumers_declare_cells(self):
+        for name in ("fig10", "fig11", "fig12", "fig13", "ffn", "table3"):
+            _, module = EXPERIMENTS[name]
+            cells = module.grid_cells(num_samples=1)
+            assert cells, name
+            for cell in cells:
+                model, config, mode, samples, seed = cell
+                assert samples == 1 and isinstance(model, str)
+
+
+# ----------------------------------------------------------------------
+# artifacts
+# ----------------------------------------------------------------------
+class TestArtifacts:
+    def test_to_jsonable_conversions(self):
+        row = _Row("x", 1.5)
+        out = to_jsonable(
+            {
+                "row": row,
+                "tup": (1, 2),
+                "arr": np.array([True, False]),
+                "scalar": np.float64(2.5),
+            }
+        )
+        assert out == {
+            "row": {"label": "x", "value": 1.5},
+            "tup": [1, 2],
+            "arr": [True, False],
+            "scalar": 2.5,
+        }
+
+    def test_to_jsonable_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_round_trip(self, tmp_path):
+        artifact = Artifact(
+            name="fake",
+            kwargs={"num_samples": 3},
+            code_version=code_version(),
+            cache_key="abc",
+            rows=[{"label": "n", "value": 3.0}],
+            table="Fake table",
+        )
+        path = artifact.write(tmp_path)
+        assert path == tmp_path / "fake.json"
+        assert Artifact.from_json(path.read_text()) == artifact
+        assert json.loads(artifact.to_json())["schema"] == 1
+
+    def test_run_structured_real_experiment(self):
+        artifact = run_structured("fig3", fast=True)
+        assert artifact.name == "fig3"
+        assert artifact.kwargs == {"num_samples": 1}
+        assert "Figure 3" in artifact.table
+        assert artifact.rows and "model" in artifact.rows[0]
+        # The artifact JSON is self-contained and parseable.
+        json.loads(artifact.to_json())
+
+
+# ----------------------------------------------------------------------
+# content-addressed cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_key_stable_and_config_sensitive(self):
+        same = cache_key("x", {"config": S_SPRINT})
+        assert same == cache_key("x", {"config": S_SPRINT})
+        changed = dataclasses.replace(S_SPRINT, num_corelets=99)
+        assert cache_key("x", {"config": changed}) != same
+        assert cache_key("y", {"config": S_SPRINT}) != same
+        assert cache_key("x", {"config": S_SPRINT}, version="v2") != same
+
+    def test_same_key_replays(self, tmp_path, fake_registry):
+        cache = ResultCache(tmp_path)
+        pool = ExperimentPool(jobs=1, cache=cache)
+        first = pool.run(["fake"], fast=True)["fake"]
+        assert not first.cached and len(fake_registry) == 1
+        second = pool.run(["fake"], fast=True)["fake"]
+        assert second.cached and len(fake_registry) == 1
+        assert second.artifact == first.artifact
+
+    def test_changed_config_reruns(self, tmp_path, fake_registry):
+        cache = ResultCache(tmp_path)
+        pool = ExperimentPool(jobs=1, cache=cache)
+        pool.run(["fake"], fast=True)
+        # Different resolved kwargs -> different content address.
+        pool.run(["fake"], fast=False)
+        assert len(fake_registry) == 2
+        assert cache.hits == 0 and cache.misses == 2
+
+    @pytest.mark.parametrize("corrupt", ["{not json", "null", "[]", '"x"'])
+    def test_corrupt_entry_is_miss(self, tmp_path, fake_registry, corrupt):
+        cache = ResultCache(tmp_path)
+        pool = ExperimentPool(jobs=1, cache=cache)
+        artifact = pool.run(["fake"], fast=True)["fake"].artifact
+        cache.path(artifact.cache_key).write_text(corrupt)
+        rerun = pool.run(["fake"], fast=True)["fake"]
+        assert not rerun.cached and len(fake_registry) == 2
+
+
+# ----------------------------------------------------------------------
+# sweep priming
+# ----------------------------------------------------------------------
+class TestSweepPriming:
+    def test_primed_cell_short_circuits(self):
+        key = ("BERT-B", "S-SPRINT", "sprint", 1, 1)
+        sentinel = object()
+        sweep.prime(key, sentinel)
+        try:
+            assert sweep.simulate(*key) is sentinel
+        finally:
+            sweep.clear_primed()
+
+    def test_cells_enumerate_grid(self):
+        from repro.core.system import ExecutionMode
+
+        cells = sweep.cells(("BERT-B",), (S_SPRINT,), (ExecutionMode.SPRINT,), 2, 7)
+        assert cells == [("BERT-B", "S-SPRINT", "sprint", 2, 7)]
+
+
+# ----------------------------------------------------------------------
+# pool: parallel equivalence and failure isolation
+# ----------------------------------------------------------------------
+class TestExperimentPool:
+    def test_jobs_do_not_change_artifact_bytes(self):
+        names = ["fig3", "fig11", "table3"]
+        serial = ExperimentPool(jobs=1).run(names, fast=True)
+        parallel = ExperimentPool(jobs=2).run(names, fast=True)
+        for name in names:
+            assert serial[name].ok and parallel[name].ok
+            assert serial[name].artifact.to_json() == parallel[name].artifact.to_json()
+
+    def test_single_grid_experiment_still_shards(self):
+        # One pending grid-backed experiment must take the worker path
+        # (cells sharded) and still match the serial bytes; priming is
+        # scoped to the run.
+        serial = ExperimentPool(jobs=1).run(["table3"], fast=True)
+        parallel = ExperimentPool(jobs=2).run(["table3"], fast=True)
+        assert parallel["table3"].ok
+        assert (
+            serial["table3"].artifact.to_json()
+            == parallel["table3"].artifact.to_json()
+        )
+        assert not sweep._PRIMED
+
+    def test_failure_isolated_from_batch(self, monkeypatch):
+        def boom(**kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS,
+            "boom",
+            ({}, SimpleNamespace(run=boom, format_table=str)),
+        )
+        calls = []
+        monkeypatch.setitem(registry.EXPERIMENTS, "fake", ({}, _fake_module(calls)))
+        outcomes = ExperimentPool(jobs=1).run(["boom", "fake"])
+        assert not outcomes["boom"].ok
+        assert "injected failure" in outcomes["boom"].error
+        assert outcomes["fake"].ok and len(calls) == 1
+
+    def test_unknown_name_raises_before_work(self):
+        with pytest.raises(KeyError):
+            ExperimentPool(jobs=1).run(["fig3", "fig99"])
+
+
+# ----------------------------------------------------------------------
+# runner CLI
+# ----------------------------------------------------------------------
+class TestRunnerCli:
+    def test_subset_selection(self, tmp_path, capsys):
+        rc = main(["fig3", "fig8", "--fast", "--json-out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Figure 8" in out
+        for name in ("fig3", "fig8"):
+            payload = json.loads((tmp_path / f"{name}.json").read_text())
+            assert payload["name"] == name and payload["rows"]
+        assert not (tmp_path / "fig1.json").exists()
+
+    def test_unknown_name_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig3", "--jobs", "0"])
+        assert excinfo.value.code == 2
+
+    def test_fast_kwargs_plumbing(self, fake_registry, capsys):
+        assert main(["fake", "--fast"]) == 0
+        assert fake_registry[-1] == {"num_samples": 3}
+        assert main(["fake"]) == 0
+        assert fake_registry[-1] == {}
+        assert "Fake table" in capsys.readouterr().out
+
+    def test_failure_returns_nonzero(self, monkeypatch, capsys):
+        def boom(**kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS,
+            "boom",
+            ({}, SimpleNamespace(run=boom, format_table=str)),
+        )
+        calls = []
+        monkeypatch.setitem(registry.EXPERIMENTS, "fake", ({}, _fake_module(calls)))
+        rc = main(["boom", "fake"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "boom FAILED" in captured.out
+        # The batch kept going past the failure.
+        assert "Fake table" in captured.out
+        assert "1/2 experiment(s) failed" in captured.err
+
+    def test_cache_dir_flag_replays(self, tmp_path, fake_registry, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["fake", "--cache-dir", str(cache_dir)]) == 0
+        assert main(["fake", "--cache-dir", str(cache_dir)]) == 0
+        assert len(fake_registry) == 1
+        assert "done (cache)" in capsys.readouterr().out

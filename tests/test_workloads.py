@@ -9,7 +9,6 @@ from repro.workloads.distributions import (
     heavy_tailed_scores,
 )
 from repro.workloads.generator import (
-    WorkloadSample,
     generate_random_masks,
     generate_workload,
     structured_keep_mask,
