@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.configs import SprintConfig
 from repro.core.system import ExecutionMode
+from repro.experiments import sweep
 from repro.experiments.sweep import ALL_CONFIGS, ALL_MODELS, grid
 
 
@@ -33,16 +34,20 @@ MODES = (
 )
 
 
-def grid_cells(
+def plan(
     models: Sequence[str] = ALL_MODELS,
     configs: Sequence[SprintConfig] = ALL_CONFIGS,
     num_samples: int = 2,
     seed: int = 1,
 ):
-    """Sweep cells a same-argument :func:`run` consumes (for sharding)."""
-    from repro.experiments import sweep
+    """Work units a same-argument :func:`run` consumes (for sharding)."""
+    return sweep.plan_units(models, configs, MODES, num_samples, seed)
 
-    return sweep.cells(models, configs, MODES, num_samples, seed)
+
+#: Runtime hooks: unit results shipped back by the pool land in the
+#: shared sweep memo that :func:`run` reads through.
+prime = sweep.prime
+clear_primed = sweep.clear_primed
 
 
 def run(

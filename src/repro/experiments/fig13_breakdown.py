@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence
 from repro.core.configs import M_SPRINT, SprintConfig
 from repro.core.system import ExecutionMode
 from repro.energy.model import CATEGORIES
+from repro.experiments import sweep
 from repro.experiments.sweep import ALL_MODELS, grid
 
 
@@ -43,16 +44,20 @@ MODES = (
 )
 
 
-def grid_cells(
+def plan(
     models: Sequence[str] = ALL_MODELS,
     config: SprintConfig = M_SPRINT,
     num_samples: int = 2,
     seed: int = 1,
 ):
-    """Sweep cells a same-argument :func:`run` consumes (for sharding)."""
-    from repro.experiments import sweep
+    """Work units a same-argument :func:`run` consumes (for sharding)."""
+    return sweep.plan_units(models, (config,), MODES, num_samples, seed)
 
-    return sweep.cells(models, (config,), MODES, num_samples, seed)
+
+#: Runtime hooks: unit results shipped back by the pool land in the
+#: shared sweep memo that :func:`run` reads through.
+prime = sweep.prime
+clear_primed = sweep.clear_primed
 
 
 def run(

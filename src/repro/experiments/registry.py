@@ -8,8 +8,14 @@ Each entry maps a short name to ``(fast_kwargs, module)`` where the
 module satisfies :class:`ExperimentModule`: ``run(**kwargs)`` returns
 the experiment's structured rows (dataclass lists, not strings) and
 ``format_table(rows)`` renders them as the printed paper-style table.
-Grid-backed experiments additionally expose ``grid_cells(**kwargs)``
-so the runtime can shard their simulation cells across workers.
+
+A module may additionally satisfy :class:`ShardableExperiment` — the
+optional WorkUnit surface (:mod:`repro.runtime.units`): ``plan``
+enumerates the independent simulation points behind a ``run``,
+``prime`` installs an externally computed point, ``clear_primed``
+drops them.  The runtime shards any such experiment's units across
+worker processes; the grid-backed figures (fig10-13, ffn, table3) and
+the serving sweep all opt in.
 """
 
 from __future__ import annotations
@@ -41,6 +47,21 @@ class ExperimentModule(Protocol):
 
     run: Callable[..., Any]
     format_table: Callable[..., str]
+
+
+@runtime_checkable
+class ShardableExperiment(ExperimentModule, Protocol):
+    """The optional WorkUnit surface a module exposes to be sharded.
+
+    ``plan(**kwargs)`` must enumerate units for exactly the points a
+    same-argument ``run(**kwargs)`` consumes; ``run`` must aggregate a
+    primed point without re-simulating it.  Use
+    :func:`repro.runtime.units.supports_units` to test for conformance.
+    """
+
+    plan: Callable[..., Any]
+    prime: Callable[..., None]
+    clear_primed: Callable[[], None]
 
 
 #: Keyword arguments an experiment's ``run`` accepts (the registry
@@ -78,3 +99,13 @@ def resolve(name: str, fast: bool = False) -> Tuple[RunKwargs, ExperimentModule]
         )
     fast_kwargs, module = EXPERIMENTS[name]
     return (dict(fast_kwargs) if fast else {}), module
+
+
+def describe(name: str) -> str:
+    """One-line description of ``name`` (the module docstring's first
+    line); KeyError if unknown."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}")
+    _, module = EXPERIMENTS[name]
+    doc = (module.__doc__ or "").strip()
+    return doc.splitlines()[0].strip() if doc else ""

@@ -11,7 +11,9 @@ counts.  The CLI fronts :mod:`repro.runtime`:
   content-addressed result cache instead of re-simulating;
 * ``--json-out DIR`` writes each experiment's structured artifact to
   ``DIR/<name>.json`` alongside the printed table (which is itself a
-  rendering of the artifact).
+  rendering of the artifact);
+* ``--list`` prints the registered experiments (one line each, with a
+  marker on the ones that shard via the WorkUnit protocol) and exits.
 
 Exit status is 0 only when every requested experiment succeeded;
 failures are reported per experiment and turn into exit code 1
@@ -27,9 +29,10 @@ from typing import Optional, Sequence
 from repro.experiments.registry import (
     EXPERIMENTS,  # noqa: F401 - re-exported (tests and back-compat)
     ExperimentModule,  # noqa: F401 - re-exported (tests and back-compat)
+    describe,
     resolve,
 )
-from repro.runtime import Artifact, ExperimentPool, ResultCache
+from repro.runtime import Artifact, ExperimentPool, ResultCache, supports_units
 
 
 def run_structured(name: str, fast: bool = False) -> Artifact:
@@ -80,7 +83,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="write each experiment's JSON artifact to DIR/<name>.json",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list registered experiments with descriptions and exit",
+    )
     args = parser.parse_args(argv)
+    if args.list_experiments:
+        for name, (_fast_kwargs, module) in EXPERIMENTS.items():
+            marker = "*" if supports_units(module) else " "
+            print(f"{name:<12} {marker} {describe(name)}")
+        print("(* = shardable: declares WorkUnits, scales with --jobs)")
+        return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     unknown = [n for n in args.experiments if n not in EXPERIMENTS]

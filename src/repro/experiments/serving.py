@@ -8,10 +8,22 @@ utilization, and p50/p95/p99 latency.  The headline derived metric is
 *serving headroom*: the highest offered load each mode sustains while
 keeping p99 latency within the SLA -- SPRINT's pruning shortens service
 times, which compounds through queueing into disproportionate headroom.
+
+The sweep is shardable: every (pattern, mode, load) point is an
+independent :class:`ServingUnit` on the runtime's WorkUnit protocol
+(``plan``/``prime``/``clear_primed``), so ``sprint-experiments serving
+--jobs N`` spreads the points across worker processes.  Each point's
+request stream is seeded by a stable hash of (experiment seed, pattern)
+-- never by worker identity or enumeration order -- so artifacts are
+byte-identical for every ``--jobs`` value.  Units group by mode so a
+worker shard warms exactly one
+:func:`~repro.serving.devices.shared_cost_model`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -25,7 +37,7 @@ from repro.serving.arrivals import (
     generate_requests,
 )
 from repro.serving.batching import DynamicBatcher
-from repro.serving.devices import ServiceCostModel, SprintDevice
+from repro.serving.devices import ServiceCostModel, SprintDevice, shared_cost_model
 from repro.serving.metrics import ServingReport, summarize
 from repro.serving.scheduler import ServingSimulator
 
@@ -36,6 +48,19 @@ DEFAULT_MODES = (
 )
 DEFAULT_PATTERNS = ("poisson", "bursty", "trace")
 DEFAULT_LOADS = (10.0, 20.0, 40.0, 80.0, 160.0)
+
+
+def stream_seed(seed: int, pattern: str) -> int:
+    """Deterministic request-stream seed for one (experiment, pattern).
+
+    A stable hash of the pattern *name* (not its index in some tuple,
+    which would make every unknown pattern collide on the same seed).
+    The mode and the offered load are deliberately excluded: every mode
+    faces byte-identical traffic at each (pattern, load) point, which
+    is what makes the cross-mode headroom comparison fair.
+    """
+    digest = hashlib.sha256(f"{seed}:{pattern}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1  # non-negative 63-bit
 
 
 @dataclass(frozen=True)
@@ -118,17 +143,38 @@ class ServingExperiment:
         self.sla_ms = sla_ms
         self.len_bucket = len_bucket
         self.seed = seed
-        self._cost_models: Dict[str, ServiceCostModel] = {}
 
     # ------------------------------------------------------------------
     def _cost_model(self, mode: ExecutionMode) -> ServiceCostModel:
-        # One cache per mode, shared across the whole sweep.
-        if mode.value not in self._cost_models:
-            self._cost_models[mode.value] = ServiceCostModel(
-                self.config, mode, len_bucket=self.len_bucket,
-                seed=self.seed,
-            )
-        return self._cost_models[mode.value]
+        # One memoized cost model per mode, shared process-wide — the
+        # whole sweep, and every ServingUnit a worker executes, warm
+        # the same buckets.
+        return shared_cost_model(
+            self.config, mode, len_bucket=self.len_bucket, seed=self.seed
+        )
+
+    def _unit(
+        self,
+        pattern: str,
+        mode: ExecutionMode,
+        load: float,
+        num_requests: int,
+    ) -> "ServingUnit":
+        """The work unit for one sweep point of this experiment."""
+        return ServingUnit(
+            model=self.model,
+            config=self.config,
+            pattern=pattern,
+            mode=mode.value,
+            load=load,
+            num_requests=num_requests,
+            sla_ms=self.sla_ms,
+            seed=self.seed,
+            num_devices=self.num_devices,
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            len_bucket=self.len_bucket,
+        )
 
     def simulate(
         self,
@@ -139,16 +185,11 @@ class ServingExperiment:
     ) -> ServingReport:
         """One point: a full event-driven run, summarized."""
         process = make_process(pattern, rate_rps)
-        # The stream seed mixes in the pattern but NOT the mode, so all
-        # modes face byte-identical traffic at each (pattern, load).
-        pattern_ix = (
-            DEFAULT_PATTERNS.index(pattern)
-            if pattern in DEFAULT_PATTERNS
-            else len(DEFAULT_PATTERNS)
-        )
-        stream_seed = self.seed * 1000 + pattern_ix
         requests = generate_requests(
-            process, self.model, count=num_requests, seed=stream_seed
+            process,
+            self.model,
+            count=num_requests,
+            seed=stream_seed(self.seed, pattern),
         )
         cost = self._cost_model(mode)
         if requests:
@@ -185,9 +226,14 @@ class ServingExperiment:
         for pattern in patterns:
             for mode in modes:
                 for load in loads:
-                    report = self.simulate(
-                        pattern, mode, load, num_requests
-                    )
+                    # A point the runtime already computed (in a worker
+                    # or the unit cache) aggregates without re-running.
+                    key = self._unit(pattern, mode, load, num_requests).key
+                    report = _PRIMED.get(key)
+                    if report is None:
+                        report = self.simulate(
+                            pattern, mode, load, num_requests
+                        )
                     rows.append(
                         ServingRow(
                             pattern=pattern,
@@ -204,6 +250,119 @@ class ServingExperiment:
                         )
                     )
         return rows
+
+
+@dataclass(frozen=True)
+class ServingUnit:
+    """One (pattern, mode, load) sweep point as a runtime WorkUnit.
+
+    ``key`` embeds every parameter the point's report depends on, so
+    it both deduplicates identical points and content-addresses the
+    unit-granularity result cache.  Units group by mode so a worker
+    shard warms exactly one shared cost model.
+    """
+
+    model: str
+    config: SprintConfig
+    pattern: str
+    mode: str
+    load: float
+    num_requests: int
+    sla_ms: float
+    seed: int
+    num_devices: int
+    max_batch_size: int
+    max_wait_ms: float
+    len_bucket: int
+
+    @property
+    def key(self) -> Tuple:
+        # The config rides in by *field values*, not just its name: a
+        # modified config with an unchanged name must not replay
+        # another config's cached unit results.
+        return (
+            "serving",
+            self.model,
+            dataclasses.astuple(self.config),
+            self.pattern,
+            self.mode,
+            self.load,
+            self.num_requests,
+            self.sla_ms,
+            self.seed,
+            self.num_devices,
+            self.max_batch_size,
+            self.max_wait_ms,
+            self.len_bucket,
+        )
+
+    @property
+    def group(self) -> Tuple[str, str, str, str]:
+        return ("serving", self.config.name, self.mode, self.pattern)
+
+    def execute(self) -> ServingReport:
+        experiment = ServingExperiment(
+            model=self.model,
+            config=self.config,
+            num_devices=self.num_devices,
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            sla_ms=self.sla_ms,
+            len_bucket=self.len_bucket,
+            seed=self.seed,
+        )
+        return experiment.simulate(
+            self.pattern, ExecutionMode(self.mode), self.load,
+            self.num_requests,
+        )
+
+
+#: Reports installed by :func:`prime` (computed in a worker process or
+#: replayed from the unit cache); consulted by ``ServingExperiment.run``
+#: before simulating a point locally.
+_PRIMED: Dict[Tuple, ServingReport] = {}
+
+
+def plan(
+    model: str = "BERT-B",
+    config: SprintConfig = S_SPRINT,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    modes: Sequence[ExecutionMode] = DEFAULT_MODES,
+    num_requests: int = 400,
+    sla_ms: float = 150.0,
+    seed: int = 0,
+    num_devices: int = 1,
+    max_batch_size: int = 8,
+    max_wait_ms: float = 10.0,
+    len_bucket: int = 32,
+) -> List[ServingUnit]:
+    """Work units a same-argument :func:`run` consumes (for sharding).
+
+    Mirrors :func:`run`'s signature (including the experiment kwargs it
+    forwards) so the runtime can plan exactly the points a serial run
+    would simulate.
+    """
+    experiment = ServingExperiment(
+        model=model, config=config, num_devices=num_devices,
+        max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+        sla_ms=sla_ms, len_bucket=len_bucket, seed=seed,
+    )
+    return [
+        experiment._unit(pattern, mode, load, num_requests)
+        for pattern in patterns
+        for mode in modes
+        for load in loads
+    ]
+
+
+def prime(key: Tuple, report: ServingReport) -> None:
+    """Install an externally computed point (parallel-runtime hook)."""
+    _PRIMED[tuple(key)] = report
+
+
+def clear_primed() -> None:
+    _PRIMED.clear()
 
 
 def max_sla_load(rows: Sequence[ServingRow]) -> Dict[Tuple[str, str], float]:

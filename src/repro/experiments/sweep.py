@@ -7,14 +7,19 @@ generated once and shared across every (config, mode) cell, and each
 cell runs through the batched ``simulate_workload`` core.
 
 The cell grid is also the unit of parallelism for the experiment
-runtime (:mod:`repro.runtime.pool`): ``cells`` enumerates the keys a
-grid call will consume, worker processes compute them remotely, and
-``prime`` installs the shipped-back reports so the consuming
-experiments aggregate without re-simulating.
+runtime (:mod:`repro.runtime.pool`): each cell wraps into a
+:class:`GridUnit` — the grid's adapter onto the runtime's WorkUnit
+protocol (:mod:`repro.runtime.units`) — worker processes ``execute()``
+units remotely, and ``prime`` installs the shipped-back reports so the
+consuming experiments aggregate without re-simulating.  Every
+grid-backed experiment module (fig10-13, ffn, table3) builds its
+``plan()`` from :func:`plan_units` and aliases :func:`prime` /
+:func:`clear_primed` here, so one shared memo serves them all.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
@@ -89,6 +94,44 @@ def prime(key: CellKey, report: SimulationReport) -> None:
 
 def clear_primed() -> None:
     _PRIMED.clear()
+
+
+@dataclass(frozen=True)
+class GridUnit:
+    """One sweep cell as a runtime WorkUnit.
+
+    ``key`` is the cell key itself (it already carries every parameter
+    — model, config name, mode, sample count, seed — that determines
+    the report).  Units group by (model, samples, seed) so a shard
+    shares one calibrated workload across its config/mode cells.
+    """
+
+    cell: CellKey
+
+    @property
+    def key(self) -> CellKey:
+        return self.cell
+
+    @property
+    def group(self) -> Tuple[str, int, int]:
+        return (self.cell[0], self.cell[3], self.cell[4])
+
+    def execute(self) -> SimulationReport:
+        return simulate(*self.cell)
+
+
+def plan_units(
+    models: Sequence[str],
+    configs: Sequence[SprintConfig],
+    modes: Sequence[ExecutionMode],
+    num_samples: int = 2,
+    seed: int = 1,
+) -> List[GridUnit]:
+    """The work units a same-argument :func:`grid` call will consume."""
+    return [
+        GridUnit(cell)
+        for cell in cells(models, configs, modes, num_samples, seed)
+    ]
 
 
 def simulate(

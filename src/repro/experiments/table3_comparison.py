@@ -20,6 +20,7 @@ from repro.energy.area import (
     AcceleratorMetrics,
     dennard_scale_energy,
 )
+from repro.experiments import sweep
 from repro.experiments.sweep import ALL_MODELS, grid
 from repro.models.zoo import get_model
 
@@ -71,17 +72,21 @@ def simulate_msprint_metrics(
     )
 
 
-def grid_cells(
+def plan(
     models: Sequence[str] = ALL_MODELS,
     num_samples: int = 2,
     seed: int = 1,
 ):
-    """Sweep cells a same-argument :func:`run` consumes (for sharding)."""
-    from repro.experiments import sweep
-
-    return sweep.cells(
+    """Work units a same-argument :func:`run` consumes (for sharding)."""
+    return sweep.plan_units(
         models, (M_SPRINT,), (ExecutionMode.SPRINT,), num_samples, seed
     )
+
+
+#: Runtime hooks: unit results shipped back by the pool land in the
+#: shared sweep memo that :func:`run` reads through.
+prime = sweep.prime
+clear_primed = sweep.clear_primed
 
 
 def run(

@@ -1,11 +1,15 @@
-"""Parallel experiment runtime: orchestrator, result cache, artifacts.
+"""Parallel experiment runtime: orchestrator, work units, cache, artifacts.
 
-The three layers the ``sprint-experiments`` CLI is built on:
+The layers the ``sprint-experiments`` CLI is built on:
 
 * :mod:`repro.runtime.pool` — :class:`ExperimentPool`, the
   process-sharded orchestrator (``--jobs``),
+* :mod:`repro.runtime.units` — the :class:`WorkUnit` protocol an
+  experiment opts into to have its independent simulation points
+  sharded (``plan``/``prime``/``clear_primed``),
 * :mod:`repro.runtime.cache` — :class:`ResultCache`, the
-  content-addressed artifact cache (``--cache-dir``),
+  content-addressed result cache (``--cache-dir``), at whole-artifact
+  and per-unit granularity,
 * :mod:`repro.runtime.artifacts` — :class:`Artifact`, the JSON
   result layer (``--json-out``).
 """
@@ -16,8 +20,14 @@ from repro.runtime.artifacts import (
     build_artifact,
     to_jsonable,
 )
-from repro.runtime.cache import ResultCache, cache_key, code_version
+from repro.runtime.cache import (
+    ResultCache,
+    cache_key,
+    code_version,
+    unit_cache_key,
+)
 from repro.runtime.pool import ExperimentOutcome, ExperimentPool
+from repro.runtime.units import WorkUnit, supports_units
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -25,8 +35,11 @@ __all__ = [
     "ExperimentOutcome",
     "ExperimentPool",
     "ResultCache",
+    "WorkUnit",
     "build_artifact",
     "cache_key",
     "code_version",
+    "supports_units",
     "to_jsonable",
+    "unit_cache_key",
 ]

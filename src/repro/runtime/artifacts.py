@@ -14,6 +14,7 @@ replay is byte-identical to the original computation.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -29,15 +30,19 @@ def to_jsonable(obj: Any) -> Any:
     """Deterministically convert experiment results to JSON-safe data.
 
     Dataclass rows become field-ordered dicts, numpy scalars/arrays
-    become Python scalars/nested lists, tuples become lists.  Mapping
-    insertion order is preserved (experiment code builds dicts in a
-    deterministic order; sets must be sorted by the producer).
+    become Python scalars/nested lists, tuples become lists, enums
+    (e.g. :class:`~repro.core.system.ExecutionMode`) collapse to their
+    values.  Mapping insertion order is preserved (experiment code
+    builds dicts in a deterministic order; sets must be sorted by the
+    producer).
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             f.name: to_jsonable(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
         }
+    if isinstance(obj, enum.Enum):
+        return to_jsonable(obj.value)
     if isinstance(obj, dict):
         return {str(k): to_jsonable(v) for k, v in obj.items()}
     if isinstance(obj, (list, tuple)):

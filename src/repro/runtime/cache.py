@@ -1,6 +1,6 @@
-"""Content-addressed disk cache for experiment artifacts.
+"""Content-addressed disk cache for experiment artifacts and work units.
 
-A cache key is the SHA-256 of three ingredients:
+An artifact cache key is the SHA-256 of three ingredients:
 
 1. the experiment name,
 2. the canonical JSON of its resolved run kwargs — config dataclasses
@@ -11,12 +11,24 @@ A cache key is the SHA-256 of three ingredients:
 
 Hits replay the stored artifact (rows + rendered table) with zero
 simulation work; misses fall through to the orchestrator.
+
+The cache also stores results at **unit granularity** for experiments
+on the :mod:`~repro.runtime.units` WorkUnit protocol: one entry per
+unit, addressed by the unit's key (which embeds the point's resolved
+kwargs) plus the same source digest.  When an experiment's kwargs
+change — a new load in the serving sweep, an extra model in a figure
+grid — the whole-artifact entry misses but every already-simulated
+point replays from its unit entry, so only the new points run.  Unit
+results are arbitrary simulation dataclasses and are stored pickled
+(the cache directory is local and operator-controlled); a torn or
+unreadable entry is a miss, never an error.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import pickle
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -51,17 +63,38 @@ def cache_key(name: str, kwargs: Dict[str, Any], version: Optional[str] = None) 
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def unit_cache_key(key: Any, version: Optional[str] = None) -> str:
+    """Content address of one work unit's (key, code) computation.
+
+    ``key`` is a :class:`~repro.runtime.units.WorkUnit` key — a tuple
+    of primitives that embeds the point's resolved kwargs — so the
+    address changes exactly when the point's parameters or any
+    ``repro`` source file change.
+    """
+    if version is None:
+        version = code_version()
+    canonical = json.dumps(to_jsonable(key), sort_keys=True, separators=(",", ":"))
+    payload = f"unit\n{canonical}\n{version}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 class ResultCache:
-    """Artifacts stored as ``<root>/<cache_key>.json``."""
+    """Artifacts stored as ``<root>/<cache_key>.json``; unit results
+    stored pickled as ``<root>/units/<unit_cache_key>.pkl``."""
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.unit_hits = 0
+        self.unit_misses = 0
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
+
+    def unit_path(self, key: str) -> Path:
+        return self.root / "units" / f"{key}.pkl"
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()
@@ -83,4 +116,27 @@ class ResultCache:
     def put(self, artifact: Artifact) -> Path:
         path = self.path(artifact.cache_key)
         path.write_text(artifact.to_json())
+        return path
+
+    # ------------------------------------------------------------------
+    # unit granularity
+    # ------------------------------------------------------------------
+    def get_unit(self, key: str) -> Optional[Any]:
+        """Replay one unit result by its :func:`unit_cache_key`."""
+        path = self.unit_path(key)
+        if not path.exists():
+            self.unit_misses += 1
+            return None
+        try:
+            result = pickle.loads(path.read_bytes())
+        except Exception:  # noqa: BLE001 - any torn/stale entry is a miss
+            self.unit_misses += 1
+            return None
+        self.unit_hits += 1
+        return result
+
+    def put_unit(self, key: str, result: Any) -> Path:
+        path = self.unit_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(result))
         return path

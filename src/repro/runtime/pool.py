@@ -1,28 +1,36 @@
 """Process-sharded experiment orchestrator.
 
 :class:`ExperimentPool` runs a set of experiments across
-``ProcessPoolExecutor`` workers.  Two kinds of work unit are sharded:
+``ProcessPoolExecutor`` workers.  Two kinds of work are sharded:
 
-* **Standalone experiments** (fig1, fig5, sensitivity, serving, ...)
-  run whole in a worker, which returns the finished artifact.
-* **Grid-backed experiments** (fig10-13, ffn, table3) all consume the
-  shared :mod:`repro.experiments.sweep` cell grid.  The pool takes the
-  union of their declared ``grid_cells()``, shards the cells by model
-  (so each model's calibrated workload is generated once per shard),
-  simulates shards in workers, primes the parent's sweep cache with
-  the shipped-back reports, and then aggregates each experiment
-  in-process — cheap, and the grid is computed exactly once no matter
-  how many experiments consume it.
+* **Standalone experiments** (fig1, fig5, sensitivity, ...) run whole
+  in a worker, which returns the finished artifact.
+* **Unit-planned experiments** declare the independent simulation
+  points behind their ``run`` via the :mod:`~repro.runtime.units`
+  WorkUnit protocol (``plan``/``prime``/``clear_primed``).  The pool
+  takes the union of every planned experiment's units (identical
+  points deduplicate by unit key — the fig10-13/ffn/table3 grids all
+  consume the shared :mod:`~repro.experiments.sweep` cells), shards
+  them by unit *group* so per-shard warm state is built once (one
+  calibrated workload per model shard, one serving cost model per mode
+  shard), executes shards in workers, primes every owning module with
+  the shipped-back results, and aggregates each experiment in-parent —
+  cheap, and each point is computed exactly once no matter how many
+  experiments consume it.
 
-Determinism: every cell key and experiment kwarg carries its seed, so
-results do not depend on worker count or scheduling; artifacts are
-byte-identical across ``--jobs`` values.  When a :class:`~repro.
-runtime.cache.ResultCache` is attached, hits skip both kinds of work
-entirely and fresh results are written back after the run.
+Determinism: every unit key carries the full parameters (including
+seeds) of its point, and ``execute()`` is the same pure computation
+the serial ``run`` performs, so results do not depend on worker count
+or scheduling; artifacts are byte-identical across ``--jobs`` values.
+When a :class:`~repro.runtime.cache.ResultCache` is attached, hits
+skip whole experiments (artifact granularity) or individual points
+(unit granularity — so editing a load list only simulates the new
+points), and fresh results are written back after the run.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing as mp
 import sys
 import time
@@ -30,9 +38,10 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments import registry, sweep
+from repro.experiments import registry
 from repro.runtime.artifacts import Artifact, build_artifact
-from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.cache import ResultCache, cache_key, unit_cache_key
+from repro.runtime.units import WorkUnit, supports_units
 
 
 @dataclass
@@ -58,16 +67,18 @@ def _run_standalone(name: str, kwargs: Dict[str, Any]) -> Tuple[Artifact, float]
     return artifact, time.perf_counter() - start
 
 
-def _simulate_cells(
-    cells: Sequence[sweep.CellKey],
-) -> List[Tuple[sweep.CellKey, Any]]:
-    """Worker: simulate one shard of sweep cells (same-model, so the
-    calibrated workload is generated once and shared)."""
-    return [(key, sweep.simulate(*key)) for key in cells]
+def _execute_units(units: Sequence[WorkUnit]) -> List[Tuple[Any, Any]]:
+    """Worker: execute one shard of work units.
+
+    Shards arrive grouped by ``unit.group``, so process-level warm
+    state (the sweep's calibrated workloads, serving's per-mode cost
+    models) is built on the first unit and shared by the rest.
+    """
+    return [(unit.key, unit.execute()) for unit in units]
 
 
 class ExperimentPool:
-    """Shard experiments (and their sweep cells) across processes."""
+    """Shard experiments (and their work units) across processes."""
 
     def __init__(
         self,
@@ -111,17 +122,17 @@ class ExperimentPool:
             pending.append((name, kwargs, module))
 
         # Workers pay off when there is more than one experiment to
-        # spread out, or when even a single pending experiment has a
-        # shardable cell grid behind it.
+        # spread out, or when even a single pending experiment plans
+        # shardable units behind it.
         use_workers = self.jobs > 1 and (
             len(pending) > 1
-            or any(hasattr(module, "grid_cells") for _, _, module in pending)
+            or any(supports_units(module) for _, _, module in pending)
         )
         if use_workers:
             self._run_sharded(pending, outcomes)
         else:
             for name, kwargs, module in pending:
-                outcomes[name] = self._run_local(name, kwargs, module)
+                outcomes[name] = self._run_serial(name, kwargs, module)
 
         if self.cache is not None:
             for outcome in outcomes.values():
@@ -130,6 +141,19 @@ class ExperimentPool:
         return outcomes
 
     # ------------------------------------------------------------------
+    def _plan(self, module, kwargs) -> Optional[List[WorkUnit]]:
+        """``module.plan(**kwargs)``, or None when planning fails.
+
+        Unit planning is an optimization; a drifting ``plan`` signature
+        must not abort the batch.  The experiment still aggregates via
+        :meth:`_run_local`, which isolates (and reports) any real
+        failure.
+        """
+        try:
+            return list(module.plan(**kwargs))
+        except Exception:  # noqa: BLE001
+            return None
+
     def _run_local(self, name, kwargs, module) -> ExperimentOutcome:
         start = time.perf_counter()
         try:
@@ -143,71 +167,148 @@ class ExperimentPool:
             )
         return ExperimentOutcome(name, artifact, time.perf_counter() - start)
 
-    def _run_sharded(self, pending, outcomes) -> None:
-        grid_backed = [spec for spec in pending if hasattr(spec[2], "grid_cells")]
-        standalone = [spec for spec in pending if not hasattr(spec[2], "grid_cells")]
+    def _run_serial(self, name, kwargs, module) -> ExperimentOutcome:
+        """In-process run, still unit-cached when the module plans.
 
-        # Union of cells the grid-backed experiments will consume,
-        # sharded by (model, samples, seed) so each shard shares one
-        # calibrated workload.
-        needed: Dict[sweep.CellKey, None] = {}
-        for _name, kwargs, module in grid_backed:
+        Even at ``--jobs 1`` a planned experiment replays its cached
+        points and simulates only the missing ones, so warm reruns
+        after a kwargs edit stay incremental.
+        """
+        if self.cache is None or not supports_units(module):
+            return self._run_local(name, kwargs, module)
+        units = self._plan(module, kwargs)
+        if not units:
+            return self._run_local(name, kwargs, module)
+        start = time.perf_counter()
+        try:
             try:
-                cell_keys = module.grid_cells(**kwargs)
+                for unit in units:
+                    ukey = unit_cache_key(unit.key)
+                    result = self.cache.get_unit(ukey)
+                    if result is None:
+                        result = unit.execute()
+                        self.cache.put_unit(ukey, result)
+                    module.prime(unit.key, result)
             except Exception:  # noqa: BLE001
-                # Cell enumeration is an optimization; a drifting
-                # grid_cells signature must not abort the batch.  The
-                # experiment still runs via _run_local below, which
-                # isolates (and reports) any real failure.
-                continue
-            for key in cell_keys:
-                needed.setdefault(tuple(key), None)
-        shards: Dict[Tuple[str, int, int], List[sweep.CellKey]] = {}
-        for key in needed:
-            shards.setdefault((key[0], key[3], key[4]), []).append(key)
+                # A unit that cannot execute re-fails (and is reported)
+                # inside the aggregation run below.
+                pass
+            outcome = self._run_local(name, kwargs, module)
+        finally:
+            module.clear_primed()
+        outcome.seconds = time.perf_counter() - start
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _run_sharded(self, pending, outcomes) -> None:
+        planned: List[Tuple[str, Dict[str, Any], Any]] = []
+        standalone: List[Tuple[str, Dict[str, Any], Any]] = []
+        plans: Dict[str, List[WorkUnit]] = {}
+        for spec in pending:
+            name, kwargs, module = spec
+            if supports_units(module):
+                planned.append(spec)
+                plans[name] = self._plan(module, kwargs) or []
+            else:
+                standalone.append(spec)
+
+        # Union of every planned experiment's units: identical points
+        # (same key) deduplicate, and each key remembers which modules
+        # to prime with its result.
+        units_by_key: Dict[Any, WorkUnit] = {}
+        owners: Dict[Any, List[Any]] = {}
+        for name, _kwargs, module in planned:
+            for unit in plans[name]:
+                units_by_key.setdefault(unit.key, unit)
+                mods = owners.setdefault(unit.key, [])
+                if module not in mods:
+                    mods.append(module)
+
+        def prime_owners(key: Any, result: Any) -> None:
+            for module in owners[key]:
+                module.prime(key, result)
+
+        # Unit-cache pre-pass: cached points prime immediately and
+        # never reach a worker.
+        to_run: List[WorkUnit] = []
+        for key, unit in units_by_key.items():
+            if self.cache is not None:
+                result = self.cache.get_unit(unit_cache_key(key))
+                if result is not None:
+                    prime_owners(key, result)
+                    continue
+            to_run.append(unit)
+
+        # Shard by group affinity so per-shard warm state is shared.
+        shards: Dict[Any, List[WorkUnit]] = {}
+        for unit in to_run:
+            shards.setdefault(unit.group, []).append(unit)
 
         executor = ProcessPoolExecutor(
             max_workers=self.jobs, mp_context=self._mp_context
         )
         with executor:
-            cell_futures = [
-                executor.submit(_simulate_cells, shard)
+            unit_futures = [
+                executor.submit(_execute_units, shard)
                 for shard in shards.values()
             ]
-            standalone_futures = {
-                executor.submit(_run_standalone, name, kwargs): name
-                for name, kwargs, _module in standalone
-            }
-            for future in as_completed(cell_futures):
+            standalone_futures = {}
+            submitted: Dict[Any, float] = {}
+            elapsed: Dict[Any, float] = {}
+
+            def _record_elapsed(future, t0):
+                elapsed[future] = time.perf_counter() - t0
+
+            for name, kwargs, _module in standalone:
+                future = executor.submit(_run_standalone, name, kwargs)
+                standalone_futures[future] = name
+                submitted[future] = time.perf_counter()
+                # Completion wall time is stamped by the executor's
+                # waiter thread, so a failed future still reports how
+                # long it actually ran instead of 0.0.
+                future.add_done_callback(
+                    functools.partial(_record_elapsed, t0=submitted[future])
+                )
+            for future in as_completed(unit_futures):
                 try:
-                    for key, report in future.result():
-                        sweep.prime(key, report)
+                    for key, result in future.result():
+                        prime_owners(key, result)
+                        if self.cache is not None:
+                            self.cache.put_unit(unit_cache_key(key), result)
                 except Exception as exc:  # noqa: BLE001
                     # A failed shard is re-attempted (and any real
                     # simulation error surfaced) by the consuming
                     # experiment below — but serially, so say so.
                     print(
-                        f"warning: sweep shard failed ({type(exc).__name__}: "
+                        f"warning: work-unit shard failed ({type(exc).__name__}: "
                         f"{exc}); falling back to in-process simulation",
                         file=sys.stderr,
                     )
-            # Cells are primed: aggregate the grid consumers in-parent
-            # while the standalone workers keep running.  Priming is
-            # scoped to this run so module-global sweep state does not
-            # leak into unrelated later callers.
+            # Units are primed: aggregate the planned experiments
+            # in-parent while the standalone workers keep running.
+            # Priming is scoped to this run so module-global state does
+            # not leak into unrelated later callers.
             try:
-                for name, kwargs, module in grid_backed:
+                for name, kwargs, module in planned:
                     outcomes[name] = self._run_local(name, kwargs, module)
             finally:
-                sweep.clear_primed()
+                for module in {id(m): m for _, _, m in planned}.values():
+                    module.clear_primed()
             for future, name in standalone_futures.items():
                 try:
                     artifact, seconds = future.result()
                 except Exception as exc:  # noqa: BLE001
+                    # result() can raise before the done callback has
+                    # run (set_exception wakes waiters first); in that
+                    # window the future finished just now, so measuring
+                    # from submission is the accurate fallback.
+                    failed_s = elapsed.get(
+                        future, time.perf_counter() - submitted[future]
+                    )
                     outcomes[name] = ExperimentOutcome(
                         name,
                         None,
-                        0.0,
+                        failed_s,
                         error=f"{type(exc).__name__}: {exc}",
                     )
                 else:

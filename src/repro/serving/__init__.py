@@ -38,7 +38,12 @@ from repro.serving.arrivals import (
     sample_valid_len,
 )
 from repro.serving.batching import BatcherStats, DynamicBatcher
-from repro.serving.devices import SampleCost, ServiceCostModel, SprintDevice
+from repro.serving.devices import (
+    SampleCost,
+    ServiceCostModel,
+    SprintDevice,
+    shared_cost_model,
+)
 from repro.serving.events import Event, EventKind, EventQueue
 from repro.serving.metrics import LatencyStats, ServingReport, summarize
 from repro.serving.requests import Batch, Request, RequestRecord
@@ -66,5 +71,6 @@ __all__ = [
     "TraceProcess",
     "generate_requests",
     "sample_valid_len",
+    "shared_cost_model",
     "summarize",
 ]

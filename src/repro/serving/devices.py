@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Tuple
 
 from repro.core.configs import SprintConfig
@@ -117,6 +118,30 @@ class ServiceCostModel:
     @property
     def cache_entries(self) -> int:
         return len(self._cache)
+
+
+@lru_cache(maxsize=32)
+def shared_cost_model(
+    config: SprintConfig,
+    mode: ExecutionMode,
+    len_bucket: int = 32,
+    seed: int = 0,
+) -> ServiceCostModel:
+    """Process-level memoized cost model, one per (config, mode, bucket,
+    seed).
+
+    The serving sweep's work units group by mode precisely so that a
+    worker shard warms a single cost model: the shard's first point
+    pays the (slow, exact) cycle-model passes for its length buckets
+    and every later point reuses them.  Sharing is sound because a
+    :class:`ServiceCostModel` is deterministic under its key — its
+    memoized costs are pure values, identical no matter which process
+    or sweep point computed them first.  The memo is LRU-bounded so a
+    long-lived process sweeping many seeds or configs cannot
+    accumulate simulators without limit (a worker shard only ever
+    touches one entry).
+    """
+    return ServiceCostModel(config, mode, len_bucket=len_bucket, seed=seed)
 
 
 class SprintDevice:

@@ -1,14 +1,18 @@
 """Tests for the parallel experiment runtime and the runner CLI.
 
-Covers the ISSUE-3 acceptance surface: registry protocol conformance,
-CLI subset selection and error paths, ``--fast`` kwargs plumbing,
-ResultCache hit/miss semantics (same key replays, changed config
-re-runs), artifact serialization, and jobs-count independence of the
-artifact bytes.
+Covers the ISSUE-3/ISSUE-4 acceptance surface: registry protocol
+conformance, the WorkUnit protocol (plan/prime/clear_primed, unit
+dedup, unit-granularity caching), CLI subset selection and error
+paths, ``--fast`` kwargs plumbing, ResultCache hit/miss semantics
+(same key replays, changed config re-runs, edited kwargs replay
+unchanged points), artifact serialization, and jobs-count
+independence of the artifact bytes.
 """
 
 import dataclasses
 import json
+import multiprocessing as mp
+import time
 from dataclasses import dataclass
 from types import SimpleNamespace
 
@@ -16,7 +20,7 @@ import numpy as np
 import pytest
 
 from repro.core.configs import S_SPRINT
-from repro.experiments import registry, sweep
+from repro.experiments import registry, serving, sweep
 from repro.experiments.runner import EXPERIMENTS, main, run_structured
 from repro.runtime import (
     Artifact,
@@ -24,8 +28,12 @@ from repro.runtime import (
     ResultCache,
     cache_key,
     code_version,
+    supports_units,
     to_jsonable,
+    unit_cache_key,
 )
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
 
 
 @dataclass(frozen=True)
@@ -76,14 +84,31 @@ class TestRegistry:
         with pytest.raises(KeyError):
             registry.resolve("fig99")
 
-    def test_grid_consumers_declare_cells(self):
-        for name in ("fig10", "fig11", "fig12", "fig13", "ffn", "table3"):
+    def test_planned_experiments_declare_units(self):
+        for name in ("fig10", "fig11", "fig12", "fig13", "ffn", "table3", "serving"):
             _, module = EXPERIMENTS[name]
-            cells = module.grid_cells(num_samples=1)
-            assert cells, name
-            for cell in cells:
-                model, config, mode, samples, seed = cell
-                assert samples == 1 and isinstance(model, str)
+            assert supports_units(module), name
+            assert isinstance(module, registry.ShardableExperiment), name
+            units = module.plan(**EXPERIMENTS[name][0])
+            assert units, name
+            keys = [unit.key for unit in units]
+            assert len(set(keys)) == len(keys), f"{name}: duplicate keys"
+            for unit in units:
+                assert isinstance(hash(unit.key), int)
+                assert isinstance(hash(unit.group), int)
+                assert callable(unit.execute)
+
+    def test_grid_units_match_sweep_cells(self):
+        _, module = EXPERIMENTS["fig11"]
+        units = module.plan(num_samples=1)
+        assert [u.key for u in units] == sweep.cells(
+            sweep.ALL_MODELS, sweep.ALL_CONFIGS, module.MODES, 1, 1
+        )
+
+    def test_unplanned_experiments_do_not_support_units(self):
+        for name in ("fig1", "fig3", "sensitivity"):
+            _, module = EXPERIMENTS[name]
+            assert not supports_units(module), name
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +221,146 @@ class TestSweepPriming:
 
 
 # ----------------------------------------------------------------------
+# work units: planning, priming, unit-granularity caching
+# ----------------------------------------------------------------------
+def _fake_planned_module(executed):
+    """A WorkUnit-protocol module whose run() aggregates primed points.
+
+    ``executed`` logs every point actually simulated (in-process), so
+    tests can assert which points a warm rerun recomputed.
+    """
+    primed = {}
+
+    def _compute(point):
+        executed.append(point)
+        return point * 10.0
+
+    def _make_unit(point):
+        return SimpleNamespace(
+            key=("fake-unit", point),
+            group=("fake", point % 2),
+            execute=lambda point=point: _compute(point),
+        )
+
+    def plan(points=(1, 2)):
+        return [_make_unit(p) for p in points]
+
+    def run(points=(1, 2)):
+        rows = []
+        for p in points:
+            result = primed.get(("fake-unit", p))
+            if result is None:
+                result = _compute(p)
+            rows.append(_Row(str(p), result))
+        return rows
+
+    def format_table(rows):
+        return "Fake units: " + ", ".join(f"{r.label}={r.value}" for r in rows)
+
+    def prime(key, result):
+        primed[tuple(key)] = result
+
+    def clear_primed():
+        primed.clear()
+
+    return SimpleNamespace(
+        run=run,
+        format_table=format_table,
+        plan=plan,
+        prime=prime,
+        clear_primed=clear_primed,
+    )
+
+
+class TestUnitCache:
+    def test_unit_cache_key_point_and_version_sensitive(self):
+        same = unit_cache_key(("serving", "BERT-B", 20.0))
+        assert same == unit_cache_key(("serving", "BERT-B", 20.0))
+        assert unit_cache_key(("serving", "BERT-B", 40.0)) != same
+        assert unit_cache_key(("serving", "BERT-B", 20.0), version="v2") != same
+
+    def test_edited_kwargs_replay_unchanged_points(self, tmp_path, monkeypatch):
+        executed = []
+        module = _fake_planned_module(executed)
+        cache = ResultCache(tmp_path)
+        pool = ExperimentPool(jobs=1, cache=cache)
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "fakeplan", ({"points": (1, 2)}, module)
+        )
+        first = pool.run(["fakeplan"], fast=True)["fakeplan"]
+        assert first.ok and sorted(executed) == [1, 2]
+        assert cache.unit_misses == 2 and cache.unit_hits == 0
+
+        # Editing the point list must only simulate the new point.
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "fakeplan", ({"points": (1, 2, 3)}, module)
+        )
+        executed.clear()
+        second = pool.run(["fakeplan"], fast=True)["fakeplan"]
+        assert second.ok and executed == [3]
+        assert cache.unit_hits == 2
+        assert [r["value"] for r in second.artifact.rows] == [10.0, 20.0, 30.0]
+        # Priming stayed scoped to the pool run.
+        assert module.run(points=(1,))[0].value == 10.0 and executed[-1] == 1
+
+    def test_corrupt_unit_entry_is_miss(self, tmp_path, monkeypatch):
+        executed = []
+        module = _fake_planned_module(executed)
+        cache = ResultCache(tmp_path)
+        pool = ExperimentPool(jobs=1, cache=cache)
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "fakeplan", ({"points": (1,)}, module)
+        )
+        pool.run(["fakeplan"], fast=True)
+        key = unit_cache_key(("fake-unit", 1))
+        cache.unit_path(key).write_text("{not a pickle")
+        executed.clear()
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "fakeplan", ({"points": (1, 2)}, module)
+        )
+        rerun = pool.run(["fakeplan"], fast=True)["fakeplan"]
+        assert rerun.ok and sorted(executed) == [1, 2]
+
+    def test_serving_unit_cache_only_simulates_new_loads(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        pool = ExperimentPool(jobs=1, cache=cache)
+        base_kwargs = {
+            "loads": (20.0, 80.0),
+            "patterns": ("poisson",),
+            "num_requests": 30,
+        }
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "serving", (dict(base_kwargs), serving)
+        )
+        assert pool.run(["serving"], fast=True)["serving"].ok
+        assert cache.unit_misses == 6  # 3 modes x 2 loads
+
+        simulated = []
+        original = serving.ServingExperiment.simulate
+
+        def counting(self, pattern, mode, load, num_requests):
+            simulated.append((pattern, mode.value, load))
+            return original(self, pattern, mode, load, num_requests)
+
+        monkeypatch.setattr(serving.ServingExperiment, "simulate", counting)
+        monkeypatch.setitem(
+            registry.EXPERIMENTS,
+            "serving",
+            ({**base_kwargs, "loads": (20.0, 80.0, 40.0)}, serving),
+        )
+        warm = pool.run(["serving"], fast=True)["serving"]
+        assert warm.ok
+        assert cache.unit_hits == 6
+        assert {load for _, _, load in simulated} == {40.0}
+        # The incremental artifact matches a cold run of the same kwargs.
+        monkeypatch.setattr(serving.ServingExperiment, "simulate", original)
+        cold = ExperimentPool(jobs=1).run(["serving"], fast=True)["serving"]
+        assert cold.artifact.to_json() == warm.artifact.to_json()
+
+
+# ----------------------------------------------------------------------
 # pool: parallel equivalence and failure isolation
 # ----------------------------------------------------------------------
 class TestExperimentPool:
@@ -206,6 +371,36 @@ class TestExperimentPool:
         for name in names:
             assert serial[name].ok and parallel[name].ok
             assert serial[name].artifact.to_json() == parallel[name].artifact.to_json()
+
+    def test_serving_jobs_do_not_change_artifact_bytes(self):
+        serial = ExperimentPool(jobs=1).run(["serving"], fast=True)
+        parallel = ExperimentPool(jobs=4).run(["serving"], fast=True)
+        assert serial["serving"].ok and parallel["serving"].ok
+        assert (
+            serial["serving"].artifact.to_json()
+            == parallel["serving"].artifact.to_json()
+        )
+        assert not serving._PRIMED
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fake modules need fork")
+    def test_failed_standalone_future_reports_elapsed(self, monkeypatch):
+        def slow_boom(**kwargs):
+            time.sleep(0.05)
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS,
+            "slowboom",
+            ({}, SimpleNamespace(run=slow_boom, format_table=str)),
+        )
+        calls = []
+        monkeypatch.setitem(registry.EXPERIMENTS, "fake", ({}, _fake_module(calls)))
+        outcomes = ExperimentPool(jobs=2).run(["slowboom", "fake"])
+        assert not outcomes["slowboom"].ok
+        assert "injected failure" in outcomes["slowboom"].error
+        # The failure's wall time is tracked, not recorded as 0.0.
+        assert outcomes["slowboom"].seconds >= 0.05
+        assert outcomes["fake"].ok
 
     def test_single_grid_experiment_still_shards(self):
         # One pending grid-backed experiment must take the worker path

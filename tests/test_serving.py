@@ -20,7 +20,12 @@ from repro.serving import (
     generate_requests,
     summarize,
 )
-from repro.experiments.serving import ServingExperiment, max_sla_load
+from repro.experiments import serving as serving_experiment
+from repro.experiments.serving import (
+    ServingExperiment,
+    max_sla_load,
+    stream_seed,
+)
 from repro.models.zoo import get_model
 
 
@@ -330,4 +335,73 @@ class TestServingExperiment:
         assert {r.mode for r in rows} == {
             "baseline", "pruning_only", "sprint"
         }
+
+    def test_stream_seed_stable_and_pattern_distinct(self):
+        # A stable hash of the pattern *name*: unknown patterns no
+        # longer collide on one shared index-overflow seed.
+        patterns = ("poisson", "bursty", "trace", "diurnal", "adversarial")
+        seeds = [stream_seed(0, p) for p in patterns]
+        assert len(set(seeds)) == len(patterns)
+        assert seeds == [stream_seed(0, p) for p in patterns]  # stable
+        assert all(s >= 0 for s in seeds)
+        # Different experiment seeds decorrelate the same pattern.
+        assert stream_seed(1, "poisson") != stream_seed(0, "poisson")
+
+    def test_stream_seed_excludes_mode(self):
+        # All modes must face byte-identical traffic at one (pattern,
+        # load) point; only the service times may differ.
+        experiment = ServingExperiment(seed=3)
+        reports = {
+            mode: experiment.simulate("bursty", mode, 30.0, 80)
+            for mode in (ExecutionMode.BASELINE, ExecutionMode.SPRINT)
+        }
+        assert (
+            reports[ExecutionMode.BASELINE].requests
+            == reports[ExecutionMode.SPRINT].requests
+        )
+        assert (
+            reports[ExecutionMode.SPRINT].latency.p99_s
+            < reports[ExecutionMode.BASELINE].latency.p99_s
+        )
+
+    def test_primed_point_short_circuits_run(self):
+        experiment = ServingExperiment(seed=0)
+        unit = serving_experiment.plan(
+            loads=(30.0,), patterns=("poisson",),
+            modes=(ExecutionMode.SPRINT,), num_requests=40,
+        )[0]
+        real = unit.execute()
+        serving_experiment.prime(unit.key, real)
+        try:
+            rows = experiment.run(
+                loads=(30.0,), patterns=("poisson",),
+                modes=(ExecutionMode.SPRINT,), num_requests=40,
+            )
+        finally:
+            serving_experiment.clear_primed()
+        assert rows[0].p99_ms == pytest.approx(real.latency.p99_s * 1e3)
+
+    def test_units_group_by_mode(self):
+        units = serving_experiment.plan(num_requests=10)
+        groups = {}
+        for unit in units:
+            groups.setdefault(unit.group, set()).add(unit.mode)
+        # Every shard group carries exactly one mode, so a worker warms
+        # exactly one shared cost model.
+        assert all(len(modes) == 1 for modes in groups.values())
+
+    def test_unit_key_distinguishes_configs_with_same_name(self):
+        import dataclasses
+
+        kwargs = dict(
+            loads=(30.0,), patterns=("poisson",),
+            modes=(ExecutionMode.SPRINT,), num_requests=10,
+        )
+        stock = serving_experiment.plan(config=S_SPRINT, **kwargs)[0]
+        modified = serving_experiment.plan(
+            config=dataclasses.replace(S_SPRINT, num_corelets=2), **kwargs
+        )[0]
+        # A modified config with an unchanged name must not collide in
+        # the unit cache with the stock config's results.
+        assert stock.key != modified.key
 
