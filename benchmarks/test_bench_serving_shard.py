@@ -6,8 +6,12 @@ faster than the same sweep at ``--jobs 1``, measured end to end
 through :class:`~repro.runtime.pool.ExperimentPool` in a fresh
 interpreter per run (so no warm cost-model caches flatter either
 side).  The sweep is the registry's ``serving`` experiment with its
-request count raised until the event loops dominate start-up — the
+request count raised until the simulation dominates start-up — the
 regime the ROADMAP's "multi-minute full-load sweeps" item is about.
+The count is sized for the columnar fast engine (the sweep's default
+path since it landed): at the old 5k-request streams the engine
+finishes points faster than workers warm up, so the sharding benchmark
+now drives 150k-request streams per point.
 The measured ratio is appended to
 ``benchmarks/BENCH_serving_shard.json`` so the trajectory is recorded
 run over run.
@@ -41,7 +45,7 @@ GATE_FLOOR = 1.8
 #: only reject a pathological orchestration-overhead regression.
 SANITY_FLOOR = 0.3
 CPUS = os.cpu_count() or 1
-NUM_REQUESTS = 5000
+NUM_REQUESTS = 150_000
 
 #: Fresh-interpreter driver: the registry's serving experiment with the
 #: request count raised so per-point event loops dominate start-up.

@@ -14,8 +14,8 @@ optional WorkUnit surface (:mod:`repro.runtime.units`): ``plan``
 enumerates the independent simulation points behind a ``run``,
 ``prime`` installs an externally computed point, ``clear_primed``
 drops them.  The runtime shards any such experiment's units across
-worker processes; the grid-backed figures (fig10-13, ffn, table3) and
-the serving sweep all opt in.
+worker processes; the grid-backed figures (fig10-13, ffn, table3), the
+serving sweep, and the sensitivity sweeps all opt in.
 """
 
 from __future__ import annotations
@@ -85,8 +85,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
     "ffn": ({"num_samples": 1}, ffn_end_to_end),
     "table3": ({"num_samples": 1}, table3_comparison),
     "ablations": ({}, ablations),
-    "sensitivity": ({}, sensitivity),
-    "serving": ({"num_requests": 100, "loads": (20.0, 80.0)}, serving),
+    "sensitivity": (
+        {"rates": (0.3, 0.65, 0.9), "seq_lens": (128, 512, 2048)},
+        sensitivity,
+    ),
+    "serving": ({"requests_per_point": 100, "loads": (20.0, 80.0)}, serving),
 }
 
 

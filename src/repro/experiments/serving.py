@@ -18,6 +18,13 @@ request stream is seeded by a stable hash of (experiment seed, pattern)
 byte-identical for every ``--jobs`` value.  Units group by mode so a
 worker shard warms exactly one
 :func:`~repro.serving.devices.shared_cost_model`.
+
+Each point runs through the columnar fast engine
+(:func:`repro.serving.engine.simulate_table`) by default -- exactly
+equal, record for record, to the per-request reference loop
+(``engine="reference"``) but batch-granular, which is what lets the
+full sweep default to ``requests_per_point=4000`` (~10x the historical
+traffic) at similar wall time.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.configs import S_SPRINT, SprintConfig
 from repro.core.system import ExecutionMode
@@ -34,10 +41,11 @@ from repro.serving.arrivals import (
     BurstyProcess,
     PoissonProcess,
     TraceProcess,
-    generate_requests,
+    generate_request_table,
 )
 from repro.serving.batching import DynamicBatcher
 from repro.serving.devices import ServiceCostModel, SprintDevice, shared_cost_model
+from repro.serving.engine import simulate_table
 from repro.serving.metrics import ServingReport, summarize
 from repro.serving.scheduler import ServingSimulator
 
@@ -48,6 +56,27 @@ DEFAULT_MODES = (
 )
 DEFAULT_PATTERNS = ("poisson", "bursty", "trace")
 DEFAULT_LOADS = (10.0, 20.0, 40.0, 80.0, 160.0)
+#: Stream length per sweep point.  Sized for the columnar fast engine:
+#: ~10x the traffic the per-request loop used to walk, at similar wall
+#: time per point.
+DEFAULT_REQUESTS_PER_POINT = 4000
+
+
+def _resolve_count(
+    num_requests: Optional[int], requests_per_point: Optional[int]
+) -> int:
+    """One stream length from the legacy and the scale knob.
+
+    ``num_requests`` (the historical name) wins when given so existing
+    call sites keep meaning what they said; otherwise the sweep-scale
+    knob ``requests_per_point`` applies, defaulting to
+    :data:`DEFAULT_REQUESTS_PER_POINT`.
+    """
+    if num_requests is not None:
+        return num_requests
+    if requests_per_point is not None:
+        return requests_per_point
+    return DEFAULT_REQUESTS_PER_POINT
 
 
 def stream_seed(seed: int, pattern: str) -> int:
@@ -122,6 +151,11 @@ class ServingExperiment:
         Chip configuration; ``num_devices`` chips serve the stream.
     sla_ms:
         p99 latency target the headroom analysis ranks loads against.
+    engine:
+        ``"fast"`` (default) simulates each point through the columnar
+        batch-granular engine; ``"reference"`` walks the per-request
+        event loop.  Both produce identical reports -- the reference
+        exists to define the semantics and for equivalence testing.
     """
 
     def __init__(
@@ -134,7 +168,10 @@ class ServingExperiment:
         sla_ms: float = 150.0,
         len_bucket: int = 32,
         seed: int = 0,
+        engine: str = "fast",
     ):
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.model = model
         self.config = config
         self.num_devices = num_devices
@@ -143,6 +180,7 @@ class ServingExperiment:
         self.sla_ms = sla_ms
         self.len_bucket = len_bucket
         self.seed = seed
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def _cost_model(self, mode: ExecutionMode) -> ServiceCostModel:
@@ -174,6 +212,7 @@ class ServingExperiment:
             max_batch_size=self.max_batch_size,
             max_wait_ms=self.max_wait_ms,
             len_bucket=self.len_bucket,
+            engine=self.engine,
         )
 
     def simulate(
@@ -183,29 +222,37 @@ class ServingExperiment:
         rate_rps: float,
         num_requests: int,
     ) -> ServingReport:
-        """One point: a full event-driven run, summarized."""
+        """One point, summarized (columnar fast path by default)."""
         process = make_process(pattern, rate_rps)
-        requests = generate_requests(
+        table = generate_request_table(
             process,
             self.model,
             count=num_requests,
             seed=stream_seed(self.seed, pattern),
         )
         cost = self._cost_model(mode)
-        if requests:
-            # Warm every length bucket the stream touches up front (one
-            # batched cycle-model pass per bucket, shared across loads).
-            cost.prime(
-                requests[0].spec, [r.valid_len for r in requests]
+        # Warm every length bucket the stream touches up front (one
+        # batched cycle-model pass per bucket, shared across loads).
+        cost.prime(table.specs[0], table.valid_len)
+        if self.engine == "fast":
+            result = simulate_table(
+                table,
+                cost,
+                num_devices=self.num_devices,
+                max_batch_size=self.max_batch_size,
+                max_wait_s=self.max_wait_ms * 1e-3,
             )
-        devices = [
-            SprintDevice(i, cost) for i in range(self.num_devices)
-        ]
-        batcher = DynamicBatcher(
-            max_batch_size=self.max_batch_size,
-            max_wait_s=self.max_wait_ms * 1e-3,
-        )
-        result = ServingSimulator(devices, batcher).run(requests)
+        else:
+            devices = [
+                SprintDevice(i, cost) for i in range(self.num_devices)
+            ]
+            batcher = DynamicBatcher(
+                max_batch_size=self.max_batch_size,
+                max_wait_s=self.max_wait_ms * 1e-3,
+            )
+            result = ServingSimulator(devices, batcher).run(
+                table.to_requests()
+            )
         return summarize(
             result,
             config=self.config.name,
@@ -220,20 +267,20 @@ class ServingExperiment:
         loads: Sequence[float] = DEFAULT_LOADS,
         patterns: Sequence[str] = DEFAULT_PATTERNS,
         modes: Sequence[ExecutionMode] = DEFAULT_MODES,
-        num_requests: int = 400,
+        num_requests: Optional[int] = None,
+        requests_per_point: Optional[int] = None,
     ) -> List[ServingRow]:
+        count = _resolve_count(num_requests, requests_per_point)
         rows: List[ServingRow] = []
         for pattern in patterns:
             for mode in modes:
                 for load in loads:
                     # A point the runtime already computed (in a worker
                     # or the unit cache) aggregates without re-running.
-                    key = self._unit(pattern, mode, load, num_requests).key
+                    key = self._unit(pattern, mode, load, count).key
                     report = _PRIMED.get(key)
                     if report is None:
-                        report = self.simulate(
-                            pattern, mode, load, num_requests
-                        )
+                        report = self.simulate(pattern, mode, load, count)
                     rows.append(
                         ServingRow(
                             pattern=pattern,
@@ -274,6 +321,7 @@ class ServingUnit:
     max_batch_size: int
     max_wait_ms: float
     len_bucket: int
+    engine: str = "fast"
 
     @property
     def key(self) -> Tuple:
@@ -294,6 +342,7 @@ class ServingUnit:
             self.max_batch_size,
             self.max_wait_ms,
             self.len_bucket,
+            self.engine,
         )
 
     @property
@@ -310,6 +359,7 @@ class ServingUnit:
             sla_ms=self.sla_ms,
             len_bucket=self.len_bucket,
             seed=self.seed,
+            engine=self.engine,
         )
         return experiment.simulate(
             self.pattern, ExecutionMode(self.mode), self.load,
@@ -329,13 +379,15 @@ def plan(
     loads: Sequence[float] = DEFAULT_LOADS,
     patterns: Sequence[str] = DEFAULT_PATTERNS,
     modes: Sequence[ExecutionMode] = DEFAULT_MODES,
-    num_requests: int = 400,
+    num_requests: Optional[int] = None,
+    requests_per_point: Optional[int] = None,
     sla_ms: float = 150.0,
     seed: int = 0,
     num_devices: int = 1,
     max_batch_size: int = 8,
     max_wait_ms: float = 10.0,
     len_bucket: int = 32,
+    engine: str = "fast",
 ) -> List[ServingUnit]:
     """Work units a same-argument :func:`run` consumes (for sharding).
 
@@ -343,13 +395,14 @@ def plan(
     forwards) so the runtime can plan exactly the points a serial run
     would simulate.
     """
+    count = _resolve_count(num_requests, requests_per_point)
     experiment = ServingExperiment(
         model=model, config=config, num_devices=num_devices,
         max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
-        sla_ms=sla_ms, len_bucket=len_bucket, seed=seed,
+        sla_ms=sla_ms, len_bucket=len_bucket, seed=seed, engine=engine,
     )
     return [
-        experiment._unit(pattern, mode, load, num_requests)
+        experiment._unit(pattern, mode, load, count)
         for pattern in patterns
         for mode in modes
         for load in loads
@@ -386,7 +439,8 @@ def run(
     loads: Sequence[float] = DEFAULT_LOADS,
     patterns: Sequence[str] = DEFAULT_PATTERNS,
     modes: Sequence[ExecutionMode] = DEFAULT_MODES,
-    num_requests: int = 400,
+    num_requests: Optional[int] = None,
+    requests_per_point: Optional[int] = None,
     sla_ms: float = 150.0,
     seed: int = 0,
     **experiment_kwargs,
@@ -397,7 +451,7 @@ def run(
     )
     return experiment.run(
         loads=loads, patterns=patterns, modes=modes,
-        num_requests=num_requests,
+        num_requests=num_requests, requests_per_point=requests_per_point,
     )
 
 

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
+import time
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -82,13 +84,27 @@ class ResultCache:
     """Artifacts stored as ``<root>/<cache_key>.json``; unit results
     stored pickled as ``<root>/units/<unit_cache_key>.pkl``."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path], sweep_stale: bool = True):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.unit_hits = 0
         self.unit_misses = 0
+        if sweep_stale:
+            # Temp files a killed writer stranded mid-put_unit.  Only
+            # swept from an orchestrating process (workers pass False:
+            # a sibling's in-flight temp must not vanish under it), and
+            # only when old enough that no live writer -- including a
+            # concurrent orchestrator sharing this cache dir -- can
+            # still be between write and rename (puts are sub-second).
+            cutoff = time.time() - 3600.0
+            for stale in self.root.glob("units/*.tmp-*"):
+                try:
+                    if stale.stat().st_mtime < cutoff:
+                        stale.unlink()
+                except OSError:
+                    pass
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -136,7 +152,12 @@ class ResultCache:
         return result
 
     def put_unit(self, key: str, result: Any) -> Path:
+        """Store one unit result; atomic so concurrent writers (worker
+        processes stream results in as they land) and mid-write kills
+        never leave a torn entry behind."""
         path = self.unit_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(pickle.dumps(result))
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(result))
+        os.replace(tmp, path)
         return path

@@ -25,7 +25,10 @@ or scheduling; artifacts are byte-identical across ``--jobs`` values.
 When a :class:`~repro.runtime.cache.ResultCache` is attached, hits
 skip whole experiments (artifact granularity) or individual points
 (unit granularity — so editing a load list only simulates the new
-points), and fresh results are written back after the run.
+points).  Fresh unit results *stream* into the cache the moment each
+one is computed — worker-side, atomically, not at experiment end — so
+a ``--jobs`` run killed mid-flight resumes from exactly the units that
+already landed.
 """
 
 from __future__ import annotations
@@ -40,7 +43,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import registry
 from repro.runtime.artifacts import Artifact, build_artifact
-from repro.runtime.cache import ResultCache, cache_key, unit_cache_key
+from repro.runtime.cache import (
+    ResultCache,
+    cache_key,
+    code_version,
+    unit_cache_key,
+)
 from repro.runtime.units import WorkUnit, supports_units
 
 
@@ -67,14 +75,40 @@ def _run_standalone(name: str, kwargs: Dict[str, Any]) -> Tuple[Artifact, float]
     return artifact, time.perf_counter() - start
 
 
-def _execute_units(units: Sequence[WorkUnit]) -> List[Tuple[Any, Any]]:
+def _execute_units(
+    units: Sequence[WorkUnit],
+    cache_root: Optional[str] = None,
+    cache_version: Optional[str] = None,
+) -> List[Tuple[Any, Any]]:
     """Worker: execute one shard of work units.
 
     Shards arrive grouped by ``unit.group``, so process-level warm
     state (the sweep's calibrated workloads, serving's per-mode cost
     models) is built on the first unit and shared by the rest.
+
+    When a cache directory is attached, every unit result streams into
+    it the moment it is computed (atomic write), not when the shard --
+    let alone the experiment -- finishes: a ``--jobs`` run killed
+    mid-flight resumes from exactly the units that already landed.
+    Entries are addressed under the *parent's* source digest
+    (``cache_version``): workers neither re-hash the tree nor race a
+    concurrent source edit into keys the parent would never look up.
+    No stale-temp sweep worker-side -- siblings may be mid-write.
     """
-    return [(unit.key, unit.execute()) for unit in units]
+    cache = (
+        ResultCache(cache_root, sweep_stale=False)
+        if cache_root is not None
+        else None
+    )
+    out = []
+    for unit in units:
+        result = unit.execute()
+        if cache is not None:
+            cache.put_unit(
+                unit_cache_key(unit.key, version=cache_version), result
+            )
+        out.append((unit.key, result))
+    return out
 
 
 class ExperimentPool:
@@ -247,9 +281,11 @@ class ExperimentPool:
         executor = ProcessPoolExecutor(
             max_workers=self.jobs, mp_context=self._mp_context
         )
+        cache_root = str(self.cache.root) if self.cache is not None else None
+        cache_version = code_version() if self.cache is not None else None
         with executor:
             unit_futures = [
-                executor.submit(_execute_units, shard)
+                executor.submit(_execute_units, shard, cache_root, cache_version)
                 for shard in shards.values()
             ]
             standalone_futures = {}
@@ -271,10 +307,10 @@ class ExperimentPool:
                 )
             for future in as_completed(unit_futures):
                 try:
+                    # Cache writes already streamed worker-side, unit
+                    # by unit; the parent only primes the owners.
                     for key, result in future.result():
                         prime_owners(key, result)
-                        if self.cache is not None:
-                            self.cache.put_unit(unit_cache_key(key), result)
                 except Exception as exc:  # noqa: BLE001
                     # A failed shard is re-attempted (and any real
                     # simulation error surfaced) by the consuming

@@ -6,7 +6,22 @@ dynamic batcher onto one or more simulated SPRINT chips, producing
 throughput, device utilization, and p50/p95/p99 latency with SLA
 accounting.
 
-Typical use::
+Two execution paths share those semantics:
+
+* the **columnar fast path** (:func:`simulate_table` over a
+  :class:`RequestTable`) -- batch-granular simulation over
+  struct-of-arrays columns, the default for production-size streams::
+
+      table = generate_request_table(process, "BERT-B", count=200_000)
+      cost = ServiceCostModel(S_SPRINT, ExecutionMode.SPRINT)
+      cost.prime(table.specs[0], table.valid_len)
+      report = summarize(simulate_table(table, cost), ...)
+
+* the **per-request reference loop** (:class:`ServingSimulator` over
+  ``list[Request]``) -- the ``slow_exact`` event-driven definition of
+  the semantics; the fast path is pinned exactly equal to it.
+
+Typical (reference-path) use::
 
     from repro.core.configs import S_SPRINT
     from repro.core.system import ExecutionMode
@@ -34,6 +49,7 @@ from repro.serving.arrivals import (
     BurstyProcess,
     PoissonProcess,
     TraceProcess,
+    generate_request_table,
     generate_requests,
     sample_valid_len,
 )
@@ -44,9 +60,10 @@ from repro.serving.devices import (
     SprintDevice,
     shared_cost_model,
 )
+from repro.serving.engine import ColumnarServingResult, simulate_table
 from repro.serving.events import Event, EventKind, EventQueue
 from repro.serving.metrics import LatencyStats, ServingReport, summarize
-from repro.serving.requests import Batch, Request, RequestRecord
+from repro.serving.requests import Batch, Request, RequestRecord, RequestTable
 from repro.serving.scheduler import ServingResult, ServingSimulator
 
 __all__ = [
@@ -54,6 +71,7 @@ __all__ = [
     "Batch",
     "BatcherStats",
     "BurstyProcess",
+    "ColumnarServingResult",
     "DynamicBatcher",
     "Event",
     "EventKind",
@@ -62,6 +80,7 @@ __all__ = [
     "PoissonProcess",
     "Request",
     "RequestRecord",
+    "RequestTable",
     "SampleCost",
     "ServiceCostModel",
     "ServingReport",
@@ -69,8 +88,10 @@ __all__ = [
     "ServingSimulator",
     "SprintDevice",
     "TraceProcess",
+    "generate_request_table",
     "generate_requests",
     "sample_valid_len",
     "shared_cost_model",
+    "simulate_table",
     "summarize",
 ]

@@ -1,9 +1,15 @@
 """Request arrival processes: Poisson, bursty (MMPP), and trace replay.
 
 Each process produces deterministic-under-seed arrival timestamps;
-:func:`generate_requests` turns them into :class:`Request` objects by
-drawing a model from a weighted mix and a padded input length around the
-model's mean padding ratio (matching ``repro.workloads.generator``).
+:func:`generate_request_table` turns them into a columnar
+:class:`~repro.serving.requests.RequestTable` by drawing models from a
+weighted mix and padded input lengths around each model's mean padding
+ratio (matching ``repro.workloads.generator``).  Generation is fully
+vectorized -- one ``rng.uniform`` draw covers every request whose spec
+jitters its padding -- and consumes the generator in exactly the order
+the historical per-request loop did, so a given seed yields the same
+stream bit-for-bit.  :func:`generate_requests` materializes the same
+table as :class:`Request` objects for the per-request reference path.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 import numpy as np
 
 from repro.models.zoo import ModelSpec, get_model
-from repro.serving.requests import Request
+from repro.serving.requests import Request, RequestTable
 
 
 class ArrivalProcess:
@@ -197,6 +203,49 @@ def sample_valid_len(
     return max(2, int(round(spec.seq_len * (1.0 - ratio))))
 
 
+def generate_request_table(
+    process: ArrivalProcess,
+    mix: ModelMix,
+    count: int,
+    seed: int = 0,
+    start_id: int = 0,
+) -> RequestTable:
+    """Vectorized stream generation into a columnar request table.
+
+    Deterministic under ``seed`` and bit-identical to the historical
+    per-request loop: the length jitter is drawn as **one**
+    ``rng.uniform`` over exactly the requests whose spec jitters its
+    padding (``padding_ratio > 0``), in request order -- the same draw
+    sequence ``sample_valid_len`` consumed one call at a time, so
+    every pre-vectorization golden stream is unchanged.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(seed)
+    specs, weights = _normalize_mix(mix)
+    times = np.asarray(process.arrival_times(count, rng), dtype=np.float64)
+    picks = rng.choice(len(specs), size=count, p=weights)
+
+    seq_lens = np.array([s.seq_len for s in specs], dtype=np.int64)
+    paddings = np.array([s.padding_ratio for s in specs], dtype=np.float64)
+    picked_padding = paddings[picks]
+    valid = seq_lens[picks].copy()
+    jittered = picked_padding > 0.0
+    n_jittered = int(np.count_nonzero(jittered))
+    if n_jittered:
+        jitter = rng.uniform(-0.05, 0.05, size=n_jittered)
+        ratio = np.clip(picked_padding[jittered] + jitter, 0.0, 0.95)
+        drawn = np.round(valid[jittered] * (1.0 - ratio))
+        valid[jittered] = np.maximum(2, drawn.astype(np.int64))
+    return RequestTable(
+        specs=specs,
+        request_id=start_id + np.arange(count, dtype=np.int64),
+        arrival_s=times,
+        spec_idx=np.asarray(picks, dtype=np.int64),
+        valid_len=valid,
+    )
+
+
 def generate_requests(
     process: ArrivalProcess,
     mix: ModelMix,
@@ -207,23 +256,10 @@ def generate_requests(
     """Materialize ``count`` requests from an arrival process and a mix.
 
     Deterministic under ``seed``: the same call always yields identical
-    timestamps, model draws, and input lengths.
+    timestamps, model draws, and input lengths.  Thin object view over
+    :func:`generate_request_table` (one source of truth for the draw
+    sequence).
     """
-    if count < 1:
-        raise ValueError("count must be positive")
-    rng = np.random.default_rng(seed)
-    specs, weights = _normalize_mix(mix)
-    times = process.arrival_times(count, rng)
-    picks = rng.choice(len(specs), size=count, p=weights)
-    requests = []
-    for i in range(count):
-        spec = specs[int(picks[i])]
-        requests.append(
-            Request(
-                request_id=start_id + i,
-                arrival_s=float(times[i]),
-                spec=spec,
-                valid_len=sample_valid_len(spec, rng),
-            )
-        )
-    return requests
+    return generate_request_table(
+        process, mix, count, seed=seed, start_id=start_id
+    ).to_requests()

@@ -2,9 +2,17 @@
 
 The batcher keeps one FIFO queue per model.  A batch seals when it
 reaches ``max_batch_size``, or when its oldest member has waited
-``max_wait_s`` (the scheduler drives the timeout via events).  Requests
-for different models never share a batch -- they need different weights
-and learned thresholds programmed into the accelerator.
+``max_wait_s`` (the reference scheduler drives the timeout via
+events).  Requests for different models never share a batch -- they
+need different weights and learned thresholds programmed into the
+accelerator.
+
+Note the seal rules depend only on the arrival stream, never on device
+state: batch formation is fully determined before any batch runs.  The
+columnar fast path (:mod:`repro.serving.engine`) exploits exactly that
+-- it computes every sealed batch in one forward pass over the sorted
+arrival columns instead of driving this incremental batcher, and is
+pinned to produce the same batches.
 """
 
 from __future__ import annotations

@@ -11,6 +11,12 @@ A :class:`SprintDevice` is one chip: it executes one batch at a time,
 serializing the batch's samples through the accelerator and charging a
 fixed per-batch setup (threshold/projection reprogramming, pipeline
 drain) that dynamic batching amortizes.
+
+:class:`SprintDevice` objects serve the per-request reference loop;
+the columnar fast path prices whole batch columns at once through
+:meth:`ServiceCostModel.cost_arrays` (array indexing into the same
+primed bucket cache) and models devices as k free-times, so both paths
+charge bitwise-identical cycles and energy.
 """
 
 from __future__ import annotations
@@ -20,11 +26,20 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Iterable, Tuple
 
+import numpy as np
+
 from repro.core.configs import SprintConfig
 from repro.core.multihead import MultiHeadSimulator
 from repro.core.system import ExecutionMode
 from repro.models.zoo import ModelSpec
 from repro.serving.requests import Batch
+
+
+#: Per-batch setup cost (threshold/projection reprogramming, pipeline
+#: fill/drain) in cycles.  Shared by :class:`SprintDevice` and the fast
+#: engine's :func:`~repro.serving.engine.simulate_table` so the two
+#: paths cannot drift apart on this physical-model parameter.
+DEFAULT_SETUP_CYCLES = 4096
 
 
 @dataclass(frozen=True)
@@ -100,6 +115,31 @@ class ServiceCostModel:
         self._cache[key] = cost
         return cost
 
+    def bucket_lens(self, spec: ModelSpec, valid_lens) -> np.ndarray:
+        """Vectorized :meth:`bucket_len` over a column of lengths."""
+        lens = np.asarray(valid_lens, dtype=np.int64)
+        if lens.size and lens.min() < 1:
+            raise ValueError("valid_len must be positive")
+        rounded = -(-lens // self.len_bucket) * self.len_bucket
+        return np.minimum(spec.seq_len, np.maximum(2, rounded))
+
+    def cost_arrays(
+        self, spec: ModelSpec, valid_lens
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized (cycles, energy) columns for a column of lengths.
+
+        Buckets the lengths, faults any cold bucket into the memoized
+        cache (one exact cycle-model pass each), then answers the whole
+        column by array indexing -- the fast engine's per-batch cost
+        lookup never touches Python-level memo dicts per row.
+        """
+        buckets = self.bucket_lens(spec, valid_lens)
+        uniq, inverse = np.unique(buckets, return_inverse=True)
+        costs = [self.sample_cost(spec, int(length)) for length in uniq]
+        cycles = np.array([c.cycles for c in costs], dtype=np.float64)
+        energy = np.array([c.energy_pj for c in costs], dtype=np.float64)
+        return cycles[inverse], energy[inverse]
+
     def prime(self, spec: ModelSpec, valid_lens: Iterable[int]) -> int:
         """Fill the cost cache for every bucket a request stream touches.
 
@@ -110,10 +150,13 @@ class ServiceCostModel:
         :meth:`~repro.core.system.SprintSystem.simulate_workload` core.
         Returns the number of distinct buckets now cached.
         """
-        buckets = {self.bucket_len(spec, v) for v in valid_lens}
-        for length in sorted(buckets):
-            self.sample_cost(spec, length)
-        return len(buckets)
+        lens = np.fromiter(valid_lens, dtype=np.int64) if not isinstance(
+            valid_lens, np.ndarray
+        ) else valid_lens
+        buckets = np.unique(self.bucket_lens(spec, lens))
+        for length in buckets:
+            self.sample_cost(spec, int(length))
+        return int(buckets.size)
 
     @property
     def cache_entries(self) -> int:
@@ -159,7 +202,7 @@ class SprintDevice:
         self,
         device_id: int,
         cost_model: ServiceCostModel,
-        setup_cycles: int = 4096,
+        setup_cycles: int = DEFAULT_SETUP_CYCLES,
     ):
         if setup_cycles < 0:
             raise ValueError("setup_cycles must be non-negative")
@@ -180,13 +223,17 @@ class SprintDevice:
     def is_idle(self, now_s: float) -> bool:
         return now_s >= self.busy_until_s
 
-    def service_time_s(self, batch: Batch) -> float:
-        """Wall-clock seconds this device needs for ``batch``."""
+    def _batch_cost(self, batch: Batch) -> Tuple[float, SampleCost]:
+        """(service seconds, per-sample cost) -- one cost lookup."""
         per_sample = self.cost_model.sample_cost(
             batch.spec, batch.max_valid_len
         )
         cycles = self.setup_cycles + per_sample.cycles * batch.size
-        return cycles / self.frequency_hz
+        return cycles / self.frequency_hz, per_sample
+
+    def service_time_s(self, batch: Batch) -> float:
+        """Wall-clock seconds this device needs for ``batch``."""
+        return self._batch_cost(batch)[0]
 
     def start_batch(self, batch: Batch, now_s: float) -> float:
         """Begin executing ``batch`` at ``now_s``; returns finish time."""
@@ -194,10 +241,7 @@ class SprintDevice:
             raise RuntimeError(
                 f"device {self.device_id} busy until {self.busy_until_s}"
             )
-        service = self.service_time_s(batch)
-        per_sample = self.cost_model.sample_cost(
-            batch.spec, batch.max_valid_len
-        )
+        service, per_sample = self._batch_cost(batch)
         self.busy_until_s = now_s + service
         self.busy_s += service
         self.batches_done += 1

@@ -1,0 +1,349 @@
+"""Columnar fast path: batch-granular serving simulation over arrays.
+
+The per-request reference loop (:class:`~repro.serving.scheduler.
+ServingSimulator`) spends its time on Python object churn: one heap
+event, one dict lookup, and one record mutation per request.  This
+module simulates the *same* deployment semantics at batch granularity
+over a struct-of-arrays :class:`~repro.serving.requests.RequestTable`:
+
+1. **Batch formation is device-independent.**  The dynamic batcher
+   seals on size or on the oldest member's wait bound only, so every
+   sealed batch -- members, seal time, and trigger -- is computable in
+   a single forward pass over each model's sorted arrival column,
+   without running an event loop at all.
+2. **Dispatch is a k-server FIFO over batches.**  Devices are k free
+   times; each batch (in global seal order) starts at
+   ``max(sealed_s, earliest free time)`` on the lowest-index device
+   idle at that instant -- exactly the device the reference loop's
+   event-driven dispatch would pick -- collapsing the event count by
+   the mean batch size.
+3. **Costs and metrics stay columnar.**  Per-batch cycles/energy come
+   from :meth:`~repro.serving.devices.ServiceCostModel.cost_arrays`
+   (array indexing into the primed bucket cache) and
+   :func:`~repro.serving.metrics.summarize` consumes the result's
+   columns directly.
+
+The equivalence contract: for any stream, knobs, and device count,
+:func:`simulate_table` produces per-request records **exactly equal**
+(bitwise, not approximately) to the reference loop's -- the same
+floating-point expressions are evaluated in the same order, only
+batched.  ``tests/test_serving_engine.py`` pins this across arrival
+patterns, execution modes, seeds, device counts, and wait bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.serving.devices import DEFAULT_SETUP_CYCLES, ServiceCostModel
+from repro.serving.requests import RequestRecord, RequestTable
+from repro.serving.scheduler import ServingResult
+
+
+@dataclass
+class ColumnarServingResult:
+    """Everything one fast-path run produced, as per-request columns.
+
+    Row ``i`` of every column describes request ``i`` of ``table``
+    (sorted by arrival, ties by request id -- the reference loop's
+    record order).  :meth:`to_result` materializes the object-based
+    :class:`~repro.serving.scheduler.ServingResult` for equivalence
+    tests; analysis paths should stay columnar via
+    :func:`~repro.serving.metrics.summarize`.
+    """
+
+    table: RequestTable
+    batched_s: np.ndarray
+    service_start_s: np.ndarray
+    finish_s: np.ndarray
+    batch_size: np.ndarray
+    device_id: np.ndarray
+    start_s: float
+    end_s: float
+    device_busy_s: List[float]
+    device_energy_pj: List[float]
+    batches: int
+    size_triggered_batches: int
+    timeout_triggered_batches: int
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+    @property
+    def completed(self) -> int:
+        return len(self.table)
+
+    @property
+    def latency_s(self) -> np.ndarray:
+        """End-to-end latency column: arrival to completion."""
+        return self.finish_s - self.table.arrival_s
+
+    @property
+    def queue_wait_s(self) -> np.ndarray:
+        """Arrival to service start (batching + dispatch queueing)."""
+        return self.service_start_s - self.table.arrival_s
+
+    def to_result(self) -> ServingResult:
+        """Materialize per-request records (the reference loop's shape)."""
+        records = [
+            RequestRecord(
+                request=request,
+                batched_s=float(self.batched_s[i]),
+                service_start_s=float(self.service_start_s[i]),
+                finish_s=float(self.finish_s[i]),
+                batch_size=int(self.batch_size[i]),
+                device_id=int(self.device_id[i]),
+            )
+            for i, request in enumerate(self.table.to_requests())
+        ]
+        return ServingResult(
+            records=records,
+            start_s=self.start_s,
+            end_s=self.end_s,
+            device_busy_s=list(self.device_busy_s),
+            device_energy_pj=list(self.device_energy_pj),
+            batches=self.batches,
+            size_triggered_batches=self.size_triggered_batches,
+            timeout_triggered_batches=self.timeout_triggered_batches,
+        )
+
+
+def _form_batches(
+    arrival: np.ndarray,
+    request_id: np.ndarray,
+    max_batch_size: int,
+    max_wait_s: float,
+    last_arrival_s: float,
+) -> Tuple[np.ndarray, ...]:
+    """Seal one model queue's batches in a forward pass.
+
+    Returns formation-order arrays ``(member_start, member_count,
+    sealed_s, by_size, tie_arrival, tie_id)`` where ``member_start`` /
+    ``member_count`` slice the model's sorted request rows.  The seal
+    rules mirror the reference batcher exactly:
+
+    * **size**: the ``max_batch_size``-th member seals at its own
+      arrival instant;
+    * **timeout**: otherwise the batch seals at ``oldest arrival +
+      max_wait_s``, including any request arriving exactly at that
+      deadline (arrivals outrank timeout flushes at equal timestamps);
+    * **end of stream**: once the globally last request has arrived,
+      the pending tail seals immediately at ``last_arrival_s``;
+    * **zero wait** degenerates to one singleton batch per request.
+
+    ``tie_arrival``/``tie_id`` reproduce the reference event loop's
+    FIFO order for batches sealed at the same instant: size-sealed
+    batches order by their triggering (final) member's event position,
+    timeout/end flushes by their oldest member's queue-creation
+    position.
+    """
+    n = arrival.size
+    if max_wait_s == 0.0:
+        # The reference loop flushes after every add: singleton batches
+        # sealed at their own arrival.  They count as size-triggered
+        # only when max_batch_size == 1 (the add() itself seals).
+        return (
+            np.arange(n, dtype=np.int64),
+            np.ones(n, dtype=np.int64),
+            arrival.copy(),
+            np.full(n, max_batch_size == 1, dtype=bool),
+            arrival.copy(),
+            request_id.copy(),
+        )
+    starts: List[int] = []
+    counts: List[int] = []
+    sealed: List[float] = []
+    by_size: List[bool] = []
+    tie_a: List[float] = []
+    tie_i: List[int] = []
+    i = 0
+    while i < n:
+        deadline = float(arrival[i]) + max_wait_s
+        due = int(np.searchsorted(arrival, deadline, side="right"))
+        take = min(max_batch_size, due - i)
+        if take == max_batch_size:
+            last = i + take - 1
+            seal_at, size_trigger = float(arrival[last]), True
+            anchor_a, anchor_i = float(arrival[last]), int(request_id[last])
+        else:
+            seal_at = deadline if deadline <= last_arrival_s else last_arrival_s
+            size_trigger = False
+            anchor_a, anchor_i = float(arrival[i]), int(request_id[i])
+        starts.append(i)
+        counts.append(take)
+        sealed.append(seal_at)
+        by_size.append(size_trigger)
+        tie_a.append(anchor_a)
+        tie_i.append(anchor_i)
+        i += take
+    return (
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(counts, dtype=np.int64),
+        np.asarray(sealed, dtype=np.float64),
+        np.asarray(by_size, dtype=bool),
+        np.asarray(tie_a, dtype=np.float64),
+        np.asarray(tie_i, dtype=np.int64),
+    )
+
+
+def simulate_table(
+    table: RequestTable,
+    cost_model: ServiceCostModel,
+    num_devices: int = 1,
+    max_batch_size: int = 8,
+    max_wait_s: float = 2e-3,
+    setup_cycles: int = DEFAULT_SETUP_CYCLES,
+) -> ColumnarServingResult:
+    """Run one deployment over a columnar stream; the fast path.
+
+    Identical knobs and semantics to building ``num_devices``
+    :class:`~repro.serving.devices.SprintDevice` plus a
+    :class:`~repro.serving.batching.DynamicBatcher` and calling
+    :meth:`~repro.serving.scheduler.ServingSimulator.run`, but
+    batch-granular: O(requests / mean batch size) light Python
+    iterations instead of O(requests) heap events.  Unlike the
+    single-use reference simulator, this function carries no run state
+    and may be called repeatedly.
+    """
+    if len(table) == 0:
+        raise ValueError("request stream must not be empty")
+    if num_devices < 1:
+        raise ValueError("at least one device required")
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be positive")
+    if max_wait_s < 0:
+        raise ValueError("max_wait_s must be non-negative")
+    if np.unique(table.request_id).size != len(table):
+        raise ValueError("duplicate request id in stream")
+
+    order = np.lexsort((table.request_id, table.arrival_s))
+    table = RequestTable(
+        specs=table.specs,
+        request_id=table.request_id[order],
+        arrival_s=table.arrival_s[order],
+        spec_idx=table.spec_idx[order],
+        valid_len=table.valid_len[order],
+    )
+    n = len(table)
+    last_arrival_s = float(table.arrival_s[n - 1])
+    frequency_hz = cost_model.config.frequency_ghz * 1e9
+
+    # ------------------------------------------------------------------
+    # Phase 1: per-model batch formation (device-independent).
+    # ------------------------------------------------------------------
+    model_rows: List[np.ndarray] = []
+    model_slices: List[Tuple[int, int]] = []
+    form_columns: List[Tuple[np.ndarray, ...]] = []
+    service_parts: List[np.ndarray] = []
+    energy_parts: List[np.ndarray] = []
+    total = 0
+    # One queue per model *name*, like the reference batcher: a spec
+    # list may carry the same model under several indices (a mix that
+    # repeats a model), and those requests share one queue.  The table
+    # validated that same-name specs are identical.
+    queues: dict = {}
+    for idx, spec in enumerate(table.specs):
+        queues.setdefault(spec.name, []).append(idx)
+    for indices in queues.values():
+        spec = table.specs[indices[0]]
+        rows = np.flatnonzero(np.isin(table.spec_idx, indices))
+        if rows.size == 0:
+            continue
+        formed = _form_batches(
+            table.arrival_s[rows],
+            table.request_id[rows],
+            max_batch_size,
+            max_wait_s,
+            last_arrival_s,
+        )
+        starts, counts = formed[0], formed[1]
+        # Dynamic batching pads members to the batch's longest input;
+        # cost lookup is one array-indexing pass over the primed cache.
+        padded_len = np.maximum.reduceat(table.valid_len[rows], starts)
+        cycles, energy = cost_model.cost_arrays(spec, padded_len)
+        service_parts.append((setup_cycles + cycles * counts) / frequency_hz)
+        energy_parts.append(energy * counts)
+        model_rows.append(rows)
+        model_slices.append((total, total + starts.size))
+        form_columns.append(formed)
+        total += starts.size
+
+    member_count = np.concatenate([f[1] for f in form_columns])
+    sealed_s = np.concatenate([f[2] for f in form_columns])
+    size_sealed = np.concatenate([f[3] for f in form_columns])
+    tie_arrival = np.concatenate([f[4] for f in form_columns])
+    tie_id = np.concatenate([f[5] for f in form_columns])
+    service_s = np.concatenate(service_parts)
+    energy_pj = np.concatenate(energy_parts)
+    num_batches = member_count.size
+
+    # ------------------------------------------------------------------
+    # Phase 2: k-server FIFO dispatch over batches in global seal order.
+    # Size seals happen inside an arrival event, which outranks a
+    # timeout flush at the same instant, hence the ~size_sealed rank.
+    # ------------------------------------------------------------------
+    dispatch_order = np.lexsort((tie_id, tie_arrival, ~size_sealed, sealed_s))
+    batch_start = np.empty(num_batches, dtype=np.float64)
+    batch_finish = np.empty(num_batches, dtype=np.float64)
+    batch_device = np.empty(num_batches, dtype=np.int64)
+    free_at = [0.0] * num_devices
+    busy_s = [0.0] * num_devices
+    energy_by_device = [0.0] * num_devices
+    for b in dispatch_order:
+        start = sealed_s[b]
+        earliest = min(free_at)
+        if earliest > start:
+            start = earliest
+        # The reference scans devices in index order at the dispatch
+        # instant: the *lowest-index idle* device takes the batch, not
+        # necessarily the earliest-freed one.
+        for device in range(num_devices):
+            if free_at[device] <= start:
+                break
+        service = float(service_s[b])
+        finish = start + service
+        free_at[device] = finish
+        busy_s[device] += service
+        energy_by_device[device] += float(energy_pj[b])
+        batch_start[b] = start
+        batch_finish[b] = finish
+        batch_device[b] = device
+
+    # ------------------------------------------------------------------
+    # Phase 3: scatter per-batch outcomes back to per-request columns.
+    # A model's batches tile its sorted rows in formation order, so one
+    # repeat() per model covers every member.
+    # ------------------------------------------------------------------
+    batched_col = np.empty(n, dtype=np.float64)
+    start_col = np.empty(n, dtype=np.float64)
+    finish_col = np.empty(n, dtype=np.float64)
+    size_col = np.empty(n, dtype=np.int64)
+    device_col = np.empty(n, dtype=np.int64)
+    for rows, (lo, hi) in zip(model_rows, model_slices):
+        counts = member_count[lo:hi]
+        batched_col[rows] = np.repeat(sealed_s[lo:hi], counts)
+        start_col[rows] = np.repeat(batch_start[lo:hi], counts)
+        finish_col[rows] = np.repeat(batch_finish[lo:hi], counts)
+        size_col[rows] = np.repeat(member_count[lo:hi], counts)
+        device_col[rows] = np.repeat(batch_device[lo:hi], counts)
+
+    size_triggered = int(np.count_nonzero(size_sealed))
+    return ColumnarServingResult(
+        table=table,
+        batched_s=batched_col,
+        service_start_s=start_col,
+        finish_s=finish_col,
+        batch_size=size_col,
+        device_id=device_col,
+        start_s=float(table.arrival_s[0]),
+        end_s=float(np.max(batch_finish)),
+        device_busy_s=busy_s,
+        device_energy_pj=energy_by_device,
+        batches=int(num_batches),
+        size_triggered_batches=size_triggered,
+        timeout_triggered_batches=int(num_batches) - size_triggered,
+    )

@@ -3,15 +3,25 @@
 Mirrors the reporting style of :mod:`repro.core.results`: a dataclass
 per aggregate with derived properties and a ``describe()`` that prints
 the table rows the serving experiments lead with.
+
+:func:`summarize` folds either representation of a run -- the
+reference loop's object-based :class:`~repro.serving.scheduler.
+ServingResult` or the fast engine's :class:`~repro.serving.engine.
+ColumnarServingResult` -- into the same :class:`ServingReport`.  The
+columnar path computes latency/wait/violation statistics directly from
+the result's columns (no per-request objects); both paths evaluate the
+same floating-point expressions over the same values in the same
+order, so an equivalent run summarizes to an identical report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.serving.engine import ColumnarServingResult
 from repro.serving.scheduler import ServingResult
 
 
@@ -27,7 +37,11 @@ class LatencyStats:
 
     @classmethod
     def from_samples(cls, samples) -> "LatencyStats":
-        arr = np.asarray(list(samples), dtype=np.float64)
+        # Arrays pass through unboxed (the columnar path hands in whole
+        # float64 columns); lists/generators still materialize.
+        if not isinstance(samples, np.ndarray):
+            samples = list(samples)
+        arr = np.asarray(samples, dtype=np.float64)
         if arr.size == 0:
             raise ValueError("at least one latency sample required")
         p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
@@ -95,26 +109,37 @@ class ServingReport:
 
 
 def summarize(
-    result: ServingResult,
+    result: Union[ServingResult, ColumnarServingResult],
     config: str,
     mode: str,
     pattern: str,
     offered_rps: float,
     sla_s: Optional[float] = None,
 ) -> ServingReport:
-    """Fold one :class:`ServingResult` into a :class:`ServingReport`."""
-    latencies = [rec.latency_s for rec in result.records]
-    waits = [rec.queue_wait_s for rec in result.records]
+    """Fold one run (object-based or columnar) into a report."""
+    if isinstance(result, ColumnarServingResult):
+        # Array-native: latency/wait columns are single vector ops over
+        # the struct-of-arrays result -- no per-request objects.
+        latencies = result.latency_s
+        waits = result.queue_wait_s
+        sizes = result.batch_size
+    else:
+        latencies = np.array(
+            [rec.latency_s for rec in result.records], dtype=np.float64
+        )
+        waits = np.array(
+            [rec.queue_wait_s for rec in result.records], dtype=np.float64
+        )
+        sizes = np.array(
+            [rec.batch_size for rec in result.records], dtype=np.int64
+        )
     duration = result.duration_s
     span = duration if duration > 0 else float("inf")
     busy = np.asarray(result.device_busy_s, dtype=np.float64)
     utilization = float(np.mean(busy / span)) if busy.size else 0.0
     violations = (
-        int(sum(1 for lat in latencies if lat > sla_s))
-        if sla_s is not None
-        else 0
+        int(np.count_nonzero(latencies > sla_s)) if sla_s is not None else 0
     )
-    sizes = [rec.batch_size for rec in result.records]
     return ServingReport(
         config=config,
         mode=mode,
@@ -126,7 +151,7 @@ def summarize(
         queue_wait=LatencyStats.from_samples(waits),
         throughput_rps=result.completed / span,
         utilization=utilization,
-        mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
+        mean_batch_size=float(np.mean(sizes)) if sizes.size else 0.0,
         energy_uj=float(sum(result.device_energy_pj)) / 1e6,
         sla_s=sla_s,
         sla_violations=violations,

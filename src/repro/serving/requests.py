@@ -1,15 +1,29 @@
 """Inference requests and their lifecycle records.
 
 A :class:`Request` is one user inference call: a model, a (possibly
-padded) input length, and an arrival time.  The serving simulator fills
+padded) input length, and an arrival time.  The serving simulators fill
 in a :class:`RequestRecord` as the request moves through the dynamic
 batcher, the dispatch queue, and a device -- the record carries every
 timestamp the tail-latency analysis needs.
+
+Streams exist in two interchangeable representations:
+
+* a list of :class:`Request` objects, consumed by the per-request
+  reference event loop (:class:`repro.serving.scheduler.ServingSimulator`);
+* a :class:`RequestTable` -- the same stream as struct-of-arrays numpy
+  columns, consumed by the columnar fast path
+  (:mod:`repro.serving.engine`).
+
+``RequestTable.from_requests`` / ``RequestTable.to_requests`` convert
+losslessly between the two.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
 
 from repro.models.zoo import ModelSpec
 
@@ -107,3 +121,105 @@ class Batch:
     def max_valid_len(self) -> int:
         """Dynamic batching pads every member to the longest input."""
         return max(r.valid_len for r in self.requests)
+
+
+@dataclass
+class RequestTable:
+    """A request stream as struct-of-arrays numpy columns.
+
+    The columnar twin of a ``list[Request]``: row ``i`` of every column
+    describes one request, and ``specs[spec_idx[i]]`` is its model.
+    This is the representation the fast serving engine
+    (:mod:`repro.serving.engine`) consumes -- generation, batch
+    formation, cost lookup, and metrics all stay in vectorized numpy
+    instead of touching per-request Python objects.
+
+    Columns are validated on construction (equal lengths, positive
+    ``valid_len`` within each spec's ``seq_len``, in-range ``spec_idx``)
+    so the engine can trust them without re-checking per row.
+    """
+
+    #: Distinct model specs; ``spec_idx`` indexes into this list.
+    specs: List[ModelSpec]
+    request_id: np.ndarray
+    arrival_s: np.ndarray
+    spec_idx: np.ndarray
+    valid_len: np.ndarray
+
+    def __post_init__(self):
+        self.request_id = np.asarray(self.request_id, dtype=np.int64)
+        self.arrival_s = np.asarray(self.arrival_s, dtype=np.float64)
+        self.spec_idx = np.asarray(self.spec_idx, dtype=np.int64)
+        self.valid_len = np.asarray(self.valid_len, dtype=np.int64)
+        n = self.request_id.size
+        for name in ("arrival_s", "spec_idx", "valid_len"):
+            if getattr(self, name).size != n:
+                raise ValueError(f"column {name} length != request_id length")
+        if n == 0:
+            return
+        if not self.specs:
+            raise ValueError("a non-empty table needs at least one spec")
+        seen: dict = {}
+        for spec in self.specs:
+            # Batching keys on the model *name* (the reference batcher
+            # merges same-name queues), so two specs may share a name
+            # only if they are the same model.
+            if seen.setdefault(spec.name, spec) != spec:
+                raise ValueError(
+                    f"conflicting specs share the name {spec.name!r}"
+                )
+        if self.spec_idx.min() < 0 or self.spec_idx.max() >= len(self.specs):
+            raise ValueError("spec_idx out of range")
+        if self.valid_len.min() < 1:
+            raise ValueError("valid_len must be positive")
+        seq_lens = np.array([s.seq_len for s in self.specs], dtype=np.int64)
+        if np.any(self.valid_len > seq_lens[self.spec_idx]):
+            raise ValueError("valid_len exceeds the model's seq_len")
+
+    def __len__(self) -> int:
+        return int(self.request_id.size)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_requests(cls, requests: Sequence[Request]) -> "RequestTable":
+        """Columnarize an object stream (specs dedup by model name)."""
+        specs: List[ModelSpec] = []
+        index: dict = {}
+        spec_idx = np.empty(len(requests), dtype=np.int64)
+        for i, r in enumerate(requests):
+            at = index.get(r.spec.name)
+            if at is None:
+                at = index[r.spec.name] = len(specs)
+                specs.append(r.spec)
+            spec_idx[i] = at
+        return cls(
+            specs=specs,
+            request_id=np.array([r.request_id for r in requests], dtype=np.int64),
+            arrival_s=np.array([r.arrival_s for r in requests], dtype=np.float64),
+            spec_idx=spec_idx,
+            valid_len=np.array([r.valid_len for r in requests], dtype=np.int64),
+        )
+
+    def to_requests(self) -> List[Request]:
+        """Materialize the object stream (exact same values row-wise)."""
+        return [
+            Request(
+                request_id=int(self.request_id[i]),
+                arrival_s=float(self.arrival_s[i]),
+                spec=self.specs[int(self.spec_idx[i])],
+                valid_len=int(self.valid_len[i]),
+            )
+            for i in range(len(self))
+        ]
+
+    def head(self, count: int) -> "RequestTable":
+        """The first ``count`` rows (a prefix of the stream)."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        return RequestTable(
+            specs=self.specs,
+            request_id=self.request_id[:count].copy(),
+            arrival_s=self.arrival_s[:count].copy(),
+            spec_idx=self.spec_idx[:count].copy(),
+            valid_len=self.valid_len[:count].copy(),
+        )

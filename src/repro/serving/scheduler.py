@@ -5,12 +5,21 @@ simulation: request arrivals feed the dynamic batcher; sealed batches
 enter a FIFO dispatch queue; idle devices pull from it; completions
 free the device and stamp every member request's record.  The loop is
 fully deterministic -- same requests, same knobs, same result.
+
+This per-request event loop is the serving layer's ``slow_exact``
+**reference**: the columnar fast path (:mod:`repro.serving.engine`)
+must produce per-request records exactly equal to it, and the
+equivalence suite pins that contract across patterns, modes, device
+counts, and wait bounds.  Production-size streams should run through
+the fast engine; this loop exists to define the semantics and to keep
+the fast path honest.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Deque, Dict, List, Sequence
 
 from repro.serving.batching import DynamicBatcher
 from repro.serving.devices import SprintDevice
@@ -90,7 +99,9 @@ class ServingSimulator:
             seen.add(r.request_id)
 
         queue = EventQueue()
-        ready: List[Batch] = []  # sealed batches awaiting a device
+        # Sealed batches awaiting a device, FIFO: a deque so the head
+        # pop is O(1) instead of list.pop(0)'s O(n) shuffle.
+        ready: Deque[Batch] = deque()
         records: Dict[int, RequestRecord] = {}
         arrivals_left = len(requests)
 
@@ -113,7 +124,7 @@ class ServingSimulator:
                 )
                 if device is None:
                     return
-                batch = ready.pop(0)
+                batch = ready.popleft()
                 finish = device.start_batch(batch, now_s)
                 for member in batch.requests:
                     rec = records[member.request_id]

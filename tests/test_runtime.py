@@ -85,7 +85,10 @@ class TestRegistry:
             registry.resolve("fig99")
 
     def test_planned_experiments_declare_units(self):
-        for name in ("fig10", "fig11", "fig12", "fig13", "ffn", "table3", "serving"):
+        for name in (
+            "fig10", "fig11", "fig12", "fig13", "ffn", "table3",
+            "serving", "sensitivity",
+        ):
             _, module = EXPERIMENTS[name]
             assert supports_units(module), name
             assert isinstance(module, registry.ShardableExperiment), name
@@ -106,7 +109,7 @@ class TestRegistry:
         )
 
     def test_unplanned_experiments_do_not_support_units(self):
-        for name in ("fig1", "fig3", "sensitivity"):
+        for name in ("fig1", "fig3", "ablations"):
             _, module = EXPERIMENTS[name]
             assert not supports_units(module), name
 
@@ -359,6 +362,38 @@ class TestUnitCache:
         cold = ExperimentPool(jobs=1).run(["serving"], fast=True)["serving"]
         assert cold.artifact.to_json() == warm.artifact.to_json()
 
+    def test_sensitivity_unit_cache_only_simulates_new_rates(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.experiments import sensitivity
+
+        cache = ResultCache(tmp_path)
+        pool = ExperimentPool(jobs=1, cache=cache)
+        base_kwargs = {"rates": (0.5, 0.75), "seq_lens": (128,)}
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "sensitivity", (dict(base_kwargs), sensitivity)
+        )
+        assert pool.run(["sensitivity"], fast=True)["sensitivity"].ok
+        assert cache.unit_misses == 3  # 2 rates + 1 seq_len
+
+        executed = []
+        original = sensitivity.SensitivityUnit.execute
+
+        def counting(self):
+            executed.append((self.kind, self.value))
+            return original(self)
+
+        monkeypatch.setattr(sensitivity.SensitivityUnit, "execute", counting)
+        monkeypatch.setitem(
+            registry.EXPERIMENTS,
+            "sensitivity",
+            ({**base_kwargs, "rates": (0.5, 0.75, 0.9)}, sensitivity),
+        )
+        warm = pool.run(["sensitivity"], fast=True)["sensitivity"]
+        assert warm.ok
+        assert cache.unit_hits == 3
+        assert executed == [("pruning_rate", 0.9)]
+
 
 # ----------------------------------------------------------------------
 # pool: parallel equivalence and failure isolation
@@ -381,6 +416,23 @@ class TestExperimentPool:
             == parallel["serving"].artifact.to_json()
         )
         assert not serving._PRIMED
+
+    def test_sensitivity_jobs_do_not_change_artifact_bytes(self, monkeypatch):
+        from repro.experiments import sensitivity
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS,
+            "sensitivity",
+            ({"rates": (0.5, 0.9), "seq_lens": (128, 256)}, sensitivity),
+        )
+        serial = ExperimentPool(jobs=1).run(["sensitivity"], fast=True)
+        parallel = ExperimentPool(jobs=2).run(["sensitivity"], fast=True)
+        assert serial["sensitivity"].ok and parallel["sensitivity"].ok
+        assert (
+            serial["sensitivity"].artifact.to_json()
+            == parallel["sensitivity"].artifact.to_json()
+        )
+        assert not sensitivity._PRIMED
 
     @pytest.mark.skipif(not HAVE_FORK, reason="fake modules need fork")
     def test_failed_standalone_future_reports_elapsed(self, monkeypatch):
@@ -493,3 +545,142 @@ class TestRunnerCli:
         assert main(["fake", "--cache-dir", str(cache_dir)]) == 0
         assert len(fake_registry) == 1
         assert "done (cache)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# streaming unit cache: a killed --jobs run resumes where it stopped
+# ----------------------------------------------------------------------
+#: Driver for the kill/resume test.  Runs a planned experiment whose
+#: units are slow enough to kill mid-run; every execute() touches a
+#: marker file, so the rerun's marker count reveals which units were
+#: actually re-simulated versus replayed from the streamed cache.
+_RESUME_DRIVER = """
+import pathlib
+import sys
+import time
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+from repro.experiments import registry
+from repro.runtime import ExperimentPool, ResultCache
+
+MARKS = pathlib.Path(sys.argv[1])
+CACHE_DIR = sys.argv[2]
+POINTS = tuple(range(6))
+PRIMED = {}
+
+
+@dataclass(frozen=True)
+class SlowUnit:
+    point: int
+
+    @property
+    def key(self):
+        return ("slowplan", self.point)
+
+    @property
+    def group(self):
+        return ("slowplan", self.point % 2)
+
+    def execute(self):
+        (MARKS / f"exec_{self.point}").touch()
+        time.sleep(0.3)
+        return self.point * 10.0
+
+
+@dataclass(frozen=True)
+class Row:
+    label: str
+    value: float
+
+
+def run(points=POINTS):
+    rows = []
+    for p in points:
+        result = PRIMED.get(("slowplan", p))
+        if result is None:
+            result = SlowUnit(p).execute()
+        rows.append(Row(str(p), result))
+    return rows
+
+
+module = SimpleNamespace(
+    run=run,
+    format_table=lambda rows: ", ".join(f"{r.label}={r.value}" for r in rows),
+    plan=lambda points=POINTS: [SlowUnit(p) for p in points],
+    prime=lambda key, result: PRIMED.__setitem__(tuple(key), result),
+    clear_primed=PRIMED.clear,
+)
+registry.EXPERIMENTS["slowplan"] = ({}, module)
+pool = ExperimentPool(jobs=2, cache=ResultCache(CACHE_DIR))
+outcome = pool.run(["slowplan"])["slowplan"]
+assert outcome.ok, outcome.error
+"""
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="worker pickling needs fork")
+class TestStreamingUnitCache:
+    def _spawn(self, tmp_path, marks):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        marks.mkdir(exist_ok=True)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        cmd = [
+            sys.executable,
+            "-c",
+            _RESUME_DRIVER,
+            str(marks),
+            str(tmp_path / "cache"),
+        ]
+        return subprocess.Popen(cmd, env=env)
+
+    def test_killed_jobs_run_resumes_from_landed_units(self, tmp_path):
+        import os
+        import signal
+
+        marks = tmp_path / "marks"
+        units_dir = tmp_path / "cache" / "units"
+        proc = self._spawn(tmp_path, marks)
+        try:
+            # Wait until at least two unit results landed in the cache
+            # (streamed by the workers while the run is in flight).
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                if units_dir.exists() and len(list(units_dir.glob("*.pkl"))) >= 2:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            landed = len(list(units_dir.glob("*.pkl"))) if units_dir.exists() else 0
+            assert landed >= 1, "no unit result streamed into the cache"
+        finally:
+            if proc.poll() is None:
+                os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        # No torn entries: everything that landed is a whole pickle.
+        # (A stray *.tmp-* file is fine -- a SIGKILL mid-write leaves
+        # one behind by design; only the atomic rename publishes.)
+        import pickle
+
+        landed = 0
+        for entry in units_dir.glob("*.pkl"):
+            pickle.loads(entry.read_bytes())
+            landed += 1
+
+        # Rerun to completion: the landed units replay from the cache,
+        # only the missing ones execute.
+        for mark in marks.iterdir():
+            mark.unlink()
+        rerun = self._spawn(tmp_path, marks)
+        assert rerun.wait(timeout=120) == 0
+        re_executed = len(list(marks.iterdir()))
+        assert re_executed <= 6 - landed
+        assert len(list(units_dir.glob("*.pkl"))) == 6
