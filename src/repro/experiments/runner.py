@@ -13,7 +13,13 @@ counts.  The CLI fronts :mod:`repro.runtime`:
   ``DIR/<name>.json`` alongside the printed table (which is itself a
   rendering of the artifact);
 * ``--list`` prints the registered experiments (one line each, with a
-  marker on the ones that shard via the WorkUnit protocol) and exits.
+  marker on the ones that shard via the WorkUnit protocol) and exits;
+* ``--metrics-out FILE`` writes the schema-versioned run-manifest JSON
+  (:mod:`repro.obs.telemetry`): cache/unit counters, structured
+  events, per-experiment outcomes and wall times;
+* ``--trace-out DIR`` enables sim-time request tracing in the serving
+  experiments: one Chrome-trace JSON (Perfetto-viewable) per simulated
+  point, sampled by ``--trace-head`` / ``--trace-stride``.
 
 Exit status is 0 only when every requested experiment succeeded;
 failures are reported per experiment and turn into exit code 1
@@ -24,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments.registry import (
@@ -32,6 +39,7 @@ from repro.experiments.registry import (
     describe,
     resolve,
 )
+from repro.obs.telemetry import RunTelemetry, set_telemetry
 from repro.runtime import Artifact, ExperimentPool, ResultCache, supports_units
 
 
@@ -89,6 +97,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         dest="list_experiments",
         help="list registered experiments with descriptions and exit",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the schema-versioned run-manifest JSON (cache/unit "
+        "counters, structured events, per-experiment timings) to FILE",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="enable sim-time request tracing; one Chrome-trace JSON "
+        "(open in Perfetto) per simulated serving point lands in DIR",
+    )
+    parser.add_argument(
+        "--trace-head",
+        type=int,
+        default=512,
+        metavar="N",
+        help="trace every request with id < N (default: 512)",
+    )
+    parser.add_argument(
+        "--trace-stride",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally trace every N-th request id (default: off)",
+    )
     args = parser.parse_args(argv)
     if args.list_experiments:
         for name, (_fast_kwargs, module) in EXPERIMENTS.items():
@@ -98,6 +134,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.trace_head < 0 or args.trace_stride < 0:
+        parser.error("--trace-head/--trace-stride must be non-negative")
     unknown = [n for n in args.experiments if n not in EXPERIMENTS]
     if unknown:
         parser.error(
@@ -105,9 +143,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{', '.join(EXPERIMENTS)}"
         )
 
+    # Observability is opt-in: the telemetry instance only exists (and
+    # the hooks throughout the runtime only record) when a flag asks
+    # for it.  Install before the pool runs so forked workers inherit
+    # the trace configuration.
+    telemetry = None
+    if args.metrics_out or args.trace_out:
+        telemetry = RunTelemetry(
+            jobs=args.jobs,
+            fast=args.fast,
+            trace_dir=args.trace_out,
+            trace_head=args.trace_head,
+            trace_stride=args.trace_stride,
+        )
+        set_telemetry(telemetry)
+        if args.trace_out:
+            Path(args.trace_out).mkdir(parents=True, exist_ok=True)
+
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     pool = ExperimentPool(jobs=args.jobs, cache=cache)
-    outcomes = pool.run(args.experiments, fast=args.fast)
+    try:
+        outcomes = pool.run(args.experiments, fast=args.fast)
+    finally:
+        set_telemetry(None)
 
     failures = []
     for name, outcome in outcomes.items():
@@ -115,13 +173,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not outcome.ok:
             failures.append(name)
             print(f"[{name} FAILED: {outcome.error}]")
-            continue
-        print(outcome.artifact.table)
-        source = "cache" if outcome.cached else f"{outcome.seconds:.1f}s"
-        print(f"[{name} done ({source})]")
-        if args.json_out:
-            outcome.artifact.write(args.json_out)
+        else:
+            print(outcome.artifact.table)
+            source = "cache" if outcome.cached else f"{outcome.seconds:.1f}s"
+            print(f"[{name} done ({source})]")
+            if args.json_out:
+                outcome.artifact.write(args.json_out)
+        if telemetry is not None:
+            telemetry.record_experiment(
+                name,
+                seconds=outcome.seconds,
+                cached=outcome.cached,
+                error=outcome.error,
+            )
         sys.stdout.flush()
+    if telemetry is not None and args.metrics_out:
+        print(f"[run manifest -> {telemetry.write(args.metrics_out)}]")
     if failures:
         print(
             f"{len(failures)}/{len(outcomes)} experiment(s) failed: "

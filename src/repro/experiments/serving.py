@@ -32,9 +32,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.configs import S_SPRINT, SprintConfig
+from repro.obs import telemetry
+from repro.obs.trace import TraceConfig, TraceRecorder
 from repro.core.system import ExecutionMode
 from repro.serving.arrivals import (
     ArrivalProcess,
@@ -215,6 +218,22 @@ class ServingExperiment:
             engine=self.engine,
         )
 
+    def _trace_recorder(self) -> Optional[TraceRecorder]:
+        """A recorder when the active telemetry asks for traces.
+
+        Tracing rides on the runner's ``--trace-out`` flag: the
+        installed :class:`~repro.obs.telemetry.RunTelemetry` carries
+        the output directory and the head/stride sampling knobs.
+        Worker processes fork with the parent's telemetry, so sharded
+        sweep points trace exactly like serial ones.
+        """
+        tele = telemetry.get_telemetry()
+        if tele is None or tele.trace_dir is None:
+            return None
+        return TraceRecorder(
+            TraceConfig(head=tele.trace_head, stride=tele.trace_stride)
+        )
+
     def simulate(
         self,
         pattern: str,
@@ -234,6 +253,7 @@ class ServingExperiment:
         # Warm every length bucket the stream touches up front (one
         # batched cycle-model pass per bucket, shared across loads).
         cost.prime(table.specs[0], table.valid_len)
+        recorder = self._trace_recorder()
         if self.engine == "fast":
             result = simulate_table(
                 table,
@@ -241,6 +261,7 @@ class ServingExperiment:
                 num_devices=self.num_devices,
                 max_batch_size=self.max_batch_size,
                 max_wait_s=self.max_wait_ms * 1e-3,
+                recorder=recorder,
             )
         else:
             devices = [
@@ -250,8 +271,13 @@ class ServingExperiment:
                 max_batch_size=self.max_batch_size,
                 max_wait_s=self.max_wait_ms * 1e-3,
             )
-            result = ServingSimulator(devices, batcher).run(
+            result = ServingSimulator(devices, batcher, recorder).run(
                 table.to_requests()
+            )
+        if recorder is not None:
+            recorder.write(
+                Path(telemetry.get_telemetry().trace_dir)
+                / f"serving-{pattern}-{mode.value}-{rate_rps:g}rps.json"
             )
         return summarize(
             result,

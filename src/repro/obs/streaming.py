@@ -1,0 +1,240 @@
+"""Streaming metrics: counters, gauges, and a tail-latency sketch.
+
+The ROADMAP's fleet-scale runs (10^8 requests) cannot materialize a
+float64 column per request just to answer "what was p99?".  This module
+provides the memory-O(1) alternative:
+
+* :class:`Counter` / :class:`Gauge` -- the trivial scalar primitives
+  the runtime telemetry layer (:mod:`repro.obs.telemetry`) aggregates
+  into the run manifest;
+* :class:`StreamingHistogram` -- a log-spaced fixed-bucket sketch of a
+  positive-valued population (latencies, queue waits).  ``O(buckets)``
+  memory no matter how many samples stream in, one vectorized
+  ``add_many`` per result column, and **mergeable**: sketches built
+  independently on shards or devices combine by bucket-count addition
+  into exactly the sketch of the concatenated population.
+
+Accuracy contract
+-----------------
+Buckets are log-spaced: bucket ``i`` covers ``[min_value * r**i,
+min_value * r**(i+1))`` with ratio ``r = 10**(1/buckets_per_decade)``.
+:meth:`StreamingHistogram.quantile` locates the bucket holding the
+exact order statistic ``x_k`` (``k = ceil(q/100 * (n-1))``, i.e.
+``np.percentile(samples, q, method="higher")``) and returns the
+bucket's geometric midpoint, so the estimate is within a factor
+``sqrt(r)`` of ``x_k`` -- a relative error of at most
+:attr:`~StreamingHistogram.rel_error_bound` ``= 10**(1/(2 *
+buckets_per_decade)) - 1`` (~0.9% at the default 128 buckets/decade).
+``mean``, ``max``, ``min``, and ``count`` are tracked exactly.  Values
+below ``min_value`` (including exact zeros, e.g. a request that never
+waited) land in an underflow bucket whose quantile answer is the exact
+tracked minimum, an absolute error below ``min_value``; values at or
+above ``max_value`` land in an overflow bucket answered by the exact
+tracked maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> int:
+        """Add ``n`` (must be non-negative); returns the new value."""
+        if n < 0:
+            raise ValueError("counters only increase")
+        self.value += int(n)
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value-wins measurement (worker count, shard size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class StreamingHistogram:
+    """Log-bucketed sketch of a positive population; O(buckets) memory.
+
+    Parameters
+    ----------
+    min_value:
+        Lower edge of the first regular bucket.  Samples below it
+        (zeros included) are counted in the underflow slot.
+    max_value:
+        Upper edge of the last regular bucket.  Samples at or above it
+        are counted in the overflow slot.
+    buckets_per_decade:
+        Resolution knob: the relative quantile error bound is
+        ``10**(1/(2 * buckets_per_decade)) - 1``.
+
+    The defaults span 100 ns to 10 000 s -- every latency this
+    simulator can produce -- in 1280 buckets (~10 KB).
+    """
+
+    def __init__(
+        self,
+        min_value: float = 1e-7,
+        max_value: float = 1e4,
+        buckets_per_decade: int = 128,
+    ):
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        if max_value <= min_value:
+            raise ValueError("max_value must exceed min_value")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be positive")
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = np.log10(self.max_value / self.min_value)
+        self.num_buckets = int(np.ceil(decades * self.buckets_per_decade))
+        # Slot 0 = underflow, slots 1..num_buckets = regular buckets,
+        # slot num_buckets + 1 = overflow.
+        self._counts = np.zeros(self.num_buckets + 2, dtype=np.int64)
+        self._sum = 0.0
+        self._max = float("-inf")
+        self._min = float("inf")
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> tuple:
+        """The bucket layout; sketches merge only when these match."""
+        return (self.min_value, self.max_value, self.buckets_per_decade)
+
+    @property
+    def rel_error_bound(self) -> float:
+        """Documented relative quantile error vs the exact order
+        statistic at the same rank (``np.percentile`` with
+        ``method="higher"``); see the module docstring."""
+        return float(10.0 ** (1.0 / (2.0 * self.buckets_per_decade)) - 1.0)
+
+    @property
+    def count(self) -> int:
+        return int(self._counts.sum())
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self._sum / n if n else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else float("nan")
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else float("nan")
+
+    @property
+    def bucket_counts(self) -> np.ndarray:
+        """A copy of the raw slot counts (underflow, buckets, overflow)."""
+        return self._counts.copy()
+
+    # ------------------------------------------------------------------
+    def _indices(self, values: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            raw = np.floor(
+                np.log10(values / self.min_value) * self.buckets_per_decade
+            )
+        # Clip before the int cast: log10(0) is -inf, which must land
+        # in the underflow slot, not overflow the integer conversion.
+        raw = np.clip(raw, -1.0, float(self.num_buckets))
+        idx = raw.astype(np.int64) + 1
+        # The clip above handles magnitude; the exact edge still needs
+        # the rule "v >= max_value overflows" independent of rounding.
+        idx[values >= self.max_value] = self.num_buckets + 1
+        return idx
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.add_many(np.array([value], dtype=np.float64))
+
+    def add_many(self, values: Union[np.ndarray, list]) -> None:
+        """Record a whole column of samples in one vectorized pass."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        if not np.all(values >= 0.0) or not np.all(np.isfinite(values)):
+            raise ValueError("samples must be non-negative finite values")
+        self._counts += np.bincount(
+            self._indices(values), minlength=self._counts.size
+        )
+        self._sum += float(values.sum())
+        self._max = max(self._max, float(values.max()))
+        self._min = min(self._min, float(values.min()))
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold another shard's sketch into this one (in place).
+
+        Addition of bucket counts: the merged sketch is exactly the
+        sketch of the concatenated sample streams, so quantiles keep
+        the same error bound and ``mean``/``max``/``min``/``count``
+        stay exact.  Returns ``self`` for chaining.
+        """
+        if other.config != self.config:
+            raise ValueError(
+                f"cannot merge sketches with different bucket layouts: "
+                f"{self.config} vs {other.config}"
+            )
+        self._counts += other._counts
+        self._sum += other._sum
+        self._max = max(self._max, other._max)
+        self._min = min(self._min, other._min)
+        return self
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        Within ``rel_error_bound`` (relative) of the exact order
+        statistic at rank ``ceil(q/100 * (count-1))``; NaN when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        n = self.count
+        if n == 0:
+            return float("nan")
+        rank = int(np.ceil(q / 100.0 * (n - 1)))
+        cum = np.cumsum(self._counts)
+        slot = int(np.searchsorted(cum, rank + 1, side="left"))
+        if slot == 0:
+            return self._min
+        if slot == self.num_buckets + 1:
+            return self._max
+        # Geometric midpoint of the bucket, clamped into the observed
+        # range (clamping only ever moves the estimate toward the true
+        # order statistic).
+        mid = self.min_value * 10.0 ** (
+            (slot - 0.5) / self.buckets_per_decade
+        )
+        return float(min(max(mid, self._min), self._max))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingHistogram(count={self.count}, mean={self.mean!r}, "
+            f"max={self._max!r}, buckets={self.num_buckets})"
+        )

@@ -1,0 +1,190 @@
+"""Runtime telemetry: structured events and the run-manifest JSON.
+
+One :class:`RunTelemetry` instance is active per ``sprint-experiments``
+invocation (installed by the runner when ``--metrics-out`` or
+``--trace-out`` is passed); the runtime layers --
+:class:`~repro.runtime.pool.ExperimentPool`,
+:class:`~repro.runtime.cache.ResultCache`, and the experiment modules
+-- report into it through the module-level helpers :func:`count`,
+:func:`event`, and :func:`warn`, all of which are no-ops when nothing
+is active, so the default (observability off) costs one ``None`` check
+and changes no behaviour.
+
+The manifest (:meth:`RunTelemetry.manifest`) is schema-versioned JSON
+recording what the run *did*: unit-cache hits/misses (and corrupt
+entries), units executed vs replayed, shard sizes, worker count, the
+code version, per-experiment outcomes, and the structured event stream
+that replaces ad-hoc stderr prints.  Everything wall-clock-dependent
+-- per-experiment seconds and the generation timestamp -- lives under
+the single top-level ``"wall"`` key, so two runs of the same
+configuration produce byte-identical manifests modulo that one field.
+
+Worker processes fork with the parent's active telemetry and may act on
+its *configuration* (e.g. writing trace files into ``trace_dir``), but
+counters they bump die with the worker: manifest counts are
+parent-side observations.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.streaming import Counter, Gauge
+
+#: Bump when the manifest JSON layout changes incompatibly.
+MANIFEST_SCHEMA = 1
+
+#: Counters pre-seeded to zero so the manifest always carries the core
+#: cache/unit accounting keys, even on runs that never touch a cache.
+CORE_COUNTERS = (
+    "artifact_cache.hits",
+    "artifact_cache.misses",
+    "unit_cache.hits",
+    "unit_cache.misses",
+    "unit_cache.corrupt_entries",
+    "units.planned",
+    "units.replayed",
+    "units.executed",
+    "experiments.failed",
+)
+
+
+class RunTelemetry:
+    """Counters, gauges, and structured events for one runner invocation."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        fast: bool = False,
+        trace_dir: Optional[Union[str, Path]] = None,
+        trace_head: int = 512,
+        trace_stride: int = 0,
+    ):
+        self.jobs = int(jobs)
+        self.fast = bool(fast)
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.trace_head = int(trace_head)
+        self.trace_stride = int(trace_stride)
+        self.counters: Dict[str, Counter] = {
+            name: Counter(name) for name in CORE_COUNTERS
+        }
+        self.gauges: Dict[str, Gauge] = {}
+        self.events: List[Dict[str, Any]] = []
+        #: Deterministic per-experiment outcome facts.
+        self.experiments: Dict[str, Dict[str, Any]] = {}
+        #: Wall-clock-dependent facts, quarantined under one manifest key.
+        self.wall_seconds: Dict[str, float] = {}
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        counter.inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        gauge.set(value)
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Append one structured event (fields must be JSON-safe)."""
+        self.events.append({"kind": kind, **fields})
+
+    def record_experiment(
+        self,
+        name: str,
+        seconds: float,
+        cached: bool = False,
+        error: Optional[str] = None,
+    ) -> None:
+        self.experiments[name] = {
+            "ok": error is None,
+            "cached": bool(cached),
+            "error": error,
+        }
+        self.wall_seconds[name] = round(float(seconds), 4)
+        if error is not None:
+            self.count("experiments.failed")
+
+    # ------------------------------------------------------------------
+    def manifest(self) -> Dict[str, Any]:
+        """The schema-versioned run manifest as JSON-safe data."""
+        from repro.runtime.cache import code_version
+
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "kind": "sprint-run-manifest",
+            "code_version": code_version(),
+            "workers": self.jobs,
+            "fast": self.fast,
+            "trace_dir": self.trace_dir,
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name].value for name in sorted(self.gauges)
+            },
+            "events": self.events,
+            "experiments": self.experiments,
+            "wall": {
+                "generated_unix": int(time.time()),
+                "total_s": round(time.time() - self._started, 4),
+                "experiment_s": self.wall_seconds,
+            },
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the manifest JSON to ``path``; returns the path."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.manifest(), indent=2) + "\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+# the process-active instance and its no-op-when-off helpers
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[RunTelemetry] = None
+
+
+def set_telemetry(telemetry: Optional[RunTelemetry]) -> None:
+    """Install (or clear, with ``None``) the process-active telemetry."""
+    global _ACTIVE
+    _ACTIVE = telemetry
+
+
+def get_telemetry() -> Optional[RunTelemetry]:
+    return _ACTIVE
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the active telemetry; no-op when inactive."""
+    if _ACTIVE is not None:
+        _ACTIVE.count(name, n)
+
+
+def event(kind: str, **fields: Any) -> None:
+    """Record a structured event; no-op when inactive."""
+    if _ACTIVE is not None:
+        _ACTIVE.event(kind, **fields)
+
+
+def warn(message: str, **fields: Any) -> None:
+    """A warning that lands in the run manifest *and* on stderr.
+
+    The stderr echo is unconditional -- operators watching a live run
+    keep seeing it -- while the structured copy only exists when a
+    telemetry instance is active.
+    """
+    print(f"warning: {message}", file=sys.stderr)
+    if _ACTIVE is not None:
+        _ACTIVE.event("warning", message=message, **fields)

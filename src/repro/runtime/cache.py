@@ -35,6 +35,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.obs import telemetry
 from repro.runtime.artifacts import Artifact, to_jsonable
 
 
@@ -119,14 +120,18 @@ class ResultCache:
         path = self.path(key)
         if not path.exists():
             self.misses += 1
+            telemetry.count("artifact_cache.misses")
             return None
         try:
             artifact = Artifact.from_json(path.read_text())
         except (ValueError, KeyError, TypeError):
             # A torn/stale entry is a miss, not an error.
             self.misses += 1
+            telemetry.count("artifact_cache.misses")
+            telemetry.event("cache_corrupt_entry", path=str(path))
             return None
         self.hits += 1
+        telemetry.count("artifact_cache.hits")
         return artifact
 
     def put(self, artifact: Artifact) -> Path:
@@ -142,13 +147,18 @@ class ResultCache:
         path = self.unit_path(key)
         if not path.exists():
             self.unit_misses += 1
+            telemetry.count("unit_cache.misses")
             return None
         try:
             result = pickle.loads(path.read_bytes())
         except Exception:  # noqa: BLE001 - any torn/stale entry is a miss
             self.unit_misses += 1
+            telemetry.count("unit_cache.misses")
+            telemetry.count("unit_cache.corrupt_entries")
+            telemetry.event("cache_corrupt_entry", path=str(path))
             return None
         self.unit_hits += 1
+        telemetry.count("unit_cache.hits")
         return result
 
     def put_unit(self, key: str, result: Any) -> Path:

@@ -35,13 +35,13 @@ from __future__ import annotations
 
 import functools
 import multiprocessing as mp
-import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import registry
+from repro.obs import telemetry
 from repro.runtime.artifacts import Artifact, build_artifact
 from repro.runtime.cache import (
     ResultCache,
@@ -213,6 +213,7 @@ class ExperimentPool:
         units = self._plan(module, kwargs)
         if not units:
             return self._run_local(name, kwargs, module)
+        telemetry.count("units.planned", len(units))
         start = time.perf_counter()
         try:
             try:
@@ -222,6 +223,9 @@ class ExperimentPool:
                     if result is None:
                         result = unit.execute()
                         self.cache.put_unit(ukey, result)
+                        telemetry.count("units.executed")
+                    else:
+                        telemetry.count("units.replayed")
                     module.prime(unit.key, result)
             except Exception:  # noqa: BLE001
                 # A unit that cannot execute re-fails (and is reported)
@@ -262,6 +266,8 @@ class ExperimentPool:
             for module in owners[key]:
                 module.prime(key, result)
 
+        telemetry.count("units.planned", len(units_by_key))
+
         # Unit-cache pre-pass: cached points prime immediately and
         # never reach a worker.
         to_run: List[WorkUnit] = []
@@ -270,13 +276,17 @@ class ExperimentPool:
                 result = self.cache.get_unit(unit_cache_key(key))
                 if result is not None:
                     prime_owners(key, result)
+                    telemetry.count("units.replayed")
                     continue
             to_run.append(unit)
+        telemetry.count("units.executed", len(to_run))
 
         # Shard by group affinity so per-shard warm state is shared.
         shards: Dict[Any, List[WorkUnit]] = {}
         for unit in to_run:
             shards.setdefault(unit.group, []).append(unit)
+        for group, shard in shards.items():
+            telemetry.event("shard", group=repr(group), units=len(shard))
 
         executor = ProcessPoolExecutor(
             max_workers=self.jobs, mp_context=self._mp_context
@@ -315,10 +325,13 @@ class ExperimentPool:
                     # A failed shard is re-attempted (and any real
                     # simulation error surfaced) by the consuming
                     # experiment below — but serially, so say so.
-                    print(
-                        f"warning: work-unit shard failed ({type(exc).__name__}: "
+                    # warn() keeps the stderr echo and additionally
+                    # lands the notice in the run manifest's event
+                    # stream when telemetry is active.
+                    telemetry.warn(
+                        f"work-unit shard failed ({type(exc).__name__}: "
                         f"{exc}); falling back to in-process simulation",
-                        file=sys.stderr,
+                        source="work-unit-shard",
                     )
             # Units are primed: aggregate the planned experiments
             # in-parent while the standalone workers keep running.

@@ -21,6 +21,12 @@ Two execution paths share those semantics:
   ``list[Request]``) -- the ``slow_exact`` event-driven definition of
   the semantics; the fast path is pinned exactly equal to it.
 
+Both paths accept an optional :class:`repro.obs.trace.TraceRecorder`
+for sim-time request tracing, and :func:`summarize` can fold latency
+columns through the :mod:`repro.obs.streaming` tail-latency sketch
+(``exact=False``) instead of materialized percentile sorts; both are
+opt-in and leave results bitwise unchanged.
+
 Typical (reference-path) use::
 
     from repro.core.configs import S_SPRINT

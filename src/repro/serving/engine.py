@@ -34,10 +34,11 @@ patterns, execution modes, seeds, device counts, and wait bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.trace import TraceRecorder
 from repro.serving.devices import DEFAULT_SETUP_CYCLES, ServiceCostModel
 from repro.serving.requests import RequestRecord, RequestTable
 from repro.serving.scheduler import ServingResult
@@ -197,6 +198,7 @@ def simulate_table(
     max_batch_size: int = 8,
     max_wait_s: float = 2e-3,
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
+    recorder: Optional[TraceRecorder] = None,
 ) -> ColumnarServingResult:
     """Run one deployment over a columnar stream; the fast path.
 
@@ -208,6 +210,12 @@ def simulate_table(
     iterations instead of O(requests) heap events.  Unlike the
     single-use reference simulator, this function carries no run state
     and may be called repeatedly.
+
+    ``recorder`` opts into sim-time tracing: the sampled requests'
+    lifecycle spans are emitted from the finished columns after the
+    simulation proper, so tracing cannot perturb a single computed
+    value -- results are bitwise identical with tracing on or off (and
+    the emitted spans bitwise match the reference loop's).
     """
     if len(table) == 0:
         raise ValueError("request stream must not be empty")
@@ -332,6 +340,22 @@ def simulate_table(
         device_col[rows] = np.repeat(batch_device[lo:hi], counts)
 
     size_triggered = int(np.count_nonzero(size_sealed))
+    if recorder is not None:
+        # Post-hoc span emission over the finished columns: the sampled
+        # set keys on request id only, so it matches the reference
+        # loop's (and any other run of this stream) exactly.
+        for i in np.flatnonzero(recorder.config.mask(table.request_id)):
+            i = int(i)
+            recorder.add_request(
+                request_id=int(table.request_id[i]),
+                model=table.specs[int(table.spec_idx[i])].name,
+                arrival_s=float(table.arrival_s[i]),
+                batched_s=float(batched_col[i]),
+                service_start_s=float(start_col[i]),
+                finish_s=float(finish_col[i]),
+                device_id=int(device_col[i]),
+                batch_size=int(size_col[i]),
+            )
     return ColumnarServingResult(
         table=table,
         batched_s=batched_col,

@@ -12,6 +12,15 @@ columnar path computes latency/wait/violation statistics directly from
 the result's columns (no per-request objects); both paths evaluate the
 same floating-point expressions over the same values in the same
 order, so an equivalent run summarizes to an identical report.
+
+``summarize(..., exact=False)`` swaps the percentile computation onto
+:class:`~repro.obs.streaming.StreamingHistogram` sketches -- the
+memory-O(1) path for fleet-scale streams, where per-request latency
+columns must never be sorted (or, eventually, materialized) whole.
+The sketch's p50/p95/p99 carry its documented relative error bound
+(:attr:`~repro.obs.streaming.StreamingHistogram.rel_error_bound`,
+~0.9% at the default resolution) vs the exact order statistics;
+``mean``/``max``/counts stay exact.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.obs.streaming import StreamingHistogram
 from repro.serving.engine import ColumnarServingResult
 from repro.serving.scheduler import ServingResult
 
@@ -43,7 +53,11 @@ class LatencyStats:
             samples = list(samples)
         arr = np.asarray(samples, dtype=np.float64)
         if arr.size == 0:
-            raise ValueError("at least one latency sample required")
+            # A run where zero requests complete (load far beyond SLA
+            # capacity) must produce a degenerate report, not crash the
+            # capacity sweep probing for the overload point.
+            nan = float("nan")
+            return cls(nan, nan, nan, nan, nan)
         p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
         return cls(
             mean_s=float(arr.mean()),
@@ -51,6 +65,24 @@ class LatencyStats:
             p95_s=float(p95),
             p99_s=float(p99),
             max_s=float(arr.max()),
+        )
+
+    @classmethod
+    def from_sketch(cls, sketch: StreamingHistogram) -> "LatencyStats":
+        """Percentiles from a streaming sketch (O(buckets) memory).
+
+        p50/p95/p99 carry the sketch's documented relative error bound
+        (:attr:`~repro.obs.streaming.StreamingHistogram.
+        rel_error_bound`); ``mean`` and ``max`` are tracked exactly.
+        An empty sketch yields the same NaN-filled degenerate stats as
+        an empty sample population.
+        """
+        return cls(
+            mean_s=sketch.mean,
+            p50_s=sketch.quantile(50.0),
+            p95_s=sketch.quantile(95.0),
+            p99_s=sketch.quantile(99.0),
+            max_s=sketch.max,
         )
 
 
@@ -96,6 +128,9 @@ class ServingReport:
             f"{self.latency.p50_s * 1e3:,.2f} / "
             f"{self.latency.p95_s * 1e3:,.2f} / "
             f"{self.latency.p99_s * 1e3:,.2f} ms",
+            f"  queue wait p50/p99: "
+            f"{self.queue_wait.p50_s * 1e3:,.2f} / "
+            f"{self.queue_wait.p99_s * 1e3:,.2f} ms",
             f"  mean batch size   : {self.mean_batch_size:.2f}",
             f"  energy            : {self.energy_uj:,.1f} uJ",
         ]
@@ -115,8 +150,19 @@ def summarize(
     pattern: str,
     offered_rps: float,
     sla_s: Optional[float] = None,
+    exact: bool = True,
 ) -> ServingReport:
-    """Fold one run (object-based or columnar) into a report."""
+    """Fold one run (object-based or columnar) into a report.
+
+    ``exact=False`` computes the latency and queue-wait percentiles
+    from :class:`~repro.obs.streaming.StreamingHistogram` sketches
+    instead of ``np.percentile`` over the full columns -- O(buckets)
+    working memory and a single vectorized pass, the summarization
+    path sized for the ROADMAP's 10^8-request runs.  Throughput,
+    utilization, energy, violation counts, ``mean``, and ``max`` are
+    identical either way; p50/p95/p99 differ from the exact report by
+    at most the sketch's documented relative error bound.
+    """
     if isinstance(result, ColumnarServingResult):
         # Array-native: latency/wait columns are single vector ops over
         # the struct-of-arrays result -- no per-request objects.
@@ -140,6 +186,16 @@ def summarize(
     violations = (
         int(np.count_nonzero(latencies > sla_s)) if sla_s is not None else 0
     )
+    if exact:
+        latency_stats = LatencyStats.from_samples(latencies)
+        wait_stats = LatencyStats.from_samples(waits)
+    else:
+        latency_sketch = StreamingHistogram()
+        latency_sketch.add_many(latencies)
+        wait_sketch = StreamingHistogram()
+        wait_sketch.add_many(waits)
+        latency_stats = LatencyStats.from_sketch(latency_sketch)
+        wait_stats = LatencyStats.from_sketch(wait_sketch)
     return ServingReport(
         config=config,
         mode=mode,
@@ -147,8 +203,8 @@ def summarize(
         offered_rps=offered_rps,
         requests=result.completed,
         duration_s=duration,
-        latency=LatencyStats.from_samples(latencies),
-        queue_wait=LatencyStats.from_samples(waits),
+        latency=latency_stats,
+        queue_wait=wait_stats,
         throughput_rps=result.completed / span,
         utilization=utilization,
         mean_batch_size=float(np.mean(sizes)) if sizes.size else 0.0,

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
+from repro.obs.trace import TraceRecorder
 from repro.serving.batching import DynamicBatcher
 from repro.serving.devices import SprintDevice
 from repro.serving.events import EventKind, EventQueue
@@ -61,18 +62,25 @@ class ServingSimulator:
         balance over them; the first idle device takes the next batch).
     batcher:
         The dynamic batcher; its knobs set the batching/latency trade.
+    recorder:
+        Optional sim-time :class:`~repro.obs.trace.TraceRecorder`;
+        sampled lifecycle spans are emitted from the completed records
+        after the event loop finishes, so tracing never perturbs the
+        simulation itself.
     """
 
     def __init__(
         self,
         devices: Sequence[SprintDevice],
         batcher: DynamicBatcher,
+        recorder: Optional[TraceRecorder] = None,
     ):
         devices = list(devices)
         if not devices:
             raise ValueError("at least one device required")
         self.devices = devices
         self.batcher = batcher
+        self.recorder = recorder
         self._consumed = False
 
     # ------------------------------------------------------------------
@@ -166,6 +174,18 @@ class ServingSimulator:
         assert not ready and self.batcher.pending == 0
         result_records = [records[r.request_id] for r in requests]
         assert len(result_records) == len(requests)
+        if self.recorder is not None:
+            for rec in result_records:
+                self.recorder.add_request(
+                    request_id=rec.request.request_id,
+                    model=rec.request.spec.name,
+                    arrival_s=rec.request.arrival_s,
+                    batched_s=rec.batched_s,
+                    service_start_s=rec.service_start_s,
+                    finish_s=rec.finish_s,
+                    device_id=rec.device_id,
+                    batch_size=rec.batch_size,
+                )
         return ServingResult(
             records=result_records,
             start_s=requests[0].arrival_s,
