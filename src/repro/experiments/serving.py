@@ -49,7 +49,8 @@ from repro.serving.arrivals import (
 from repro.serving.batching import DynamicBatcher
 from repro.serving.devices import ServiceCostModel, SprintDevice, shared_cost_model
 from repro.serving.engine import simulate_table
-from repro.serving.metrics import ServingReport, summarize
+from repro.serving.metrics import ServingReport, summarize, summarize_stream
+from repro.serving.stream import RequestStream
 from repro.serving.scheduler import ServingSimulator
 
 DEFAULT_MODES = (
@@ -159,6 +160,11 @@ class ServingExperiment:
         batch-granular engine; ``"reference"`` walks the per-request
         event loop.  Both produce identical reports -- the reference
         exists to define the semantics and for equivalence testing.
+        ``"stream"`` runs the same point out-of-core: a chunked
+        :class:`~repro.serving.stream.RequestStream` through
+        :func:`~repro.serving.metrics.summarize_stream`, holding one
+        chunk plus fixed-size sketches instead of the whole table --
+        identical exact aggregates, sketch-bounded percentiles.
     """
 
     def __init__(
@@ -173,7 +179,7 @@ class ServingExperiment:
         seed: int = 0,
         engine: str = "fast",
     ):
-        if engine not in ("fast", "reference"):
+        if engine not in ("fast", "reference", "stream"):
             raise ValueError(f"unknown engine {engine!r}")
         self.model = model
         self.config = config
@@ -243,6 +249,29 @@ class ServingExperiment:
     ) -> ServingReport:
         """One point, summarized (columnar fast path by default)."""
         process = make_process(pattern, rate_rps)
+        if self.engine == "stream":
+            # Out-of-core path: never materializes the whole table, so
+            # there is no table to prime from or trace (request traces
+            # would defeat the fixed-memory contract anyway).  The
+            # cost model warms its length buckets lazily per chunk.
+            stream = RequestStream(
+                process,
+                self.model,
+                count=num_requests,
+                seed=stream_seed(self.seed, pattern),
+            )
+            return summarize_stream(
+                stream,
+                self._cost_model(mode),
+                config=self.config.name,
+                mode=mode.value,
+                pattern=pattern,
+                offered_rps=process.mean_rate_rps,
+                sla_s=self.sla_ms * 1e-3,
+                num_devices=self.num_devices,
+                max_batch_size=self.max_batch_size,
+                max_wait_s=self.max_wait_ms * 1e-3,
+            )
         table = generate_request_table(
             process,
             self.model,

@@ -21,6 +21,16 @@ Two execution paths share those semantics:
   ``list[Request]``) -- the ``slow_exact`` event-driven definition of
   the semantics; the fast path is pinned exactly equal to it.
 
+A third, **out-of-core** path scales the fast path to 10^7--10^8
+requests: :class:`RequestStream` yields chunks whose concatenation is
+bitwise identical to the whole-table generator, :func:`simulate_stream`
+drives them carrying only the O(devices + open batches) frontier, and
+:func:`summarize_stream` folds completed chunks into O(1)-memory
+sketches -- same exact aggregates, sketch-bounded percentiles::
+
+    stream = RequestStream(process, "BERT-B", count=100_000_000)
+    report = summarize_stream(stream, cost, ...)
+
 Both paths accept an optional :class:`repro.obs.trace.TraceRecorder`
 for sim-time request tracing, and :func:`summarize` can fold latency
 columns through the :mod:`repro.obs.streaming` tail-latency sketch
@@ -51,6 +61,7 @@ Typical (reference-path) use::
 """
 
 from repro.serving.arrivals import (
+    ArrivalCursor,
     ArrivalProcess,
     BurstyProcess,
     PoissonProcess,
@@ -66,18 +77,33 @@ from repro.serving.devices import (
     SprintDevice,
     shared_cost_model,
 )
-from repro.serving.engine import ColumnarServingResult, simulate_table
+from repro.serving.engine import (
+    ColumnarServingResult,
+    CompletedChunk,
+    StreamedServingResult,
+    simulate_stream,
+    simulate_table,
+)
 from repro.serving.events import Event, EventKind, EventQueue
-from repro.serving.metrics import LatencyStats, ServingReport, summarize
+from repro.serving.metrics import (
+    LatencyStats,
+    ServingReport,
+    summarize,
+    summarize_stream,
+)
 from repro.serving.requests import Batch, Request, RequestRecord, RequestTable
 from repro.serving.scheduler import ServingResult, ServingSimulator
+from repro.serving.stream import DEFAULT_CHUNK_SIZE, RequestStream
 
 __all__ = [
+    "ArrivalCursor",
     "ArrivalProcess",
     "Batch",
     "BatcherStats",
     "BurstyProcess",
     "ColumnarServingResult",
+    "CompletedChunk",
+    "DEFAULT_CHUNK_SIZE",
     "DynamicBatcher",
     "Event",
     "EventKind",
@@ -86,6 +112,7 @@ __all__ = [
     "PoissonProcess",
     "Request",
     "RequestRecord",
+    "RequestStream",
     "RequestTable",
     "SampleCost",
     "ServiceCostModel",
@@ -93,11 +120,14 @@ __all__ = [
     "ServingResult",
     "ServingSimulator",
     "SprintDevice",
+    "StreamedServingResult",
     "TraceProcess",
     "generate_request_table",
     "generate_requests",
     "sample_valid_len",
     "shared_cost_model",
+    "simulate_stream",
     "simulate_table",
     "summarize",
+    "summarize_stream",
 ]

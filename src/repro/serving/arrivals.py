@@ -23,6 +23,112 @@ from repro.models.zoo import ModelSpec, get_model
 from repro.serving.requests import Request, RequestTable
 
 
+def _clone_generator(rng: np.random.Generator) -> np.random.Generator:
+    """An independent generator at exactly ``rng``'s current state."""
+    clone = np.random.default_rng()
+    clone.bit_generator.state = rng.bit_generator.state
+    return clone
+
+
+#: Draws consumed per burst when a cursor advances a generator without
+#: materializing the whole stream.
+_ADVANCE_CHUNK = 65536
+
+
+class ArrivalCursor:
+    """Incremental view of one ``arrival_times`` draw.
+
+    ``take(m)`` returns the next ``m`` timestamps; the concatenation of
+    all takes is bitwise identical to the single whole-stream
+    ``arrival_times`` call the cursor stands in for, regardless of how
+    the takes are sized.
+    """
+
+    def take(self, m: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _MaterializedCursor(ArrivalCursor):
+    """Fallback cursor: the whole stream drawn up front, served in slices.
+
+    Trivially exact, but O(stream) memory -- processes that matter for
+    out-of-core runs override :meth:`ArrivalProcess.cursor` with an
+    O(chunk) implementation.
+    """
+
+    def __init__(self, times: np.ndarray):
+        self._times = times
+        self._pos = 0
+
+    def take(self, m: int) -> np.ndarray:
+        if self._pos + m > self._times.size:
+            raise ValueError("cursor exhausted")
+        out = self._times[self._pos : self._pos + m]
+        self._pos += m
+        return out
+
+
+class _PoissonCursor(ArrivalCursor):
+    def __init__(self, rng: np.random.Generator, scale: float):
+        self._rng = rng
+        self._scale = scale
+        self._carry = 0.0
+
+    def take(self, m: int) -> np.ndarray:
+        gaps = self._rng.exponential(self._scale, size=m)
+        # Seeding the cumsum with the previous chunk's last timestamp
+        # continues the exact left fold a whole-stream np.cumsum runs
+        # (0.0 + x == x for the first chunk).
+        times = np.cumsum(np.concatenate(([self._carry], gaps)))[1:]
+        self._carry = float(times[-1])
+        return times
+
+
+class _BurstyCursor(ArrivalCursor):
+    def __init__(self, process: "BurstyProcess", rng: np.random.Generator):
+        self._rng = rng
+        self._rates = (process.calm_rate_rps, process.burst_rate_rps)
+        self._dwells = (process.calm_dwell_s, process.burst_dwell_s)
+        self._t = 0.0
+        self._state = 0
+        self._next_switch = rng.exponential(self._dwells[0])
+
+    def take(self, m: int) -> np.ndarray:
+        # The exact per-arrival loop of BurstyProcess.arrival_times,
+        # with (t, state, next_switch) carried across takes.
+        times = np.empty(m)
+        produced = 0
+        while produced < m:
+            gap = self._rng.exponential(1.0 / self._rates[self._state])
+            if self._t + gap >= self._next_switch:
+                self._t = self._next_switch
+                self._state ^= 1
+                self._next_switch = self._t + self._rng.exponential(
+                    self._dwells[self._state]
+                )
+                continue
+            self._t += gap
+            times[produced] = self._t
+            produced += 1
+        return times
+
+
+class _TraceCursor(ArrivalCursor):
+    def __init__(self, gaps: np.ndarray, time_scale: float):
+        self._gaps = gaps
+        self._scale = time_scale
+        self._pos = 0
+        self._carry = 0.0
+
+    def take(self, m: int) -> np.ndarray:
+        idx = (self._pos + np.arange(m, dtype=np.int64)) % self._gaps.size
+        gaps = self._gaps[idx] * self._scale
+        times = np.cumsum(np.concatenate(([self._carry], gaps)))[1:]
+        self._pos += m
+        self._carry = float(times[-1])
+        return times
+
+
 class ArrivalProcess:
     """Base class: a stream of arrival timestamps (seconds)."""
 
@@ -33,6 +139,20 @@ class ArrivalProcess:
         self, count: int, rng: np.random.Generator
     ) -> np.ndarray:
         raise NotImplementedError
+
+    def cursor(
+        self, count: int, rng: np.random.Generator
+    ) -> ArrivalCursor:
+        """An incremental cursor over this process's next ``count`` draws.
+
+        Contract: ``rng`` is left in exactly the state a whole-stream
+        ``arrival_times(count, rng)`` call would leave it (so the
+        caller's later draws are unaffected), and the cursor replays
+        those same ``count`` timestamps bitwise through ``take``.  The
+        base implementation materializes the stream (O(count) memory);
+        the built-in processes override it with O(chunk) cursors.
+        """
+        return _MaterializedCursor(self.arrival_times(count, rng))
 
     @property
     def mean_rate_rps(self) -> float:
@@ -54,6 +174,18 @@ class PoissonProcess(ArrivalProcess):
     def arrival_times(self, count, rng):
         gaps = rng.exponential(1.0 / self.rate_rps, size=count)
         return np.cumsum(gaps)
+
+    def cursor(self, count, rng):
+        replay = _clone_generator(rng)
+        # Advance rng past the whole phase-1 draw without materializing
+        # it: chunked draws consume the identical underlying stream.
+        scale = 1.0 / self.rate_rps
+        remaining = count
+        while remaining:
+            m = min(_ADVANCE_CHUNK, remaining)
+            rng.exponential(scale, size=m)
+            remaining -= m
+        return _PoissonCursor(replay, scale)
 
     @property
     def mean_rate_rps(self) -> float:
@@ -101,6 +233,18 @@ class BurstyProcess(ArrivalProcess):
             produced += 1
         return times
 
+    def cursor(self, count, rng):
+        replay = _clone_generator(rng)
+        # O(count) time (the draw loop is inherently sequential) but
+        # O(chunk) memory: burn the draws to advance rng.
+        burn = _BurstyCursor(self, rng)
+        remaining = count
+        while remaining:
+            m = min(_ADVANCE_CHUNK, remaining)
+            burn.take(m)
+            remaining -= m
+        return _BurstyCursor(self, replay)
+
     @property
     def mean_rate_rps(self) -> float:
         # Time-weighted mean of the two phases.
@@ -134,6 +278,11 @@ class TraceProcess(ArrivalProcess):
         reps = -(-count // self._gaps.size)
         gaps = np.tile(self._gaps, reps)[:count] * self.time_scale
         return np.cumsum(gaps)
+
+    def cursor(self, count, rng):
+        # Trace replay draws nothing from rng; the cursor just walks
+        # the recorded gaps modularly.
+        return _TraceCursor(self._gaps, self.time_scale)
 
     @property
     def mean_rate_rps(self) -> float:

@@ -33,8 +33,9 @@ patterns, execution modes, seeds, device counts, and wait bounds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -118,14 +119,17 @@ def _form_batches(
     request_id: np.ndarray,
     max_batch_size: int,
     max_wait_s: float,
-    last_arrival_s: float,
+    last_arrival_s: Optional[float] = None,
+    horizon_s: Optional[float] = None,
 ) -> Tuple[np.ndarray, ...]:
     """Seal one model queue's batches in a forward pass.
 
     Returns formation-order arrays ``(member_start, member_count,
-    sealed_s, by_size, tie_arrival, tie_id)`` where ``member_start`` /
-    ``member_count`` slice the model's sorted request rows.  The seal
-    rules mirror the reference batcher exactly:
+    sealed_s, by_size, tie_arrival, tie_id, consumed)`` where
+    ``member_start`` / ``member_count`` slice the model's sorted
+    request rows and ``consumed`` counts the leading rows covered by
+    the returned batches.  The seal rules mirror the reference batcher
+    exactly:
 
     * **size**: the ``max_batch_size``-th member seals at its own
       arrival instant;
@@ -136,12 +140,25 @@ def _form_batches(
       the pending tail seals immediately at ``last_arrival_s``;
     * **zero wait** degenerates to one singleton batch per request.
 
+    Exactly one of ``last_arrival_s`` / ``horizon_s`` must be given.
+    ``last_arrival_s`` is whole-stream mode: every row is consumed.
+    ``horizon_s`` is the chunked drivers' incremental mode: only
+    batches whose seal no future arrival could change are emitted --
+    size seals, plus timeout seals whose deadline falls strictly
+    before the horizon (the largest arrival seen so far; a request
+    arriving *exactly* at a deadline still joins that batch, so a
+    deadline equal to the horizon stays open).  Unconsumed rows are
+    the queue's pending tail, provably shorter than
+    ``max_batch_size``.
+
     ``tie_arrival``/``tie_id`` reproduce the reference event loop's
     FIFO order for batches sealed at the same instant: size-sealed
     batches order by their triggering (final) member's event position,
     timeout/end flushes by their oldest member's queue-creation
     position.
     """
+    if (last_arrival_s is None) == (horizon_s is None):
+        raise ValueError("give exactly one of last_arrival_s / horizon_s")
     n = arrival.size
     if max_wait_s == 0.0:
         # The reference loop flushes after every add: singleton batches
@@ -154,6 +171,7 @@ def _form_batches(
             np.full(n, max_batch_size == 1, dtype=bool),
             arrival.copy(),
             request_id.copy(),
+            n,
         )
     starts: List[int] = []
     counts: List[int] = []
@@ -170,10 +188,19 @@ def _form_batches(
             last = i + take - 1
             seal_at, size_trigger = float(arrival[last]), True
             anchor_a, anchor_i = float(arrival[last]), int(request_id[last])
-        else:
+        elif last_arrival_s is not None:
             seal_at = deadline if deadline <= last_arrival_s else last_arrival_s
             size_trigger = False
             anchor_a, anchor_i = float(arrival[i]), int(request_id[i])
+        elif deadline < horizon_s:
+            # Incremental mode: this timeout seal is final -- every
+            # arrival that could still join (<= deadline) has been seen,
+            # and the deadline precedes the stream's end (the horizon is
+            # itself an arrival), so no end-of-stream clamp applies.
+            seal_at, size_trigger = deadline, False
+            anchor_a, anchor_i = float(arrival[i]), int(request_id[i])
+        else:
+            break
         starts.append(i)
         counts.append(take)
         sealed.append(seal_at)
@@ -188,7 +215,192 @@ def _form_batches(
         np.asarray(by_size, dtype=bool),
         np.asarray(tie_a, dtype=np.float64),
         np.asarray(tie_i, dtype=np.int64),
+        i,
     )
+
+
+def _queue_map(specs) -> Tuple[List, np.ndarray]:
+    """Map spec indices onto batching queues (one queue per model name).
+
+    Returns ``(queue_specs, queue_of_spec)``: the representative spec
+    per queue in first-appearance order (the reference batcher's queue
+    creation order) and an int64 lookup from spec index to queue id.
+    The table validated that same-name specs are identical.
+    """
+    queue_ids: dict = {}
+    queue_specs: List = []
+    queue_of_spec = np.empty(len(specs), dtype=np.int64)
+    for idx, spec in enumerate(specs):
+        qid = queue_ids.setdefault(spec.name, len(queue_specs))
+        if qid == len(queue_specs):
+            queue_specs.append(spec)
+        queue_of_spec[idx] = qid
+    return queue_specs, queue_of_spec
+
+
+def _group_rows(
+    spec_idx: np.ndarray, queue_of_spec: np.ndarray, num_queues: int
+) -> List[np.ndarray]:
+    """Row indices per queue, each ascending (stream order preserved).
+
+    One O(n) lookup plus one stable argsort replaces the historical
+    per-queue ``np.isin`` scan (O(n * queues)); the stable sort keeps
+    rows of equal queue id in their original ascending order, so the
+    selection is identical to ``np.flatnonzero(np.isin(...))``.
+    """
+    if num_queues == 1:
+        return [np.arange(spec_idx.size, dtype=np.int64)]
+    qcol = queue_of_spec[spec_idx]
+    counts = np.bincount(qcol, minlength=num_queues)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    order = np.argsort(qcol, kind="stable")
+    return [
+        order[offsets[q] : offsets[q + 1]] for q in range(num_queues)
+    ]
+
+
+def _form_queue(
+    arrival: np.ndarray,
+    request_id: np.ndarray,
+    valid_len: np.ndarray,
+    spec,
+    cost_model: ServiceCostModel,
+    max_batch_size: int,
+    max_wait_s: float,
+    setup_cycles: int,
+    frequency_hz: float,
+    last_arrival_s: Optional[float] = None,
+    horizon_s: Optional[float] = None,
+) -> Tuple[Tuple[np.ndarray, ...], np.ndarray, np.ndarray, int]:
+    """Phase 1 for one queue: seal batches and price them.
+
+    Returns ``(formed, service_s, energy_pj, consumed)`` where
+    ``formed`` is :func:`_form_batches` output (sans consumed count),
+    ``service_s``/``energy_pj`` are per-batch cost columns, and
+    ``consumed`` counts the leading rows covered.
+    """
+    f = _form_batches(
+        arrival,
+        request_id,
+        max_batch_size,
+        max_wait_s,
+        last_arrival_s=last_arrival_s,
+        horizon_s=horizon_s,
+    )
+    starts, counts, consumed = f[0], f[1], f[6]
+    if starts.size == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return f[:6], empty, empty.copy(), consumed
+    # Dynamic batching pads members to the batch's longest input; cost
+    # lookup is one array-indexing pass over the primed cache.
+    padded_len = np.maximum.reduceat(valid_len[:consumed], starts)
+    cycles, energy = cost_model.cost_arrays(spec, padded_len)
+    service_s = (setup_cycles + cycles * counts) / frequency_hz
+    return f[:6], service_s, energy * counts, consumed
+
+
+def _single_device_chain(
+    sealed: np.ndarray, service: np.ndarray, free0: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-device dispatch over batches already in dispatch order.
+
+    The scalar loop is a left fold: ``start = max(sealed, prev_finish);
+    finish = start + service``.  Whenever the device never idles,
+    ``finish`` is a running sum -- and a seeded ``np.cumsum`` *is* that
+    exact left fold, so stretches between idle gaps vectorize without
+    changing a single rounding step.  The scan walks windows (doubling
+    up to 64k while no gap appears), accepts the prefix up to the first
+    idle gap (``sealed > previous finish``), and reseeds there, which
+    keeps every accepted value bitwise equal to the loop's.
+    """
+    n = sealed.size
+    start = np.empty(n, dtype=np.float64)
+    finish = np.empty(n, dtype=np.float64)
+    prev = float(free0)
+    i = 0
+    window = 64
+    while i < n:
+        j = min(n, i + window)
+        s = sealed[i:j]
+        sv = service[i:j]
+        first = prev if prev > s[0] else float(s[0])
+        f = np.cumsum(np.concatenate(([first], sv)))[1:]
+        gaps = np.flatnonzero(s[1:] > f[:-1])
+        if gaps.size == 0:
+            take = j - i
+            window = min(window * 2, 65536)
+        else:
+            take = int(gaps[0]) + 1
+        start[i] = first
+        start[i + 1 : i + take] = f[: take - 1]
+        finish[i : i + take] = f[:take]
+        prev = float(f[take - 1])
+        i += take
+    return start, finish
+
+
+def _dispatch(
+    sealed_s: np.ndarray,
+    service_s: np.ndarray,
+    energy_pj: np.ndarray,
+    size_sealed: np.ndarray,
+    tie_arrival: np.ndarray,
+    tie_id: np.ndarray,
+    free_at: List[float],
+    busy_s: List[float],
+    energy_by_device: List[float],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """K-server FIFO dispatch of one globally ordered batch set.
+
+    Sorts the batches into the reference event loop's dispatch order
+    (size seals happen inside an arrival event, which outranks a
+    timeout flush at the same instant, hence the ``~size_sealed``
+    rank), runs them over the device pool, and mutates the carried
+    ``free_at`` / ``busy_s`` / ``energy_by_device`` state in place --
+    the chunked driver calls this once per flush and the carried state
+    makes the flush sequence bitwise equal to one whole-stream pass.
+    Returns per-batch ``(start, finish, device)`` in input order.
+    """
+    num_batches = sealed_s.size
+    batch_start = np.empty(num_batches, dtype=np.float64)
+    batch_finish = np.empty(num_batches, dtype=np.float64)
+    batch_device = np.empty(num_batches, dtype=np.int64)
+    if num_batches == 0:
+        return batch_start, batch_finish, batch_device
+    order = np.lexsort((tie_id, tie_arrival, ~size_sealed, sealed_s))
+    if len(free_at) == 1:
+        sv = service_s[order]
+        st, fin = _single_device_chain(sealed_s[order], sv, free_at[0])
+        batch_start[order] = st
+        batch_finish[order] = fin
+        batch_device[:] = 0
+        free_at[0] = float(fin[-1])
+        # Seeded cumsum == the loop's sequential ``+=`` left fold.
+        busy_s[0] = float(np.cumsum(np.concatenate(([busy_s[0]], sv)))[-1])
+        energy_by_device[0] = float(
+            np.cumsum(np.concatenate(([energy_by_device[0]], energy_pj[order])))[-1]
+        )
+    else:
+        for b in order:
+            start = sealed_s[b]
+            earliest = min(free_at)
+            if earliest > start:
+                start = earliest
+            # The reference scans devices in index order at the dispatch
+            # instant: the *lowest-index idle* device takes the batch,
+            # not necessarily the earliest-freed one.
+            for device in range(len(free_at)):
+                if free_at[device] <= start:
+                    break
+            service = float(service_s[b])
+            finish = start + service
+            free_at[device] = finish
+            busy_s[device] += service
+            energy_by_device[device] += float(energy_pj[b])
+            batch_start[b] = start
+            batch_finish[b] = finish
+            batch_device[b] = device
+    return batch_start, batch_finish, batch_device
 
 
 def simulate_table(
@@ -199,6 +411,8 @@ def simulate_table(
     max_wait_s: float = 2e-3,
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
     recorder: Optional[TraceRecorder] = None,
+    threads: int = 1,
+    _formed: Optional[dict] = None,
 ) -> ColumnarServingResult:
     """Run one deployment over a columnar stream; the fast path.
 
@@ -216,6 +430,14 @@ def simulate_table(
     simulation proper, so tracing cannot perturb a single computed
     value -- results are bitwise identical with tracing on or off (and
     the emitted spans bitwise match the reference loop's).
+
+    ``threads > 1`` runs phase 1 (per-queue batch formation + cost
+    lookup, embarrassingly parallel and numpy-heavy, so the GIL is
+    mostly released) across a thread pool -- results stay bitwise
+    identical at every thread count.  ``_formed`` is the process-shard
+    injection point (:func:`repro.runtime.pool.simulate_table_sharded`):
+    a dict of queue id -> precomputed phase-1 parts for the canonically
+    sorted table.
     """
     if len(table) == 0:
         raise ValueError("request stream must not be empty")
@@ -225,6 +447,8 @@ def simulate_table(
         raise ValueError("max_batch_size must be positive")
     if max_wait_s < 0:
         raise ValueError("max_wait_s must be non-negative")
+    if threads < 1:
+        raise ValueError("threads must be positive")
     if np.unique(table.request_id).size != len(table):
         raise ValueError("duplicate request id in stream")
 
@@ -241,44 +465,60 @@ def simulate_table(
     frequency_hz = cost_model.config.frequency_ghz * 1e9
 
     # ------------------------------------------------------------------
-    # Phase 1: per-model batch formation (device-independent).
+    # Phase 1: per-model batch formation (device-independent).  One
+    # queue per model *name*, like the reference batcher: a spec list
+    # may carry the same model under several indices (a mix that
+    # repeats a model), and those requests share one queue.
     # ------------------------------------------------------------------
+    queue_specs, queue_of_spec = _queue_map(table.specs)
+    rows_list = _group_rows(table.spec_idx, queue_of_spec, len(queue_specs))
+    active = [qid for qid in range(len(queue_specs)) if rows_list[qid].size]
+
+    def _one_queue(qid: int):
+        rows = rows_list[qid]
+        return _form_queue(
+            table.arrival_s[rows],
+            table.request_id[rows],
+            table.valid_len[rows],
+            queue_specs[qid],
+            cost_model,
+            max_batch_size,
+            max_wait_s,
+            setup_cycles,
+            frequency_hz,
+            last_arrival_s=last_arrival_s,
+        )
+
+    if _formed is not None:
+        per_queue = [_formed[qid] for qid in active]
+    elif threads > 1 and len(active) > 1:
+        # Fault every cold length bucket serially first: the threaded
+        # workers then only read the memo dict (plus GIL-free numpy),
+        # and the fault order stays deterministic.
+        for qid in active:
+            cost_model.prime(
+                queue_specs[qid], table.valid_len[rows_list[qid]]
+            )
+        with ThreadPoolExecutor(
+            max_workers=min(threads, len(active))
+        ) as pool:
+            per_queue = list(pool.map(_one_queue, active))
+    else:
+        per_queue = [_one_queue(qid) for qid in active]
+
     model_rows: List[np.ndarray] = []
     model_slices: List[Tuple[int, int]] = []
     form_columns: List[Tuple[np.ndarray, ...]] = []
     service_parts: List[np.ndarray] = []
     energy_parts: List[np.ndarray] = []
     total = 0
-    # One queue per model *name*, like the reference batcher: a spec
-    # list may carry the same model under several indices (a mix that
-    # repeats a model), and those requests share one queue.  The table
-    # validated that same-name specs are identical.
-    queues: dict = {}
-    for idx, spec in enumerate(table.specs):
-        queues.setdefault(spec.name, []).append(idx)
-    for indices in queues.values():
-        spec = table.specs[indices[0]]
-        rows = np.flatnonzero(np.isin(table.spec_idx, indices))
-        if rows.size == 0:
-            continue
-        formed = _form_batches(
-            table.arrival_s[rows],
-            table.request_id[rows],
-            max_batch_size,
-            max_wait_s,
-            last_arrival_s,
-        )
-        starts, counts = formed[0], formed[1]
-        # Dynamic batching pads members to the batch's longest input;
-        # cost lookup is one array-indexing pass over the primed cache.
-        padded_len = np.maximum.reduceat(table.valid_len[rows], starts)
-        cycles, energy = cost_model.cost_arrays(spec, padded_len)
-        service_parts.append((setup_cycles + cycles * counts) / frequency_hz)
-        energy_parts.append(energy * counts)
-        model_rows.append(rows)
-        model_slices.append((total, total + starts.size))
+    for qid, (formed, service, energy, _consumed) in zip(active, per_queue):
+        model_rows.append(rows_list[qid])
+        model_slices.append((total, total + formed[0].size))
         form_columns.append(formed)
-        total += starts.size
+        service_parts.append(service)
+        energy_parts.append(energy)
+        total += formed[0].size
 
     member_count = np.concatenate([f[1] for f in form_columns])
     sealed_s = np.concatenate([f[2] for f in form_columns])
@@ -291,35 +531,21 @@ def simulate_table(
 
     # ------------------------------------------------------------------
     # Phase 2: k-server FIFO dispatch over batches in global seal order.
-    # Size seals happen inside an arrival event, which outranks a
-    # timeout flush at the same instant, hence the ~size_sealed rank.
     # ------------------------------------------------------------------
-    dispatch_order = np.lexsort((tie_id, tie_arrival, ~size_sealed, sealed_s))
-    batch_start = np.empty(num_batches, dtype=np.float64)
-    batch_finish = np.empty(num_batches, dtype=np.float64)
-    batch_device = np.empty(num_batches, dtype=np.int64)
     free_at = [0.0] * num_devices
     busy_s = [0.0] * num_devices
     energy_by_device = [0.0] * num_devices
-    for b in dispatch_order:
-        start = sealed_s[b]
-        earliest = min(free_at)
-        if earliest > start:
-            start = earliest
-        # The reference scans devices in index order at the dispatch
-        # instant: the *lowest-index idle* device takes the batch, not
-        # necessarily the earliest-freed one.
-        for device in range(num_devices):
-            if free_at[device] <= start:
-                break
-        service = float(service_s[b])
-        finish = start + service
-        free_at[device] = finish
-        busy_s[device] += service
-        energy_by_device[device] += float(energy_pj[b])
-        batch_start[b] = start
-        batch_finish[b] = finish
-        batch_device[b] = device
+    batch_start, batch_finish, batch_device = _dispatch(
+        sealed_s,
+        service_s,
+        energy_pj,
+        size_sealed,
+        tie_arrival,
+        tie_id,
+        free_at,
+        busy_s,
+        energy_by_device,
+    )
 
     # ------------------------------------------------------------------
     # Phase 3: scatter per-batch outcomes back to per-request columns.
@@ -370,4 +596,401 @@ def simulate_table(
         batches=int(num_batches),
         size_triggered_batches=size_triggered,
         timeout_triggered_batches=int(num_batches) - size_triggered,
+    )
+
+
+# ----------------------------------------------------------------------
+# Out-of-core chunked driver.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CompletedChunk:
+    """Outcome columns for the requests retired by one stream flush.
+
+    Same per-request columns a :class:`ColumnarServingResult` carries,
+    but only for the requests whose batches dispatched in this flush,
+    in batch-grouped order (row order within a chunk is free; the
+    values are bitwise equal to the whole-table run's).  The chunked
+    driver hands these forward and drops them -- downstream consumers
+    (:func:`repro.serving.metrics.summarize_stream`) fold them into
+    fixed-size sketches.
+    """
+
+    specs: List
+    request_id: np.ndarray
+    arrival_s: np.ndarray
+    spec_idx: np.ndarray
+    valid_len: np.ndarray
+    batched_s: np.ndarray
+    service_start_s: np.ndarray
+    finish_s: np.ndarray
+    batch_size: np.ndarray
+    device_id: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.request_id.size)
+
+    @property
+    def latency_s(self) -> np.ndarray:
+        """End-to-end latency column: arrival to completion."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> np.ndarray:
+        """Arrival to service start (batching + dispatch queueing)."""
+        return self.service_start_s - self.arrival_s
+
+
+@dataclass
+class StreamedServingResult:
+    """Run-level aggregates of a chunked out-of-core simulation.
+
+    Everything a whole-table :class:`ColumnarServingResult` reports
+    except the per-request columns themselves, which streamed through
+    the ``sink`` as :class:`CompletedChunk` batches.  Every field is
+    bitwise equal to the whole-table run's.
+    """
+
+    completed: int
+    start_s: float
+    end_s: float
+    device_busy_s: List[float]
+    device_energy_pj: List[float]
+    batches: int
+    size_triggered_batches: int
+    timeout_triggered_batches: int
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+
+#: Column layout of a per-queue batch "part": batch-level arrays first
+#: (sealed, by_size, tie_arrival, tie_id, service, energy, counts),
+#: then member-level arrays (arrival, request_id, valid_len, spec_idx)
+#: aligned with ``counts``.
+_BATCH_COLS = 7
+
+
+@dataclass
+class _QueueState:
+    """One model queue's frontier between chunks.
+
+    ``pend`` is the unsealed tail (provably shorter than the batch
+    size bound); ``carry`` holds batches already sealed but not yet
+    dispatchable (sealed exactly at the current horizon -- a later
+    flush retires them).  Both are O(open batch), not O(stream).
+    """
+
+    spec: object
+    pend: Tuple[np.ndarray, ...] = field(
+        default_factory=lambda: (
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    )
+    carry: Optional[Tuple[np.ndarray, ...]] = None
+
+
+def _advance_queue(
+    q: _QueueState,
+    cost_model: ServiceCostModel,
+    max_batch_size: int,
+    max_wait_s: float,
+    setup_cycles: int,
+    frequency_hz: float,
+    horizon_s: Optional[float],
+    last_arrival_s: Optional[float],
+) -> Optional[Tuple[np.ndarray, ...]]:
+    """Seal and price whatever is certain in one queue's pending tail."""
+    arr, rid, vlen, sidx = q.pend
+    if arr.size == 0:
+        return None
+    formed, service, energy, consumed = _form_queue(
+        arr,
+        rid,
+        vlen,
+        q.spec,
+        cost_model,
+        max_batch_size,
+        max_wait_s,
+        setup_cycles,
+        frequency_hz,
+        last_arrival_s=last_arrival_s,
+        horizon_s=horizon_s,
+    )
+    if consumed == 0:
+        return None
+    part = (
+        formed[2],
+        formed[3],
+        formed[4],
+        formed[5],
+        service,
+        energy,
+        formed[1],
+        arr[:consumed],
+        rid[:consumed],
+        vlen[:consumed],
+        sidx[:consumed],
+    )
+    q.pend = (
+        arr[consumed:].copy(),
+        rid[consumed:].copy(),
+        vlen[consumed:].copy(),
+        sidx[consumed:].copy(),
+    )
+    return part
+
+
+def _split_carry(
+    q: _QueueState,
+    part: Optional[Tuple[np.ndarray, ...]],
+    horizon_s: Optional[float],
+) -> Optional[Tuple[np.ndarray, ...]]:
+    """Merge carried batches with newly sealed ones and split on the horizon.
+
+    Only batches sealed *strictly before* the horizon may dispatch: a
+    future chunk can still seal batches exactly at the horizon instant
+    (size seals anchored on a boundary arrival), and the global
+    dispatch order breaks same-instant ties across queues.  Batches at
+    the horizon stay carried; ``horizon_s=None`` (end of stream)
+    flushes everything.
+    """
+    if q.carry is not None and part is not None:
+        combined = tuple(
+            np.concatenate((c, p)) for c, p in zip(q.carry, part)
+        )
+    elif q.carry is not None:
+        combined = q.carry
+    elif part is not None:
+        combined = part
+    else:
+        return None
+    if horizon_s is None:
+        q.carry = None
+        return combined
+    sealed = combined[0]
+    batch_mask = sealed < horizon_s
+    if batch_mask.all():
+        q.carry = None
+        return combined
+    member_mask = np.repeat(batch_mask, combined[_BATCH_COLS - 1])
+    held = tuple(a[~batch_mask] for a in combined[:_BATCH_COLS]) + tuple(
+        a[~member_mask] for a in combined[_BATCH_COLS:]
+    )
+    q.carry = held
+    if not batch_mask.any():
+        return None
+    return tuple(a[batch_mask] for a in combined[:_BATCH_COLS]) + tuple(
+        a[member_mask] for a in combined[_BATCH_COLS:]
+    )
+
+
+def simulate_stream(
+    chunks: Iterable[RequestTable],
+    cost_model: ServiceCostModel,
+    num_devices: int = 1,
+    max_batch_size: int = 8,
+    max_wait_s: float = 2e-3,
+    setup_cycles: int = DEFAULT_SETUP_CYCLES,
+    threads: int = 1,
+    sink: Optional[Callable[[CompletedChunk], None]] = None,
+) -> StreamedServingResult:
+    """Out-of-core serving simulation over a chunked request stream.
+
+    Consumes ``RequestTable`` chunks in arrival order (e.g. from
+    :class:`repro.serving.stream.RequestStream`), carrying only the
+    O(devices + open batches) frontier between chunks: per-queue
+    unsealed tails, sealed-at-horizon batches, device free times, and
+    running busy/energy folds.  Completed requests leave immediately
+    as :class:`CompletedChunk` columns through ``sink`` -- peak memory
+    is one chunk plus the frontier, independent of stream length.
+
+    The equivalence contract matches :func:`simulate_table`: for the
+    same concatenated stream and knobs, every per-request column value,
+    device busy/energy total, and batch counter is **bitwise equal**
+    to the whole-table run (and hence to the reference event loop),
+    at every chunk size and thread count.
+
+    Chunks must be non-overlapping and ordered: each chunk's earliest
+    (arrival, id) must lexicographically follow the previous chunk's
+    latest, and all chunks must share one spec list.  Request-id
+    uniqueness is enforced within a chunk; across chunks it is the
+    caller's contract (checking it globally would break the O(1)
+    memory bound).
+    """
+    if num_devices < 1:
+        raise ValueError("at least one device required")
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be positive")
+    if max_wait_s < 0:
+        raise ValueError("max_wait_s must be non-negative")
+    if threads < 1:
+        raise ValueError("threads must be positive")
+    frequency_hz = cost_model.config.frequency_ghz * 1e9
+
+    specs: Optional[List] = None
+    queue_specs: List = []
+    queue_of_spec = np.empty(0, dtype=np.int64)
+    queues: List[_QueueState] = []
+    free_at = [0.0] * num_devices
+    busy_s = [0.0] * num_devices
+    energy_by_device = [0.0] * num_devices
+    completed_total = 0
+    batches_total = 0
+    size_triggered_total = 0
+    start_s = 0.0
+    end_s = -np.inf
+    prev_arrival = -np.inf
+    prev_id = -1
+    pool: Optional[ThreadPoolExecutor] = None
+
+    def _advance_and_split(qid: int, horizon, last_arrival):
+        part = _advance_queue(
+            queues[qid],
+            cost_model,
+            max_batch_size,
+            max_wait_s,
+            setup_cycles,
+            frequency_hz,
+            horizon,
+            last_arrival,
+        )
+        return _split_carry(queues[qid], part, horizon)
+
+    def _flush(parts) -> None:
+        nonlocal completed_total, batches_total, size_triggered_total, end_s
+        if not parts:
+            return
+        cols = [
+            np.concatenate([p[k] for p in parts])
+            for k in range(len(parts[0]))
+        ]
+        sealed, by_size, tie_a, tie_i, service, energy, counts = cols[
+            :_BATCH_COLS
+        ]
+        b_start, b_finish, b_device = _dispatch(
+            sealed,
+            service,
+            energy,
+            by_size,
+            tie_a,
+            tie_i,
+            free_at,
+            busy_s,
+            energy_by_device,
+        )
+        batches_total += int(sealed.size)
+        size_triggered_total += int(np.count_nonzero(by_size))
+        flush_end = float(np.max(b_finish))
+        if flush_end > end_s:
+            end_s = flush_end
+        completed = CompletedChunk(
+            specs=specs,
+            arrival_s=cols[_BATCH_COLS],
+            request_id=cols[_BATCH_COLS + 1],
+            valid_len=cols[_BATCH_COLS + 2],
+            spec_idx=cols[_BATCH_COLS + 3],
+            batched_s=np.repeat(sealed, counts),
+            service_start_s=np.repeat(b_start, counts),
+            finish_s=np.repeat(b_finish, counts),
+            batch_size=np.repeat(counts, counts),
+            device_id=np.repeat(b_device, counts),
+        )
+        completed_total += len(completed)
+        if sink is not None:
+            sink(completed)
+
+    try:
+        for chunk in chunks:
+            if len(chunk) == 0:
+                continue
+            order = np.lexsort((chunk.request_id, chunk.arrival_s))
+            arrival = chunk.arrival_s[order]
+            request_id = chunk.request_id[order]
+            spec_idx = chunk.spec_idx[order]
+            valid_len = chunk.valid_len[order]
+            if np.unique(request_id).size != request_id.size:
+                raise ValueError("duplicate request id in chunk")
+            if specs is None:
+                specs = list(chunk.specs)
+                queue_specs, queue_of_spec = _queue_map(specs)
+                queues = [_QueueState(spec) for spec in queue_specs]
+                start_s = float(arrival[0])
+            elif list(chunk.specs) != specs:
+                raise ValueError("chunks disagree on the spec list")
+            first_a, first_i = float(arrival[0]), int(request_id[0])
+            if first_a < prev_arrival or (
+                first_a == prev_arrival and first_i <= prev_id
+            ):
+                raise ValueError(
+                    "chunks out of order: a chunk must start strictly "
+                    "after the previous chunk's last (arrival, id)"
+                )
+            prev_arrival = float(arrival[-1])
+            prev_id = int(request_id[-1])
+            horizon = prev_arrival
+
+            rows_list = _group_rows(spec_idx, queue_of_spec, len(queues))
+            for qid, rows in enumerate(rows_list):
+                if rows.size:
+                    q = queues[qid]
+                    q.pend = (
+                        np.concatenate((q.pend[0], arrival[rows])),
+                        np.concatenate((q.pend[1], request_id[rows])),
+                        np.concatenate((q.pend[2], valid_len[rows])),
+                        np.concatenate((q.pend[3], spec_idx[rows])),
+                    )
+            busy_qids = [
+                qid
+                for qid in range(len(queues))
+                if queues[qid].pend[0].size or queues[qid].carry is not None
+            ]
+            if threads > 1 and len(busy_qids) > 1:
+                for qid in busy_qids:
+                    if queues[qid].pend[0].size:
+                        cost_model.prime(
+                            queues[qid].spec, queues[qid].pend[2]
+                        )
+                if pool is None:
+                    pool = ThreadPoolExecutor(max_workers=threads)
+                parts = list(
+                    pool.map(
+                        lambda qid: _advance_and_split(qid, horizon, None),
+                        busy_qids,
+                    )
+                )
+            else:
+                parts = [
+                    _advance_and_split(qid, horizon, None)
+                    for qid in busy_qids
+                ]
+            _flush([p for p in parts if p is not None])
+
+        if specs is None:
+            raise ValueError("request stream must not be empty")
+        # End of stream: the pending tails seal at the global last
+        # arrival and every carried batch dispatches.
+        parts = [
+            _advance_and_split(qid, None, prev_arrival)
+            for qid in range(len(queues))
+        ]
+        _flush([p for p in parts if p is not None])
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    return StreamedServingResult(
+        completed=completed_total,
+        start_s=start_s,
+        end_s=end_s,
+        device_busy_s=busy_s,
+        device_energy_pj=energy_by_device,
+        batches=batches_total,
+        size_triggered_batches=size_triggered_total,
+        timeout_triggered_batches=batches_total - size_triggered_total,
     )

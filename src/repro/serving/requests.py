@@ -216,10 +216,26 @@ class RequestTable:
         """The first ``count`` rows (a prefix of the stream)."""
         if count < 1:
             raise ValueError("count must be positive")
+        if count > len(self):
+            raise ValueError(
+                f"count {count} exceeds the table's {len(self)} rows"
+            )
+        return self.slice(0, count)
+
+    def slice(self, lo: int, hi: int) -> "RequestTable":
+        """Rows ``[lo, hi)`` as an independent (copied) table.
+
+        The chunked drivers cut one stream into consecutive slices;
+        copies keep a chunk alive without pinning the parent columns.
+        """
+        if not 0 <= lo < hi <= len(self):
+            raise ValueError(
+                f"slice [{lo}, {hi}) out of range for {len(self)} rows"
+            )
         return RequestTable(
             specs=self.specs,
-            request_id=self.request_id[:count].copy(),
-            arrival_s=self.arrival_s[:count].copy(),
-            spec_idx=self.spec_idx[:count].copy(),
-            valid_len=self.valid_len[:count].copy(),
+            request_id=self.request_id[lo:hi].copy(),
+            arrival_s=self.arrival_s[lo:hi].copy(),
+            spec_idx=self.spec_idx[lo:hi].copy(),
+            valid_len=self.valid_len[lo:hi].copy(),
         )
