@@ -1,0 +1,433 @@
+"""Generative decode study: SPRINT pruning vs autoregressive growth.
+
+Not a paper figure -- the ROADMAP's continuous-batching extension of
+the serving study.  Each point offers the same *token* load (arrival
+rate = ``token_rate_rps / mean_output_tokens``) while the mean output
+length sweeps from prefill-dominated traffic (short outputs: every
+token pays a full prompt pass) to decode-dominated traffic (long
+outputs: most tokens are single-step decodes over a grown attention
+context).  Per execution mode it reports time-to-first-token,
+time-between-tokens, tokens/s, and energy/token -- the decode-phase
+interaction SPRINT's pruning targets: the per-token attention share
+grows with context, and pruning flattens exactly that term.
+
+The sweep is shardable from day one: every (mode, mean output length)
+point is an independent :class:`DecodeUnit` on the runtime's WorkUnit
+protocol (``plan``/``prime``/``clear_primed``), grouped by mode so a
+worker shard warms exactly one shared cost model.  Streams are seeded
+by a stable hash of (experiment seed, mean output length) -- never by
+worker identity -- so artifacts are byte-identical at every ``--jobs``
+value.
+
+Every point runs through the event-driven columnar decode engine
+(:func:`repro.serving.engine.simulate_table` routes generative tables
+to :mod:`repro.serving.decode`), pinned bitwise-equal to the
+:class:`~repro.serving.scheduler.GenerativeServingSimulator` reference
+loop (``engine="reference"``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.configs import S_SPRINT, SprintConfig
+from repro.core.system import ExecutionMode
+from repro.obs import telemetry
+from repro.obs.trace import TraceConfig, TraceRecorder
+from repro.serving.arrivals import PoissonProcess, generate_request_table
+from repro.serving.batching import ContinuousBatcher
+from repro.serving.devices import (
+    ServiceCostModel,
+    SprintDevice,
+    shared_cost_model,
+)
+from repro.serving.engine import simulate_table
+from repro.serving.metrics import ServingReport, summarize
+from repro.serving.scheduler import GenerativeServingSimulator
+
+DEFAULT_MODES = (
+    ExecutionMode.BASELINE,
+    ExecutionMode.PRUNING_ONLY,
+    ExecutionMode.SPRINT,
+)
+#: The decode-growth axis: mean output tokens per request, prefill-
+#: dominated (2) through decode-dominated (64).
+DEFAULT_MEAN_OUTPUT_LENS = (2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+#: Offered token throughput, held constant across the sweep so points
+#: differ only in how those tokens split into requests.
+DEFAULT_TOKEN_RATE_RPS = 400.0
+DEFAULT_REQUESTS_PER_POINT = 1500
+
+
+def stream_seed(seed: int, mean_output_tokens: float) -> int:
+    """Deterministic stream seed for one (experiment, output-length)
+    point.  The mode is excluded: every mode faces byte-identical
+    traffic at each point, keeping the cross-mode comparison fair."""
+    digest = hashlib.sha256(
+        f"{seed}:decode:{mean_output_tokens!r}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1  # non-negative 63-bit
+
+
+@dataclass(frozen=True)
+class DecodeRow:
+    """One (mode, mean output length) point of the sweep."""
+
+    mode: str
+    mean_output_tokens: float
+    offered_rps: float
+    token_rate_rps: float
+    tokens_per_s: float
+    utilization: float
+    ttft_p50_ms: float
+    ttft_p99_ms: float
+    tbt_p50_ms: float
+    tbt_p99_ms: float
+    energy_uj_per_token: float
+    mean_step_batch: float
+
+
+class DecodeExperiment:
+    """The iso-token-load decode sweep over execution modes.
+
+    Parameters
+    ----------
+    model:
+        Zoo model every request runs.  The default (``BERT-B``) has a
+        padded-length prompt distribution, leaving ``seq_len -
+        valid_len`` tokens of context headroom for output growth;
+        zero-padding models (``ViT-B``, ``GPT-2-L``) cap at one output
+        token and degenerate to prefill-only traffic.
+    engine:
+        ``"fast"`` (default) routes each point through the columnar
+        decode engine; ``"reference"`` walks the per-request
+        continuous-batching event loop.  Identical reports either way.
+    """
+
+    def __init__(
+        self,
+        model: str = "BERT-B",
+        config: SprintConfig = S_SPRINT,
+        num_devices: int = 1,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        len_bucket: int = 32,
+        seed: int = 0,
+        engine: str = "fast",
+    ):
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.model = model
+        self.config = config
+        self.num_devices = num_devices
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.len_bucket = len_bucket
+        self.seed = seed
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    def _cost_model(self, mode: ExecutionMode) -> ServiceCostModel:
+        return shared_cost_model(
+            self.config, mode, len_bucket=self.len_bucket, seed=self.seed
+        )
+
+    def _unit(
+        self,
+        mode: ExecutionMode,
+        mean_output_tokens: float,
+        token_rate_rps: float,
+        num_requests: int,
+    ) -> "DecodeUnit":
+        return DecodeUnit(
+            model=self.model,
+            config=self.config,
+            mode=mode.value,
+            mean_output_tokens=mean_output_tokens,
+            token_rate_rps=token_rate_rps,
+            num_requests=num_requests,
+            seed=self.seed,
+            num_devices=self.num_devices,
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            len_bucket=self.len_bucket,
+            engine=self.engine,
+        )
+
+    def _trace_recorder(self) -> Optional[TraceRecorder]:
+        tele = telemetry.get_telemetry()
+        if tele is None or tele.trace_dir is None:
+            return None
+        return TraceRecorder(
+            TraceConfig(head=tele.trace_head, stride=tele.trace_stride)
+        )
+
+    def simulate(
+        self,
+        mode: ExecutionMode,
+        mean_output_tokens: float,
+        token_rate_rps: float,
+        num_requests: int,
+    ) -> ServingReport:
+        """One point, summarized (columnar decode engine by default)."""
+        rate_rps = token_rate_rps / mean_output_tokens
+        process = PoissonProcess(rate_rps=rate_rps)
+        table = generate_request_table(
+            process,
+            self.model,
+            count=num_requests,
+            seed=stream_seed(self.seed, mean_output_tokens),
+            mean_output_tokens=mean_output_tokens,
+        )
+        cost = self._cost_model(mode)
+        # Warm every prefill bucket up front; decode buckets derive
+        # from the same cache entries (contexts stay within seq_len).
+        cost.prime(table.specs[0], table.valid_len)
+        recorder = self._trace_recorder()
+        if self.engine == "fast":
+            result = simulate_table(
+                table,
+                cost,
+                num_devices=self.num_devices,
+                max_batch_size=self.max_batch_size,
+                max_wait_s=self.max_wait_ms * 1e-3,
+                recorder=recorder,
+            )
+        else:
+            devices = [
+                SprintDevice(i, cost) for i in range(self.num_devices)
+            ]
+            batcher = ContinuousBatcher(
+                max_batch_size=self.max_batch_size,
+                max_wait_s=self.max_wait_ms * 1e-3,
+            )
+            result = GenerativeServingSimulator(
+                devices, batcher, recorder
+            ).run(table.to_requests())
+        if recorder is not None:
+            recorder.write(
+                Path(telemetry.get_telemetry().trace_dir)
+                / f"decode-{mode.value}-{mean_output_tokens:g}tok.json"
+            )
+        return summarize(
+            result,
+            config=self.config.name,
+            mode=mode.value,
+            pattern="poisson",
+            offered_rps=process.mean_rate_rps,
+        )
+
+    def run(
+        self,
+        mean_output_lens: Sequence[float] = DEFAULT_MEAN_OUTPUT_LENS,
+        modes: Sequence[ExecutionMode] = DEFAULT_MODES,
+        token_rate_rps: float = DEFAULT_TOKEN_RATE_RPS,
+        requests_per_point: int = DEFAULT_REQUESTS_PER_POINT,
+    ) -> List[DecodeRow]:
+        rows: List[DecodeRow] = []
+        for mode in modes:
+            for mean_out in mean_output_lens:
+                key = self._unit(
+                    mode, mean_out, token_rate_rps, requests_per_point
+                ).key
+                report = _PRIMED.get(key)
+                if report is None:
+                    report = self.simulate(
+                        mode, mean_out, token_rate_rps, requests_per_point
+                    )
+                rows.append(
+                    DecodeRow(
+                        mode=mode.value,
+                        mean_output_tokens=mean_out,
+                        offered_rps=report.offered_rps,
+                        token_rate_rps=token_rate_rps,
+                        tokens_per_s=report.tokens_per_s,
+                        utilization=report.utilization,
+                        ttft_p50_ms=report.ttft.p50_s * 1e3,
+                        ttft_p99_ms=report.ttft.p99_s * 1e3,
+                        tbt_p50_ms=report.tbt.p50_s * 1e3,
+                        tbt_p99_ms=report.tbt.p99_s * 1e3,
+                        energy_uj_per_token=report.energy_uj_per_token,
+                        mean_step_batch=report.mean_batch_size,
+                    )
+                )
+        return rows
+
+
+@dataclass(frozen=True)
+class DecodeUnit:
+    """One (mode, mean output length) point as a runtime WorkUnit."""
+
+    model: str
+    config: SprintConfig
+    mode: str
+    mean_output_tokens: float
+    token_rate_rps: float
+    num_requests: int
+    seed: int
+    num_devices: int
+    max_batch_size: int
+    max_wait_ms: float
+    len_bucket: int
+    engine: str = "fast"
+
+    @property
+    def key(self) -> Tuple:
+        return (
+            "decode",
+            self.model,
+            dataclasses.astuple(self.config),
+            self.mode,
+            self.mean_output_tokens,
+            self.token_rate_rps,
+            self.num_requests,
+            self.seed,
+            self.num_devices,
+            self.max_batch_size,
+            self.max_wait_ms,
+            self.len_bucket,
+            self.engine,
+        )
+
+    @property
+    def group(self) -> Tuple[str, str, str]:
+        # Group by mode: a worker shard warms one shared cost model.
+        return ("decode", self.config.name, self.mode)
+
+    def execute(self) -> ServingReport:
+        experiment = DecodeExperiment(
+            model=self.model,
+            config=self.config,
+            num_devices=self.num_devices,
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            len_bucket=self.len_bucket,
+            seed=self.seed,
+            engine=self.engine,
+        )
+        return experiment.simulate(
+            ExecutionMode(self.mode),
+            self.mean_output_tokens,
+            self.token_rate_rps,
+            self.num_requests,
+        )
+
+
+_PRIMED: Dict[Tuple, ServingReport] = {}
+
+
+def plan(
+    model: str = "BERT-B",
+    config: SprintConfig = S_SPRINT,
+    mean_output_lens: Sequence[float] = DEFAULT_MEAN_OUTPUT_LENS,
+    modes: Sequence[ExecutionMode] = DEFAULT_MODES,
+    token_rate_rps: float = DEFAULT_TOKEN_RATE_RPS,
+    requests_per_point: int = DEFAULT_REQUESTS_PER_POINT,
+    seed: int = 0,
+    num_devices: int = 1,
+    max_batch_size: int = 8,
+    max_wait_ms: float = 2.0,
+    len_bucket: int = 32,
+    engine: str = "fast",
+) -> List[DecodeUnit]:
+    """Work units a same-argument :func:`run` consumes (for sharding)."""
+    experiment = DecodeExperiment(
+        model=model, config=config, num_devices=num_devices,
+        max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+        len_bucket=len_bucket, seed=seed, engine=engine,
+    )
+    return [
+        experiment._unit(mode, mean_out, token_rate_rps, requests_per_point)
+        for mode in modes
+        for mean_out in mean_output_lens
+    ]
+
+
+def prime(key: Tuple, report: ServingReport) -> None:
+    """Install an externally computed point (parallel-runtime hook)."""
+    _PRIMED[tuple(key)] = report
+
+
+def clear_primed() -> None:
+    _PRIMED.clear()
+
+
+# ----------------------------------------------------------------------
+# runner-compatible module-level API
+# ----------------------------------------------------------------------
+def run(
+    model: str = "BERT-B",
+    config: SprintConfig = S_SPRINT,
+    mean_output_lens: Sequence[float] = DEFAULT_MEAN_OUTPUT_LENS,
+    modes: Sequence[ExecutionMode] = DEFAULT_MODES,
+    token_rate_rps: float = DEFAULT_TOKEN_RATE_RPS,
+    requests_per_point: int = DEFAULT_REQUESTS_PER_POINT,
+    seed: int = 0,
+    **experiment_kwargs,
+) -> List[DecodeRow]:
+    experiment = DecodeExperiment(
+        model=model, config=config, seed=seed, **experiment_kwargs
+    )
+    return experiment.run(
+        mean_output_lens=mean_output_lens,
+        modes=modes,
+        token_rate_rps=token_rate_rps,
+        requests_per_point=requests_per_point,
+    )
+
+
+def format_table(rows: Sequence[DecodeRow]) -> str:
+    lines = [
+        "Decode study: SPRINT pruning vs autoregressive growth "
+        "(iso token load)",
+        f"{'mode':<13} {'out':>5} {'req/s':>7} {'tok/s':>8} {'util':>6} "
+        f"{'TTFT p50':>9} {'TTFT p99':>9} {'TBT p50':>8} {'TBT p99':>8} "
+        f"{'uJ/tok':>9} {'batch':>6}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.mode:<13} {r.mean_output_tokens:>5.0f} "
+            f"{r.offered_rps:>7.1f} {r.tokens_per_s:>8.1f} "
+            f"{r.utilization:>6.1%} {r.ttft_p50_ms:>9.2f} "
+            f"{r.ttft_p99_ms:>9.2f} {r.tbt_p50_ms:>8.3f} "
+            f"{r.tbt_p99_ms:>8.3f} {r.energy_uj_per_token:>9.1f} "
+            f"{r.mean_step_batch:>6.2f}"
+        )
+    # Headline: SPRINT's advantage per decode-growth point.
+    by_point: Dict[float, Dict[str, DecodeRow]] = {}
+    for r in rows:
+        by_point.setdefault(r.mean_output_tokens, {})[r.mode] = r
+    for mean_out in sorted(by_point):
+        base = by_point[mean_out].get(ExecutionMode.BASELINE.value)
+        sprint = by_point[mean_out].get(ExecutionMode.SPRINT.value)
+        if base is None or sprint is None:
+            continue
+        tok_ratio = (
+            sprint.tokens_per_s / base.tokens_per_s
+            if base.tokens_per_s > 0
+            else float("inf")
+        )
+        tbt_ratio = (
+            base.tbt_p50_ms / sprint.tbt_p50_ms
+            if sprint.tbt_p50_ms > 0
+            else float("inf")
+        )
+        lines.append(
+            f"sprint vs baseline @ {mean_out:.0f} out-tokens: "
+            f"{tok_ratio:.2f}x tokens/s, {tbt_ratio:.2f}x faster TBT p50, "
+            f"{base.energy_uj_per_token / sprint.energy_uj_per_token:.2f}x "
+            f"energy/token"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -5,12 +5,19 @@ Per benchmark model: (1) software baseline, (2) ideal runtime pruning,
 models report accuracy (higher better); the GPT-2-L stand-in reports
 perplexity (lower better).  The paper's findings: SPRINT degrades
 accuracy by 0.36% on average, while dropping the recompute costs ~4%.
+
+Shardable: each model's four-policy evaluation is an independent
+:class:`Fig9Unit` on the runtime's WorkUnit protocol
+(``plan``/``prime``/``clear_primed``).  The unit key embeds the
+model's *effective* seed (``seed + position``), exactly what a serial
+``run`` would use, so sharded artifacts are byte-identical at every
+``--jobs`` value.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +56,109 @@ class Fig9Row:
         return self.baseline - self.sprint
 
 
+def _evaluate_model(
+    name: str, num_samples: int, seq_len: int, model_seed: int
+) -> Fig9Row:
+    """All four policy scenarios for one model at its effective seed."""
+    spec = get_model(name)
+    rate = spec.pruning_rate
+    policies = {
+        "baseline": ExactPolicy(),
+        "runtime_pruning": RuntimePruningPolicy(rate),
+        "no_recompute": SprintPolicy(rate, recompute=False),
+        "sprint": SprintPolicy(rate, recompute=True),
+    }
+    if spec.is_generative:
+        task = make_lm_task(
+            num_samples=num_samples, seq_len=seq_len, seed=model_seed
+        )
+        vals = {
+            k: evaluate_perplexity(task, p) for k, p in policies.items()
+        }
+        metric = "perplexity"
+    else:
+        task = make_classification_task(
+            num_samples=num_samples, seq_len=seq_len, seed=model_seed
+        )
+        vals = {
+            k: evaluate_accuracy(task, p) for k, p in policies.items()
+        }
+        metric = "accuracy"
+    return Fig9Row(
+        model=name,
+        metric=metric,
+        baseline=vals["baseline"],
+        runtime_pruning=vals["runtime_pruning"],
+        sprint_no_recompute=vals["no_recompute"],
+        sprint=vals["sprint"],
+    )
+
+
+@dataclass(frozen=True)
+class Fig9Unit:
+    """One model's quality evaluation as a runtime WorkUnit.
+
+    ``model_seed`` is the effective task seed (``seed + position`` of
+    the model in the requested tuple) -- embedding it rather than the
+    position keeps the key content-addressed: the same model evaluated
+    at the same seed replays from cache regardless of where it sits in
+    a later run's model list.
+    """
+
+    model: str
+    num_samples: int
+    seq_len: int
+    model_seed: int
+
+    @property
+    def key(self) -> Tuple:
+        return (
+            "fig9", self.model, self.num_samples, self.seq_len,
+            self.model_seed,
+        )
+
+    @property
+    def group(self) -> Tuple[str, str]:
+        return ("fig9", self.model)
+
+    def execute(self) -> Fig9Row:
+        return _evaluate_model(
+            self.model, self.num_samples, self.seq_len, self.model_seed
+        )
+
+
+#: Rows installed by :func:`prime` (computed in a worker process or
+#: replayed from the unit cache); consulted by :func:`run`.
+_PRIMED: Dict[Tuple, Fig9Row] = {}
+
+
+def plan(
+    models: Sequence[str] = DEFAULT_MODELS,
+    num_samples: int = 32,
+    seq_len: int = 96,
+    seed: int = 17,
+) -> List[Fig9Unit]:
+    """Work units a same-argument :func:`run` consumes (for sharding)."""
+    return [
+        Fig9Unit(
+            model=name,
+            num_samples=num_samples,
+            seq_len=seq_len,
+            model_seed=seed + index,
+        )
+        for index, name in enumerate(models)
+    ]
+
+
+def prime(key: Tuple, row: Fig9Row) -> None:
+    """Install an externally computed row (parallel-runtime hook)."""
+    _PRIMED[tuple(key)] = row
+
+
+def clear_primed() -> None:
+    _PRIMED.clear()
+
+
 def run(
     models: Sequence[str] = DEFAULT_MODELS,
     num_samples: int = 32,
@@ -56,41 +166,13 @@ def run(
     seed: int = 17,
 ) -> List[Fig9Row]:
     rows: List[Fig9Row] = []
-    for index, name in enumerate(models):
-        spec = get_model(name)
-        rate = spec.pruning_rate
-        policies = {
-            "baseline": ExactPolicy(),
-            "runtime_pruning": RuntimePruningPolicy(rate),
-            "no_recompute": SprintPolicy(rate, recompute=False),
-            "sprint": SprintPolicy(rate, recompute=True),
-        }
-        if spec.is_generative:
-            task = make_lm_task(
-                num_samples=num_samples, seq_len=seq_len, seed=seed + index
-            )
-            vals = {
-                k: evaluate_perplexity(task, p) for k, p in policies.items()
-            }
-            metric = "perplexity"
-        else:
-            task = make_classification_task(
-                num_samples=num_samples, seq_len=seq_len, seed=seed + index
-            )
-            vals = {
-                k: evaluate_accuracy(task, p) for k, p in policies.items()
-            }
-            metric = "accuracy"
-        rows.append(
-            Fig9Row(
-                model=name,
-                metric=metric,
-                baseline=vals["baseline"],
-                runtime_pruning=vals["runtime_pruning"],
-                sprint_no_recompute=vals["no_recompute"],
-                sprint=vals["sprint"],
-            )
-        )
+    for unit in plan(
+        models=models, num_samples=num_samples, seq_len=seq_len, seed=seed
+    ):
+        row = _PRIMED.get(unit.key)
+        if row is None:
+            row = unit.execute()
+        rows.append(row)
     return rows
 
 

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Protocol, Tuple, runtime_checkable
 
 from repro.experiments import (
     ablations,
+    decode,
     ffn_end_to_end,
     fig1_memory_energy,
     fig2_heatmap,
@@ -90,6 +91,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         sensitivity,
     ),
     "serving": ({"requests_per_point": 100, "loads": (20.0, 80.0)}, serving),
+    "decode": (
+        {"requests_per_point": 150, "mean_output_lens": (2.0, 16.0)},
+        decode,
+    ),
 }
 
 

@@ -157,9 +157,7 @@ class StreamingHistogram:
     # ------------------------------------------------------------------
     def _indices(self, values: np.ndarray) -> np.ndarray:
         with np.errstate(divide="ignore"):
-            raw = np.floor(
-                np.log10(values / self.min_value) * self.buckets_per_decade
-            )
+            raw = np.floor(np.log10(values / self.min_value) * self.buckets_per_decade)
         # Clip before the int cast: log10(0) is -inf, which must land
         # in the underflow slot, not overflow the integer conversion.
         raw = np.clip(raw, -1.0, float(self.num_buckets))
@@ -180,9 +178,7 @@ class StreamingHistogram:
             return
         if not np.all(values >= 0.0) or not np.all(np.isfinite(values)):
             raise ValueError("samples must be non-negative finite values")
-        self._counts += np.bincount(
-            self._indices(values), minlength=self._counts.size
-        )
+        self._counts += np.bincount(self._indices(values), minlength=self._counts.size)
         self._sum += float(values.sum())
         self._max = max(self._max, float(values.max()))
         self._min = min(self._min, float(values.min()))
@@ -228,9 +224,7 @@ class StreamingHistogram:
         # Geometric midpoint of the bucket, clamped into the observed
         # range (clamping only ever moves the estimate toward the true
         # order statistic).
-        mid = self.min_value * 10.0 ** (
-            (slot - 0.5) / self.buckets_per_decade
-        )
+        mid = self.min_value * 10.0 ** ((slot - 0.5) / self.buckets_per_decade)
         return float(min(max(mid, self._min), self._max))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

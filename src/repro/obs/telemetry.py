@@ -126,12 +126,9 @@ class RunTelemetry:
             "fast": self.fast,
             "trace_dir": self.trace_dir,
             "counters": {
-                name: self.counters[name].value
-                for name in sorted(self.counters)
+                name: self.counters[name].value for name in sorted(self.counters)
             },
-            "gauges": {
-                name: self.gauges[name].value for name in sorted(self.gauges)
-            },
+            "gauges": {name: self.gauges[name].value for name in sorted(self.gauges)},
             "events": self.events,
             "experiments": self.experiments,
             "wall": {

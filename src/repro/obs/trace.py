@@ -164,9 +164,7 @@ class TraceRecorder:
             )
         # Value-sort so insertion order (an engine implementation
         # detail) never reaches the file.
-        events.sort(
-            key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"], e["dur"])
-        )
+        events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"], e["dur"]))
         metadata = [
             {
                 "name": "process_name",
@@ -199,9 +197,7 @@ class TraceRecorder:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
-            json.dumps(
-                self.to_chrome_trace(), sort_keys=True, separators=(",", ":")
-            )
+            json.dumps(self.to_chrome_trace(), sort_keys=True, separators=(",", ":"))
             + "\n"
         )
         return path

@@ -532,6 +532,13 @@ def simulate_table_sharded(
         setup_cycles = DEFAULT_SETUP_CYCLES
     if len(table) == 0:
         raise ValueError("request stream must not be empty")
+    if getattr(table, "output_len", None) is not None:
+        # Generative batch formation depends on device timing, so
+        # there is no device-independent phase 1 to shard.
+        raise ValueError(
+            "generative tables (output_len column) cannot be "
+            "process-sharded; run repro.serving.decode directly"
+        )
     order = np.lexsort((table.request_id, table.arrival_s))
     table = RequestTable(
         specs=table.specs,

@@ -31,6 +31,19 @@ sketches -- same exact aggregates, sketch-bounded percentiles::
     stream = RequestStream(process, "BERT-B", count=100_000_000)
     report = summarize_stream(stream, cost, ...)
 
+**Generative (decode) traffic** extends all three paths to
+autoregressive serving under continuous batching: give the stream an
+``output_len`` column (``mean_output_tokens=...`` on the generators)
+and requests re-enter the scheduler after every decode step with a
+grown attention context, device slots freeing per token.  The same
+entry points route automatically -- :func:`simulate_table` /
+:func:`simulate_stream` dispatch to the event-driven columnar decode
+engine (:mod:`repro.serving.decode`), pinned bitwise-equal to the
+:class:`GenerativeServingSimulator` reference loop -- and
+:func:`summarize` / :func:`summarize_stream` add TTFT / TBT /
+tokens-per-second to the report.  With every ``output_len == 1`` the
+generative loop degenerates exactly to the prefill-only semantics.
+
 Both paths accept an optional :class:`repro.obs.trace.TraceRecorder`
 for sim-time request tracing, and :func:`summarize` can fold latency
 columns through the :mod:`repro.obs.streaming` tail-latency sketch
@@ -68,9 +81,23 @@ from repro.serving.arrivals import (
     TraceProcess,
     generate_request_table,
     generate_requests,
+    sample_output_lens,
     sample_valid_len,
 )
-from repro.serving.batching import BatcherStats, DynamicBatcher
+from repro.serving.batching import (
+    BatcherStats,
+    ContinuousBatcher,
+    DynamicBatcher,
+    StepBatch,
+    StepItem,
+)
+from repro.serving.decode import (
+    DecodeColumnarResult,
+    DecodeCompletedChunk,
+    DecodeStreamedResult,
+    simulate_decode_stream,
+    simulate_decode_table,
+)
 from repro.serving.devices import (
     SampleCost,
     ServiceCostModel,
@@ -92,7 +119,13 @@ from repro.serving.metrics import (
     summarize_stream,
 )
 from repro.serving.requests import Batch, Request, RequestRecord, RequestTable
-from repro.serving.scheduler import ServingResult, ServingSimulator
+from repro.serving.scheduler import (
+    DecodeRecord,
+    GenerativeResult,
+    GenerativeServingSimulator,
+    ServingResult,
+    ServingSimulator,
+)
 from repro.serving.stream import DEFAULT_CHUNK_SIZE, RequestStream
 
 __all__ = [
@@ -103,11 +136,18 @@ __all__ = [
     "BurstyProcess",
     "ColumnarServingResult",
     "CompletedChunk",
+    "ContinuousBatcher",
     "DEFAULT_CHUNK_SIZE",
+    "DecodeColumnarResult",
+    "DecodeCompletedChunk",
+    "DecodeRecord",
+    "DecodeStreamedResult",
     "DynamicBatcher",
     "Event",
     "EventKind",
     "EventQueue",
+    "GenerativeResult",
+    "GenerativeServingSimulator",
     "LatencyStats",
     "PoissonProcess",
     "Request",
@@ -120,12 +160,17 @@ __all__ = [
     "ServingResult",
     "ServingSimulator",
     "SprintDevice",
+    "StepBatch",
+    "StepItem",
     "StreamedServingResult",
     "TraceProcess",
     "generate_request_table",
     "generate_requests",
+    "sample_output_lens",
     "sample_valid_len",
     "shared_cost_model",
+    "simulate_decode_stream",
+    "simulate_decode_table",
     "simulate_stream",
     "simulate_table",
     "summarize",

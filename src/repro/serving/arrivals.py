@@ -135,14 +135,10 @@ class ArrivalProcess:
     #: Short name used in experiment tables.
     name = "abstract"
 
-    def arrival_times(
-        self, count: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
         raise NotImplementedError
 
-    def cursor(
-        self, count: int, rng: np.random.Generator
-    ) -> ArrivalCursor:
+    def cursor(self, count: int, rng: np.random.Generator) -> ArrivalCursor:
         """An incremental cursor over this process's next ``count`` draws.
 
         Contract: ``rng`` is left in exactly the state a whole-stream
@@ -314,7 +310,9 @@ class TraceProcess(ArrivalProcess):
 
 #: A model mix: either spec/name -> weight, or a bare spec (weight 1).
 ModelMix = Union[
-    ModelSpec, str, Dict[Union[ModelSpec, str], float],
+    ModelSpec,
+    str,
+    Dict[Union[ModelSpec, str], float],
     Sequence[Tuple[Union[ModelSpec, str], float]],
 ]
 
@@ -328,18 +326,14 @@ def _normalize_mix(mix: ModelMix) -> Tuple[List[ModelSpec], np.ndarray]:
         pairs = list(mix)
     if not pairs:
         raise ValueError("model mix must not be empty")
-    specs = [
-        m if isinstance(m, ModelSpec) else get_model(m) for m, _ in pairs
-    ]
+    specs = [m if isinstance(m, ModelSpec) else get_model(m) for m, _ in pairs]
     weights = np.array([w for _, w in pairs], dtype=np.float64)
     if np.any(weights < 0) or weights.sum() <= 0:
         raise ValueError("mix weights must be non-negative and sum > 0")
     return specs, weights / weights.sum()
 
 
-def sample_valid_len(
-    spec: ModelSpec, rng: np.random.Generator
-) -> int:
+def sample_valid_len(spec: ModelSpec, rng: np.random.Generator) -> int:
     """Draw one request's non-padded length around the model's mean.
 
     Mirrors the jitter the calibrated workload generator applies to the
@@ -352,12 +346,37 @@ def sample_valid_len(
     return max(2, int(round(spec.seq_len * (1.0 - ratio))))
 
 
+def sample_output_lens(
+    u: np.ndarray, mean_output_tokens: float, cap: np.ndarray
+) -> np.ndarray:
+    """Geometric output lengths from uniform draws, clipped per request.
+
+    Inverse-CDF sampling of a geometric distribution with mean
+    ``mean_output_tokens`` (success probability ``p = 1/mean``):
+    ``1 + floor(log1p(-u) / log1p(-p))``.  Working from explicit
+    ``rng.uniform`` draws (rather than ``rng.geometric``) keeps the
+    draw count exactly one-per-request, so the chunked stream generator
+    replays the phase bitwise at any chunk size.  ``cap`` is the
+    per-request hard ceiling ``seq_len - valid_len + 1`` (the final
+    decode context must fit the model's window).
+    """
+    if mean_output_tokens < 1.0:
+        raise ValueError("mean_output_tokens must be >= 1")
+    p = 1.0 / mean_output_tokens
+    if p >= 1.0:
+        lens = np.ones(u.shape, dtype=np.int64)
+    else:
+        lens = 1 + np.floor(np.log1p(-u) / np.log1p(-p)).astype(np.int64)
+    return np.minimum(np.maximum(lens, 1), cap)
+
+
 def generate_request_table(
     process: ArrivalProcess,
     mix: ModelMix,
     count: int,
     seed: int = 0,
     start_id: int = 0,
+    mean_output_tokens: float = None,
 ) -> RequestTable:
     """Vectorized stream generation into a columnar request table.
 
@@ -367,6 +386,12 @@ def generate_request_table(
     padding (``padding_ratio > 0``), in request order -- the same draw
     sequence ``sample_valid_len`` consumed one call at a time, so
     every pre-vectorization golden stream is unchanged.
+
+    ``mean_output_tokens`` switches the stream generative: a fourth RNG
+    phase (drawn strictly *after* the prefill phases, so prefill-only
+    streams stay byte-identical) samples each request's output length
+    from a geometric with that mean, clipped to the model window
+    (``valid_len + output_len - 1 <= seq_len``).
     """
     if count < 1:
         raise ValueError("count must be positive")
@@ -386,12 +411,19 @@ def generate_request_table(
         ratio = np.clip(picked_padding[jittered] + jitter, 0.0, 0.95)
         drawn = np.round(valid[jittered] * (1.0 - ratio))
         valid[jittered] = np.maximum(2, drawn.astype(np.int64))
+    output_len = None
+    if mean_output_tokens is not None:
+        u = rng.uniform(size=count)
+        output_len = sample_output_lens(
+            u, mean_output_tokens, seq_lens[picks] - valid + 1
+        )
     return RequestTable(
         specs=specs,
         request_id=start_id + np.arange(count, dtype=np.int64),
         arrival_s=times,
         spec_idx=np.asarray(picks, dtype=np.int64),
         valid_len=valid,
+        output_len=output_len,
     )
 
 
@@ -401,6 +433,7 @@ def generate_requests(
     count: int,
     seed: int = 0,
     start_id: int = 0,
+    mean_output_tokens: float = None,
 ) -> List[Request]:
     """Materialize ``count`` requests from an arrival process and a mix.
 
@@ -410,5 +443,10 @@ def generate_requests(
     sequence).
     """
     return generate_request_table(
-        process, mix, count, seed=seed, start_id=start_id
+        process,
+        mix,
+        count,
+        seed=seed,
+        start_id=start_id,
+        mean_output_tokens=mean_output_tokens,
     ).to_requests()

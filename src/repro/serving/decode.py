@@ -1,0 +1,798 @@
+"""Columnar fast path for generative (continuous-batching) serving.
+
+The decode twin of :mod:`repro.serving.engine`: where prefill-only
+batch formation is device-independent (so the fast engine can form
+every batch in one vectorized pass), a decode step only becomes
+schedulable when its previous step *finishes* -- batch formation and
+dispatch are coupled through device timing.  This engine therefore
+stays event-driven, but works at **batch granularity over columnar
+state**: one heap entry per sealed step batch (not per request-step),
+plain-tuple queue frontiers instead of per-step objects, and a
+memoized (model, phase, bucket) cost table -- the same design that
+makes the prefill engine fast, applied to the generative lifecycle.
+
+The contract matches the prefill engine's: for the same stream and
+knobs, :func:`simulate_decode_table` produces per-request timestamps,
+device busy/energy folds, and batch counters **bitwise equal** to the
+reference :class:`~repro.serving.scheduler.GenerativeServingSimulator`
+(same float expressions evaluated in the same order), and
+:func:`simulate_decode_stream` extends that bitwise contract to
+chunked out-of-core streams at any chunk size, retiring completed
+requests through a ``sink`` so peak memory is O(chunk + in-flight).
+
+Request lifecycle (continuous batching)::
+
+    arrival --> [prefill queue] --seal--> prefill step ----> first token
+                                              (batch)            |
+              +---------------------------------<----------------+
+              |  re-admit at finish, context += 1
+              v
+            [decode queue] --seal--> decode step --> ... --> last token
+
+Seal rules are the reference batcher's, at step granularity: a queue
+seals on ``max_batch_size`` members or when its oldest step has waited
+``max_wait_s``; prefill and decode steps never share a batch; when no
+future step can ever join, pending queues flush immediately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.obs.trace import TraceRecorder
+from repro.serving.devices import DEFAULT_SETUP_CYCLES, ServiceCostModel
+from repro.serving.requests import Request, RequestTable
+from repro.serving.scheduler import DecodeRecord, GenerativeResult
+
+
+# Per-request record layout (plain lists: the hot loop touches these
+# per token step, so attribute access is out).
+_RID = 0      # request id
+_ARR = 1      # arrival_s
+_SPEC = 2     # spec index
+_VLEN = 3     # prompt length
+_OLEN = 4     # output length
+_LCTX = 5     # final context: vlen + olen - 1
+_PFB = 6      # prefill batched (sealed) time
+_PFS = 7      # prefill service start
+_PFD = 8      # prefill device id
+_PFSZ = 9     # prefill batch size
+_FT = 10      # first token (prefill finish)
+_FIN = 11     # finish (last token)
+_DSLOT = 12   # summed decode batch occupancy
+_ROW = 13     # global row index (sorted order)
+_QID = 14     # name-keyed queue id (duplicate-name specs share one)
+
+
+@dataclass
+class DecodeColumnarResult:
+    """A generative run's outcome as struct-of-arrays columns.
+
+    Rows follow the canonical (arrival_s, request_id) sort of the
+    input table; every value is bitwise equal to the reference loop's
+    :class:`~repro.serving.scheduler.DecodeRecord` fields.
+    """
+
+    specs: List
+    request_id: np.ndarray
+    arrival_s: np.ndarray
+    spec_idx: np.ndarray
+    valid_len: np.ndarray
+    output_len: np.ndarray
+    prefill_batched_s: np.ndarray
+    prefill_start_s: np.ndarray
+    first_token_s: np.ndarray
+    finish_s: np.ndarray
+    prefill_batch_size: np.ndarray
+    prefill_device_id: np.ndarray
+    decode_slots: np.ndarray
+    start_s: float
+    end_s: float
+    device_busy_s: List[float]
+    device_energy_pj: List[float]
+    batches: int
+    prefill_batches: int
+    decode_batches: int
+    size_triggered_batches: int
+    timeout_triggered_batches: int
+    total_tokens: int
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+    @property
+    def completed(self) -> int:
+        return int(self.request_id.size)
+
+    @property
+    def latency_s(self) -> np.ndarray:
+        """End-to-end latency column: arrival to last token."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> np.ndarray:
+        """Arrival to prefill service start."""
+        return self.prefill_start_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> np.ndarray:
+        """Time-to-first-token column: arrival to prefill finish."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tbt_s(self) -> np.ndarray:
+        """Mean time between tokens per request (NaN when 1 token)."""
+        steps = (self.output_len - 1).astype(np.float64)
+        return np.divide(
+            self.finish_s - self.first_token_s,
+            steps,
+            out=np.full(steps.shape, np.nan),
+            where=steps > 0,
+        )
+
+    def to_result(self) -> GenerativeResult:
+        """Materialize reference-shaped records (tests, small runs)."""
+        records = [
+            DecodeRecord(
+                request=Request(
+                    request_id=int(self.request_id[i]),
+                    arrival_s=float(self.arrival_s[i]),
+                    spec=self.specs[int(self.spec_idx[i])],
+                    valid_len=int(self.valid_len[i]),
+                    output_len=int(self.output_len[i]),
+                ),
+                prefill_batched_s=float(self.prefill_batched_s[i]),
+                prefill_start_s=float(self.prefill_start_s[i]),
+                first_token_s=float(self.first_token_s[i]),
+                finish_s=float(self.finish_s[i]),
+                prefill_batch_size=int(self.prefill_batch_size[i]),
+                prefill_device_id=int(self.prefill_device_id[i]),
+                decode_slots=int(self.decode_slots[i]),
+            )
+            for i in range(self.completed)
+        ]
+        return GenerativeResult(
+            records=records,
+            start_s=self.start_s,
+            end_s=self.end_s,
+            device_busy_s=list(self.device_busy_s),
+            device_energy_pj=list(self.device_energy_pj),
+            batches=self.batches,
+            prefill_batches=self.prefill_batches,
+            decode_batches=self.decode_batches,
+            size_triggered_batches=self.size_triggered_batches,
+            timeout_triggered_batches=self.timeout_triggered_batches,
+            total_tokens=self.total_tokens,
+        )
+
+
+@dataclass
+class DecodeCompletedChunk:
+    """Outcome columns for requests retired by the chunked decode driver.
+
+    Rows are in completion (finish-event) order; values are bitwise
+    equal to the whole-table run's.  Downstream consumers
+    (:func:`repro.serving.metrics.summarize_stream`) fold these into
+    fixed-size sketches and drop them.
+    """
+
+    specs: List
+    request_id: np.ndarray
+    arrival_s: np.ndarray
+    spec_idx: np.ndarray
+    valid_len: np.ndarray
+    output_len: np.ndarray
+    prefill_batched_s: np.ndarray
+    prefill_start_s: np.ndarray
+    first_token_s: np.ndarray
+    finish_s: np.ndarray
+    prefill_batch_size: np.ndarray
+    prefill_device_id: np.ndarray
+    decode_slots: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.request_id.size)
+
+    @property
+    def latency_s(self) -> np.ndarray:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> np.ndarray:
+        return self.prefill_start_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> np.ndarray:
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tbt_s(self) -> np.ndarray:
+        steps = (self.output_len - 1).astype(np.float64)
+        return np.divide(
+            self.finish_s - self.first_token_s,
+            steps,
+            out=np.full(steps.shape, np.nan),
+            where=steps > 0,
+        )
+
+
+@dataclass
+class DecodeStreamedResult:
+    """Run-level aggregates of a chunked generative simulation."""
+
+    completed: int
+    start_s: float
+    end_s: float
+    device_busy_s: List[float]
+    device_energy_pj: List[float]
+    batches: int
+    prefill_batches: int
+    decode_batches: int
+    size_triggered_batches: int
+    timeout_triggered_batches: int
+    total_tokens: int
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+
+class _DecodeCore:
+    """The event loop over columnar generative state.
+
+    Shared by the whole-table and chunked entry points: arrivals feed
+    in through :meth:`run_arrivals` (possibly across many calls), the
+    heap carries one entry per in-flight step batch plus queue-creation
+    timeouts, and completed per-request records accumulate in
+    ``self.completed`` (the callers drain it).  Event ordering --
+    (time, priority, push order) with DEVICE_DONE < ARRIVAL <
+    BATCH_TIMEOUT at equal instants -- matches the reference
+    :class:`~repro.serving.events.EventQueue` exactly.
+    """
+
+    def __init__(
+        self,
+        specs: List,
+        cost_model: ServiceCostModel,
+        num_devices: int,
+        max_batch_size: int,
+        max_wait_s: float,
+        setup_cycles: int,
+    ):
+        self.specs = specs
+        # The reference batcher keys queues on model *name*: same-name
+        # specs (identical by table validation) must share a queue.
+        queue_ids: dict = {}
+        self.queue_specs: List = []
+        self.queue_of_spec: List[int] = []
+        for spec in specs:
+            qid = queue_ids.setdefault(spec.name, len(self.queue_specs))
+            if qid == len(self.queue_specs):
+                self.queue_specs.append(spec)
+            self.queue_of_spec.append(qid)
+        self.cost_model = cost_model
+        self.num_devices = num_devices
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.zero_wait = max_wait_s == 0
+        self.setup_cycles = setup_cycles
+        self.frequency_hz = cost_model.config.frequency_ghz * 1e9
+
+        # (time, priority, seq, payload); priority 0 = DEVICE_DONE
+        # (payload: sealed batch), 2 = BATCH_TIMEOUT (payload: None).
+        self.heap: list = []
+        self.seq = 0
+        # (queue id, decode?) -> [ready times, records, contexts,
+        # rejoiner count]; insertion-ordered like the reference
+        # batcher's dict (flush order at shared instants depends on
+        # it).  The rejoiner count -- members whose step is not their
+        # last -- accumulates at admission so sealing is O(1) in it.
+        self.queues: dict = {}
+        # Sealed batches awaiting a device, FIFO.  Entries:
+        # (decode?, records, contexts, service_s, energy_pj).
+        self.ready: deque = deque()
+        self.free_at = [0.0] * num_devices
+        #: min(free_at), maintained on every assignment: the dispatch
+        #: loop's "every device is busy" exit is one comparison.
+        self.min_free_at = 0.0
+        self.busy_s = [0.0] * num_devices
+        self.energy_pj = [0.0] * num_devices
+        # (queue id, decode?, context bucket) -> per-sample cost, and a
+        # pre-bucket layer keyed on the raw max context so sealing
+        # skips the bucket arithmetic for contexts it has seen.
+        self.cost_memo: dict = {}
+        self.ctx_memo: dict = {}
+        self.completed: list = []
+        self.in_flight_rejoiners = 0
+        self.arrivals_done = False
+        self.last_now = 0.0
+        self.steps_in = 0
+        self.batches = 0
+        self.prefill_batches = 0
+        self.decode_batches = 0
+        self.size_triggered = 0
+        self.timeout_triggered = 0
+        self.end_s = -np.inf
+
+    # ------------------------------------------------------------------
+    def _cost(self, qid: int, decode: bool, max_ctx: int):
+        """(per-sample cycles, energy) at the bucketed max context."""
+        model = self.cost_model
+        lb = model.len_bucket
+        spec = self.queue_specs[qid]
+        bucket = min(spec.seq_len, max(2, -(-max_ctx // lb) * lb))
+        key = (qid, decode, bucket)
+        cached = self.cost_memo.get(key)
+        if cached is None:
+            per = (
+                model.decode_cost(spec, max_ctx)
+                if decode
+                else model.sample_cost(spec, max_ctx)
+            )
+            cached = self.cost_memo[key] = (per.cycles, per.energy_pj)
+        return cached
+
+    def _seal(self, key, now: float, by_size: bool) -> None:
+        readys, recs, ctxs, rejoiners = self.queues.pop(key)
+        qid, decode = key
+        size = len(recs)
+        ckey = (qid, decode, max(ctxs))
+        cached = self.ctx_memo.get(ckey)
+        if cached is None:
+            cached = self.ctx_memo[ckey] = self._cost(*ckey)
+        cycles, energy = cached
+        # Same float expressions as SprintDevice.start_step_batch.
+        service = (self.setup_cycles + cycles * size) / self.frequency_hz
+        self.batches += 1
+        if by_size:
+            self.size_triggered += 1
+        else:
+            self.timeout_triggered += 1
+        if decode:
+            self.decode_batches += 1
+        else:
+            self.prefill_batches += 1
+            for rec in recs:
+                rec[_PFB] = now
+                rec[_PFSZ] = size
+        self.in_flight_rejoiners += rejoiners
+        self.ready.append((decode, recs, ctxs, service, energy))
+
+    def _admit(self, rec, ctx: int, decode: bool, now: float) -> None:
+        self.steps_in += 1
+        key = (rec[_QID], decode)
+        queues = self.queues
+        q = queues.get(key)
+        rejoin = 1 if ctx != rec[_LCTX] else 0
+        if q is None:
+            q = queues[key] = [[now], [rec], [ctx], rejoin]
+            if self.max_batch_size <= 1:
+                self._seal(key, now, by_size=True)
+            elif self.max_wait_s > 0:
+                heappush(self.heap, (now + self.max_wait_s, 2, self.seq, None))
+                self.seq += 1
+        else:
+            q[0].append(now)
+            q[1].append(rec)
+            q[2].append(ctx)
+            q[3] += rejoin
+            if len(q[1]) >= self.max_batch_size:
+                self._seal(key, now, by_size=True)
+
+    def _flush_due(self, now: float) -> None:
+        # Same float comparison as the reference batcher's flush_due.
+        w = self.max_wait_s
+        queues = self.queues
+        if len(queues) == 1:
+            key = next(iter(queues))
+            if now >= queues[key][0][0] + w:
+                self._seal(key, now, by_size=False)
+            return
+        due = [key for key, q in queues.items() if now >= q[0][0] + w]
+        for key in due:
+            self._seal(key, now, by_size=False)
+
+    def _dispatch(self, now: float) -> None:
+        ready = self.ready
+        if not ready or self.min_free_at > now:
+            return
+        free_at = self.free_at
+        while ready:
+            dev = -1
+            for d in range(self.num_devices):
+                if free_at[d] <= now:
+                    dev = d
+                    break
+            if dev < 0:
+                return
+            batch = ready.popleft()
+            decode, recs, ctxs, service, energy = batch
+            finish = now + service
+            free_at[dev] = finish
+            self.min_free_at = min(free_at)
+            self.busy_s[dev] += service
+            self.energy_pj[dev] += energy * len(recs)
+            if not decode:
+                for rec in recs:
+                    rec[_PFS] = now
+                    rec[_PFD] = dev
+            heappush(self.heap, (finish, 0, self.seq, batch))
+            self.seq += 1
+
+    def _after_event(self, now: float) -> None:
+        self.last_now = now
+        if self.zero_wait and self.queues:
+            self._flush_due(now)
+        if self.arrivals_done and self.in_flight_rejoiners == 0 and self.queues:
+            for key in list(self.queues):
+                self._seal(key, now, by_size=False)
+        self._dispatch(now)
+
+    def _handle_heap_event(self) -> None:
+        now, priority, _, batch = heappop(self.heap)
+        if priority == 0:  # DEVICE_DONE
+            decode, recs, ctxs, service, energy = batch
+            size = len(recs)
+            if now > self.end_s:
+                self.end_s = now
+            # The rejoin admission (self._admit with decode=True) is
+            # inlined: this loop runs once per token-step and dominates
+            # the engine's wall-clock.
+            queues = self.queues
+            completed = self.completed
+            max_bs = self.max_batch_size
+            w = self.max_wait_s
+            rejoined = 0
+            for k in range(size):
+                rec = recs[k]
+                ctx = ctxs[k]
+                last = rec[_LCTX]
+                if decode:
+                    rec[_DSLOT] += size
+                else:
+                    rec[_FT] = now
+                if ctx == last:
+                    rec[_FIN] = now
+                    completed.append(rec)
+                    continue
+                rejoined += 1
+                ctx += 1
+                key = (rec[_QID], True)
+                q = queues.get(key)
+                if q is None:
+                    q = queues[key] = [[now], [rec], [ctx], 0 if ctx == last else 1]
+                    if max_bs <= 1:
+                        self._seal(key, now, by_size=True)
+                    elif w > 0:
+                        heappush(self.heap, (now + w, 2, self.seq, None))
+                        self.seq += 1
+                else:
+                    q[0].append(now)
+                    q[1].append(rec)
+                    q[2].append(ctx)
+                    if ctx != last:
+                        q[3] += 1
+                    if len(q[1]) >= max_bs:
+                        self._seal(key, now, by_size=True)
+            self.in_flight_rejoiners -= rejoined
+            self.steps_in += rejoined
+        elif self.queues:  # BATCH_TIMEOUT
+            self._flush_due(now)
+        # _after_event, inlined (this handler is the hot loop).
+        self.last_now = now
+        if self.zero_wait and self.queues:
+            self._flush_due(now)
+        if self.arrivals_done and self.in_flight_rejoiners == 0 and self.queues:
+            for key in list(self.queues):
+                self._seal(key, now, by_size=False)
+        if self.ready:
+            self._dispatch(now)
+
+    # ------------------------------------------------------------------
+    def run_arrivals(self, rid, arr, spec_i, vlen, olen, row_base: int):
+        """Feed one chunk of sorted arrivals through the event loop.
+
+        Heap events strictly preceding each arrival (in the reference
+        (time, priority) order) are processed first; events at or
+        beyond the chunk's last arrival stay queued for the next chunk
+        or :meth:`finalize`.
+        """
+        heap = self.heap
+        qmap = self.queue_of_spec
+        n = rid.size
+        for i in range(n):
+            t = float(arr[i])
+            while heap and (heap[0][0] < t or (heap[0][0] == t and heap[0][1] == 0)):
+                self._handle_heap_event()
+            v = int(vlen[i])
+            o = int(olen[i])
+            s = int(spec_i[i])
+            rec = [
+                int(rid[i]),
+                t,
+                s,
+                v,
+                o,
+                v + o - 1,
+                0.0,
+                0.0,
+                -1,
+                1,
+                0.0,
+                0.0,
+                0,
+                row_base + i,
+                qmap[s],
+            ]
+            self._admit(rec, v, False, t)
+            # _after_event, inlined (arrivals_done is False here, so
+            # the end-of-stream flush can never apply).
+            self.last_now = t
+            if self.zero_wait and self.queues:
+                self._flush_due(t)
+            if self.ready:
+                self._dispatch(t)
+
+    def finalize(self) -> None:
+        """No further arrivals: apply the tail flush and drain the heap."""
+        self.arrivals_done = True
+        if self.in_flight_rejoiners == 0 and self.queues:
+            # The end-of-stream flush the monolithic loop would have
+            # applied at the last processed event.
+            now = self.last_now
+            for key in list(self.queues):
+                self._seal(key, now, by_size=False)
+            self._dispatch(now)
+        while self.heap:
+            self._handle_heap_event()
+        assert not self.ready and not self.queues
+        assert self.in_flight_rejoiners == 0
+
+
+def _validate_knobs(num_devices, max_batch_size, max_wait_s):
+    if num_devices < 1:
+        raise ValueError("at least one device required")
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be positive")
+    if max_wait_s < 0:
+        raise ValueError("max_wait_s must be non-negative")
+
+
+def simulate_decode_table(
+    table: RequestTable,
+    cost_model: ServiceCostModel,
+    num_devices: int = 1,
+    max_batch_size: int = 8,
+    max_wait_s: float = 2e-3,
+    setup_cycles: int = DEFAULT_SETUP_CYCLES,
+    recorder: Optional[TraceRecorder] = None,
+) -> DecodeColumnarResult:
+    """Run one deployment over a generative columnar stream; fast path.
+
+    Identical knobs and semantics to building ``num_devices``
+    :class:`~repro.serving.devices.SprintDevice` plus a
+    :class:`~repro.serving.batching.ContinuousBatcher` and calling
+    :meth:`~repro.serving.scheduler.GenerativeServingSimulator.run`;
+    per-request timestamps, busy/energy folds, and batch counters are
+    bitwise equal.  Tables without an ``output_len`` column run as
+    all-``output_len=1`` generative traffic (pure prefill).
+
+    ``recorder`` emits the sampled requests' lifecycle spans post-hoc
+    from the finished columns (prefill batching/dispatch, finish at
+    the last token), bitwise identical to the reference loop's.
+    """
+    if len(table) == 0:
+        raise ValueError("request stream must not be empty")
+    _validate_knobs(num_devices, max_batch_size, max_wait_s)
+    if np.unique(table.request_id).size != len(table):
+        raise ValueError("duplicate request id in stream")
+
+    order = np.lexsort((table.request_id, table.arrival_s))
+    rid = table.request_id[order]
+    arr = table.arrival_s[order]
+    spec_i = table.spec_idx[order]
+    vlen = table.valid_len[order]
+    if table.output_len is None:
+        olen = np.ones(len(table), dtype=np.int64)
+    else:
+        olen = table.output_len[order]
+
+    core = _DecodeCore(
+        table.specs,
+        cost_model,
+        num_devices,
+        max_batch_size,
+        max_wait_s,
+        setup_cycles,
+    )
+    core.run_arrivals(rid, arr, spec_i, vlen, olen, 0)
+    core.finalize()
+
+    n = len(table)
+    prefill_batched = np.empty(n, dtype=np.float64)
+    prefill_start = np.empty(n, dtype=np.float64)
+    first_token = np.empty(n, dtype=np.float64)
+    finish = np.empty(n, dtype=np.float64)
+    prefill_size = np.empty(n, dtype=np.int64)
+    prefill_dev = np.empty(n, dtype=np.int64)
+    dslots = np.empty(n, dtype=np.int64)
+    assert len(core.completed) == n
+    for rec in core.completed:
+        row = rec[_ROW]
+        prefill_batched[row] = rec[_PFB]
+        prefill_start[row] = rec[_PFS]
+        first_token[row] = rec[_FT]
+        finish[row] = rec[_FIN]
+        prefill_size[row] = rec[_PFSZ]
+        prefill_dev[row] = rec[_PFD]
+        dslots[row] = rec[_DSLOT]
+
+    if recorder is not None:
+        specs = table.specs
+        for i in range(n):
+            recorder.add_request(
+                request_id=int(rid[i]),
+                model=specs[int(spec_i[i])].name,
+                arrival_s=float(arr[i]),
+                batched_s=float(prefill_batched[i]),
+                service_start_s=float(prefill_start[i]),
+                finish_s=float(finish[i]),
+                device_id=int(prefill_dev[i]),
+                batch_size=int(prefill_size[i]),
+            )
+
+    return DecodeColumnarResult(
+        specs=table.specs,
+        request_id=rid,
+        arrival_s=arr,
+        spec_idx=spec_i,
+        valid_len=vlen,
+        output_len=olen,
+        prefill_batched_s=prefill_batched,
+        prefill_start_s=prefill_start,
+        first_token_s=first_token,
+        finish_s=finish,
+        prefill_batch_size=prefill_size,
+        prefill_device_id=prefill_dev,
+        decode_slots=dslots,
+        start_s=float(arr[0]),
+        end_s=float(finish.max()),
+        device_busy_s=list(core.busy_s),
+        device_energy_pj=list(core.energy_pj),
+        batches=core.batches,
+        prefill_batches=core.prefill_batches,
+        decode_batches=core.decode_batches,
+        size_triggered_batches=core.size_triggered,
+        timeout_triggered_batches=core.timeout_triggered,
+        total_tokens=int(olen.sum()),
+    )
+
+
+def _completed_chunk(specs, recs) -> DecodeCompletedChunk:
+    n = len(recs)
+    cols = {
+        "request_id": (np.int64, _RID),
+        "arrival_s": (np.float64, _ARR),
+        "spec_idx": (np.int64, _SPEC),
+        "valid_len": (np.int64, _VLEN),
+        "output_len": (np.int64, _OLEN),
+        "prefill_batched_s": (np.float64, _PFB),
+        "prefill_start_s": (np.float64, _PFS),
+        "first_token_s": (np.float64, _FT),
+        "finish_s": (np.float64, _FIN),
+        "prefill_batch_size": (np.int64, _PFSZ),
+        "prefill_device_id": (np.int64, _PFD),
+        "decode_slots": (np.int64, _DSLOT),
+    }
+    arrays = {}
+    for name, (dtype, at) in cols.items():
+        col = np.empty(n, dtype=dtype)
+        for i, rec in enumerate(recs):
+            col[i] = rec[at]
+        arrays[name] = col
+    return DecodeCompletedChunk(specs=specs, **arrays)
+
+
+def simulate_decode_stream(
+    chunks: Iterable[RequestTable],
+    cost_model: ServiceCostModel,
+    num_devices: int = 1,
+    max_batch_size: int = 8,
+    max_wait_s: float = 2e-3,
+    setup_cycles: int = DEFAULT_SETUP_CYCLES,
+    sink: Optional[Callable[[DecodeCompletedChunk], None]] = None,
+) -> DecodeStreamedResult:
+    """Out-of-core generative simulation over a chunked request stream.
+
+    The generative twin of :func:`~repro.serving.engine.
+    simulate_stream`: consumes generative ``RequestTable`` chunks in
+    arrival order, holds only the event-loop frontier (open queues,
+    in-flight step batches, device folds) plus one chunk, and retires
+    completed requests through ``sink`` as
+    :class:`DecodeCompletedChunk` columns in completion order.  Every
+    emitted value and aggregate is bitwise equal to the whole-table
+    :func:`simulate_decode_table` run of the concatenated stream, at
+    any chunk size.
+
+    Chunks must be non-overlapping and ordered (each chunk's earliest
+    (arrival, id) lexicographically follows the previous chunk's
+    latest) and share one spec list; request-id uniqueness across
+    chunks is the caller's contract, as in the prefill driver.
+    """
+    _validate_knobs(num_devices, max_batch_size, max_wait_s)
+    core: Optional[_DecodeCore] = None
+    specs: Optional[List] = None
+    start_s = 0.0
+    row_base = 0
+    prev_arrival = -np.inf
+    prev_id = -1
+
+    def _drain() -> None:
+        if core.completed:
+            chunk_out = _completed_chunk(specs, core.completed)
+            core.completed.clear()
+            if sink is not None:
+                sink(chunk_out)
+
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        if specs is None:
+            specs = list(chunk.specs)
+            core = _DecodeCore(
+                specs,
+                cost_model,
+                num_devices,
+                max_batch_size,
+                max_wait_s,
+                setup_cycles,
+            )
+        elif list(chunk.specs) != specs:
+            raise ValueError("chunks must share one spec list")
+        order = np.lexsort((chunk.request_id, chunk.arrival_s))
+        rid = chunk.request_id[order]
+        arr = chunk.arrival_s[order]
+        if row_base == 0:
+            start_s = float(arr[0])
+        if (arr[0], rid[0]) <= (prev_arrival, prev_id):
+            raise ValueError("chunks must be ordered by (arrival_s, request_id)")
+        if np.unique(rid).size != rid.size:
+            raise ValueError("duplicate request id in chunk")
+        prev_arrival, prev_id = float(arr[-1]), int(rid[-1])
+        if chunk.output_len is None:
+            olen = np.ones(len(chunk), dtype=np.int64)
+        else:
+            olen = chunk.output_len[order]
+        core.run_arrivals(
+            rid,
+            arr,
+            chunk.spec_idx[order],
+            chunk.valid_len[order],
+            olen,
+            row_base,
+        )
+        row_base += len(chunk)
+        _drain()
+    if core is None:
+        raise ValueError("request stream must not be empty")
+    core.finalize()
+    _drain()
+    return DecodeStreamedResult(
+        completed=row_base,
+        start_s=start_s,
+        end_s=float(core.end_s),
+        device_busy_s=list(core.busy_s),
+        device_energy_pj=list(core.energy_pj),
+        batches=core.batches,
+        prefill_batches=core.prefill_batches,
+        decode_batches=core.decode_batches,
+        size_triggered_batches=core.size_triggered,
+        timeout_triggered_batches=core.timeout_triggered,
+        total_tokens=core.steps_in,
+    )

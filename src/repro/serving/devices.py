@@ -83,6 +83,7 @@ class ServiceCostModel:
         self.seed = seed
         self._simulator = MultiHeadSimulator(config, **system_kwargs)
         self._cache: Dict[Tuple[str, int], SampleCost] = {}
+        self._decode_cache: Dict[Tuple[str, int], SampleCost] = {}
 
     # ------------------------------------------------------------------
     def bucket_len(self, spec: ModelSpec, valid_len: int) -> int:
@@ -102,9 +103,7 @@ class ServiceCostModel:
         # The batch runs with padding stripped to the bucket length: the
         # serving layer, unlike the figure workloads, knows each
         # request's true length.
-        sized = dataclasses.replace(
-            spec, seq_len=length, padding_ratio=0.0
-        )
+        sized = dataclasses.replace(spec, seq_len=length, padding_ratio=0.0)
         report = self._simulator.simulate(
             sized, self.mode, num_samples=1, seed=self.seed
         )
@@ -115,6 +114,32 @@ class ServiceCostModel:
         self._cache[key] = cost
         return cost
 
+    def decode_cost(self, spec: ModelSpec, context_len: int) -> SampleCost:
+        """Per-token decode cost at a (bucketed) attention context.
+
+        One decode step emits a single token attending over
+        ``context_len`` prior tokens.  The cycle model prices whole
+        forward passes, so a step is charged the bucketed full-pass
+        cost amortized over the bucket length -- the per-token share of
+        a pass at that context.  The quadratic attention term makes
+        this share grow with context (and lets SPRINT's pruning flatten
+        it), which is exactly the decode-phase interaction the
+        generative experiment measures.  Derived from the same memoized
+        :meth:`sample_cost` buckets, so both serving engines see
+        bitwise-identical decode prices.
+        """
+        length = self.bucket_len(spec, context_len)
+        key = (spec.name, length)
+        cached = self._decode_cache.get(key)
+        if cached is None:
+            per_pass = self.sample_cost(spec, length)
+            cached = SampleCost(
+                cycles=per_pass.cycles / length,
+                energy_pj=per_pass.energy_pj / length,
+            )
+            self._decode_cache[key] = cached
+        return cached
+
     def bucket_lens(self, spec: ModelSpec, valid_lens) -> np.ndarray:
         """Vectorized :meth:`bucket_len` over a column of lengths."""
         lens = np.asarray(valid_lens, dtype=np.int64)
@@ -123,9 +148,7 @@ class ServiceCostModel:
         rounded = -(-lens // self.len_bucket) * self.len_bucket
         return np.minimum(spec.seq_len, np.maximum(2, rounded))
 
-    def cost_arrays(
-        self, spec: ModelSpec, valid_lens
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    def cost_arrays(self, spec: ModelSpec, valid_lens) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorized (cycles, energy) columns for a column of lengths.
 
         Buckets the lengths, faults any cold bucket into the memoized
@@ -225,9 +248,7 @@ class SprintDevice:
 
     def _batch_cost(self, batch: Batch) -> Tuple[float, SampleCost]:
         """(service seconds, per-sample cost) -- one cost lookup."""
-        per_sample = self.cost_model.sample_cost(
-            batch.spec, batch.max_valid_len
-        )
+        per_sample = self.cost_model.sample_cost(batch.spec, batch.max_valid_len)
         cycles = self.setup_cycles + per_sample.cycles * batch.size
         return cycles / self.frequency_hz, per_sample
 
@@ -247,4 +268,38 @@ class SprintDevice:
         self.batches_done += 1
         self.samples_done += batch.size
         self.energy_pj += per_sample.energy_pj * batch.size
+        return self.busy_until_s
+
+    def start_step_batch(
+        self,
+        spec: ModelSpec,
+        context_len: int,
+        size: int,
+        decode: bool,
+        now_s: float,
+    ) -> float:
+        """Begin one continuous-batching token step; returns finish time.
+
+        The generative scheduler's unit of device work: ``size``
+        same-model requests advancing one token together, padded to the
+        batch's longest context.  A *prefill* step prices like a legacy
+        batch (full pass at ``context_len``); a *decode* step charges
+        the per-token :meth:`ServiceCostModel.decode_cost` share.  Both
+        pay the per-batch ``setup_cycles``.
+        """
+        if not self.is_idle(now_s):
+            raise RuntimeError(
+                f"device {self.device_id} busy until {self.busy_until_s}"
+            )
+        if decode:
+            per_sample = self.cost_model.decode_cost(spec, context_len)
+        else:
+            per_sample = self.cost_model.sample_cost(spec, context_len)
+        cycles = self.setup_cycles + per_sample.cycles * size
+        service = cycles / self.frequency_hz
+        self.busy_until_s = now_s + service
+        self.busy_s += service
+        self.batches_done += 1
+        self.samples_done += size
+        self.energy_pj += per_sample.energy_pj * size
         return self.busy_until_s

@@ -254,9 +254,7 @@ def _group_rows(
     counts = np.bincount(qcol, minlength=num_queues)
     offsets = np.concatenate(([0], np.cumsum(counts)))
     order = np.argsort(qcol, kind="stable")
-    return [
-        order[offsets[q] : offsets[q + 1]] for q in range(num_queues)
-    ]
+    return [order[offsets[q] : offsets[q + 1]] for q in range(num_queues)]
 
 
 def _form_queue(
@@ -413,8 +411,14 @@ def simulate_table(
     recorder: Optional[TraceRecorder] = None,
     threads: int = 1,
     _formed: Optional[dict] = None,
-) -> ColumnarServingResult:
+) -> "ColumnarServingResult | DecodeColumnarResult":
     """Run one deployment over a columnar stream; the fast path.
+
+    Generative tables (an ``output_len`` column present) route to the
+    event-driven decode engine and return a
+    :class:`~repro.serving.decode.DecodeColumnarResult` instead --
+    same knobs, same bitwise-vs-reference contract, per-token
+    lifecycle columns.
 
     Identical knobs and semantics to building ``num_devices``
     :class:`~repro.serving.devices.SprintDevice` plus a
@@ -439,6 +443,26 @@ def simulate_table(
     a dict of queue id -> precomputed phase-1 parts for the canonically
     sorted table.
     """
+    if table.output_len is not None:
+        # Generative traffic: decode-step readiness depends on device
+        # timing, so batch formation cannot be precomputed -- route to
+        # the event-driven columnar decode engine.  ``threads`` does
+        # not apply (the event loop is inherently sequential).
+        from repro.serving.decode import simulate_decode_table
+
+        if _formed is not None:
+            raise ValueError(
+                "sharded batch formation does not apply to generative tables"
+            )
+        return simulate_decode_table(
+            table,
+            cost_model,
+            num_devices=num_devices,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            setup_cycles=setup_cycles,
+            recorder=recorder,
+        )
     if len(table) == 0:
         raise ValueError("request stream must not be empty")
     if num_devices < 1:
@@ -496,12 +520,8 @@ def simulate_table(
         # workers then only read the memo dict (plus GIL-free numpy),
         # and the fault order stays deterministic.
         for qid in active:
-            cost_model.prime(
-                queue_specs[qid], table.valid_len[rows_list[qid]]
-            )
-        with ThreadPoolExecutor(
-            max_workers=min(threads, len(active))
-        ) as pool:
+            cost_model.prime(queue_specs[qid], table.valid_len[rows_list[qid]])
+        with ThreadPoolExecutor(max_workers=min(threads, len(active))) as pool:
             per_queue = list(pool.map(_one_queue, active))
     else:
         per_queue = [_one_queue(qid) for qid in active]
@@ -761,9 +781,7 @@ def _split_carry(
     flushes everything.
     """
     if q.carry is not None and part is not None:
-        combined = tuple(
-            np.concatenate((c, p)) for c, p in zip(q.carry, part)
-        )
+        combined = tuple(np.concatenate((c, p)) for c, p in zip(q.carry, part))
     elif q.carry is not None:
         combined = q.carry
     elif part is not None:
@@ -799,8 +817,14 @@ def simulate_stream(
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
     threads: int = 1,
     sink: Optional[Callable[[CompletedChunk], None]] = None,
-) -> StreamedServingResult:
+) -> "StreamedServingResult | DecodeStreamedResult":
     """Out-of-core serving simulation over a chunked request stream.
+
+    Generative streams (first non-empty chunk carries an
+    ``output_len`` column) route to the event-driven decode engine:
+    ``sink`` then receives :class:`~repro.serving.decode.
+    DecodeCompletedChunk` columns and the call returns a
+    :class:`~repro.serving.decode.DecodeStreamedResult`.
 
     Consumes ``RequestTable`` chunks in arrival order (e.g. from
     :class:`repro.serving.stream.RequestStream`), carrying only the
@@ -831,6 +855,32 @@ def simulate_stream(
         raise ValueError("max_wait_s must be non-negative")
     if threads < 1:
         raise ValueError("threads must be positive")
+
+    # Peek the first non-empty chunk to route generative streams.
+    iterator = iter(chunks)
+    first = next(iterator, None)
+    while first is not None and len(first) == 0:
+        first = next(iterator, None)
+    if first is not None and first.output_len is not None:
+        from itertools import chain as _chain
+
+        from repro.serving.decode import simulate_decode_stream
+
+        return simulate_decode_stream(
+            _chain([first], iterator),
+            cost_model,
+            num_devices=num_devices,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            setup_cycles=setup_cycles,
+            sink=sink,
+        )
+    if first is not None:
+        from itertools import chain as _chain
+
+        chunks = _chain([first], iterator)
+    else:
+        chunks = iter(())
     frequency_hz = cost_model.config.frequency_ghz * 1e9
 
     specs: Optional[List] = None
@@ -866,13 +916,8 @@ def simulate_stream(
         nonlocal completed_total, batches_total, size_triggered_total, end_s
         if not parts:
             return
-        cols = [
-            np.concatenate([p[k] for p in parts])
-            for k in range(len(parts[0]))
-        ]
-        sealed, by_size, tie_a, tie_i, service, energy, counts = cols[
-            :_BATCH_COLS
-        ]
+        cols = [np.concatenate([p[k] for p in parts]) for k in range(len(parts[0]))]
+        sealed, by_size, tie_a, tie_i, service, energy, counts = cols[:_BATCH_COLS]
         b_start, b_finish, b_device = _dispatch(
             sealed,
             service,
@@ -953,9 +998,7 @@ def simulate_stream(
             if threads > 1 and len(busy_qids) > 1:
                 for qid in busy_qids:
                     if queues[qid].pend[0].size:
-                        cost_model.prime(
-                            queues[qid].spec, queues[qid].pend[2]
-                        )
+                        cost_model.prime(queues[qid].spec, queues[qid].pend[2])
                 if pool is None:
                     pool = ThreadPoolExecutor(max_workers=threads)
                 parts = list(
@@ -965,10 +1008,7 @@ def simulate_stream(
                     )
                 )
             else:
-                parts = [
-                    _advance_and_split(qid, horizon, None)
-                    for qid in busy_qids
-                ]
+                parts = [_advance_and_split(qid, horizon, None) for qid in busy_qids]
             _flush([p for p in parts if p is not None])
 
         if specs is None:
@@ -976,8 +1016,7 @@ def simulate_stream(
         # End of stream: the pending tails seal at the global last
         # arrival and every carried batch dispatches.
         parts = [
-            _advance_and_split(qid, None, prev_arrival)
-            for qid in range(len(queues))
+            _advance_and_split(qid, None, prev_arrival) for qid in range(len(queues))
         ]
         _flush([p for p in parts if p is not None])
     finally:

@@ -44,14 +44,15 @@ class EventQueue:
         self._heap: list = []
         self._seq = 0
 
-    def push(
-        self, time_s: float, kind: EventKind, payload: Any = None
-    ) -> Event:
+    def push(self, time_s: float, kind: EventKind, payload: Any = None) -> Event:
         if time_s < 0:
             raise ValueError("event time must be non-negative")
         event = Event(
-            time_s=time_s, priority=int(kind), seq=self._seq,
-            kind=kind, payload=payload,
+            time_s=time_s,
+            priority=int(kind),
+            seq=self._seq,
+            kind=kind,
+            payload=payload,
         )
         self._seq += 1
         heapq.heappush(self._heap, event)

@@ -31,10 +31,11 @@ from typing import Iterable, Optional, Union
 import numpy as np
 
 from repro.obs.streaming import StreamingHistogram
+from repro.serving.decode import DecodeColumnarResult
 from repro.serving.devices import DEFAULT_SETUP_CYCLES, ServiceCostModel
 from repro.serving.engine import ColumnarServingResult, simulate_stream
 from repro.serving.requests import RequestTable
-from repro.serving.scheduler import ServingResult
+from repro.serving.scheduler import GenerativeResult, ServingResult
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,28 @@ class ServingReport:
     energy_uj: float
     sla_s: Optional[float] = None
     sla_violations: int = 0
+    #: Generative runs only (``None``/0 for prefill-only traffic, so
+    #: legacy report equality is untouched): time-to-first-token and
+    #: time-between-tokens populations, and total tokens generated.
+    ttft: Optional[LatencyStats] = None
+    tbt: Optional[LatencyStats] = None
+    total_tokens: int = 0
+
+    @property
+    def generative(self) -> bool:
+        return self.ttft is not None
+
+    @property
+    def tokens_per_s(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_tokens / self.duration_s
+
+    @property
+    def energy_uj_per_token(self) -> float:
+        if self.total_tokens == 0:
+            return 0.0
+        return self.energy_uj / self.total_tokens
 
     @property
     def sla_violation_rate(self) -> float:
@@ -136,6 +159,20 @@ class ServingReport:
             f"  mean batch size   : {self.mean_batch_size:.2f}",
             f"  energy            : {self.energy_uj:,.1f} uJ",
         ]
+        if self.generative:
+            lines.extend(
+                [
+                    f"  tokens            : {self.total_tokens:,} "
+                    f"({self.tokens_per_s:,.1f} tok/s, "
+                    f"{self.energy_uj_per_token:.3f} uJ/tok)",
+                    f"  TTFT p50/p99      : "
+                    f"{self.ttft.p50_s * 1e3:,.2f} / "
+                    f"{self.ttft.p99_s * 1e3:,.2f} ms",
+                    f"  TBT p50/p99       : "
+                    f"{self.tbt.p50_s * 1e3:,.2f} / "
+                    f"{self.tbt.p99_s * 1e3:,.2f} ms",
+                ]
+            )
         if self.sla_s is not None:
             lines.append(
                 f"  SLA {self.sla_s * 1e3:,.1f} ms     : "
@@ -146,7 +183,12 @@ class ServingReport:
 
 
 def summarize(
-    result: Union[ServingResult, ColumnarServingResult],
+    result: Union[
+        ServingResult,
+        ColumnarServingResult,
+        GenerativeResult,
+        DecodeColumnarResult,
+    ],
     config: str,
     mode: str,
     pattern: str,
@@ -164,8 +206,41 @@ def summarize(
     utilization, energy, violation counts, ``mean``, and ``max`` are
     identical either way; p50/p95/p99 differ from the exact report by
     at most the sketch's documented relative error bound.
+
+    Generative results (reference or columnar) additionally fill the
+    ``ttft``/``tbt``/``total_tokens`` fields; for them ``latency`` is
+    arrival-to-last-token, SLA violations stay on that end-to-end
+    latency, and ``mean_batch_size`` is mean *step*-batch occupancy
+    (total token steps over step batches).  TBT percentiles cover the
+    multi-token requests (single-token requests have no decode gaps).
     """
-    if isinstance(result, ColumnarServingResult):
+    ttfts = tbts = None
+    tokens = 0
+    step_mean_batch = None
+    if isinstance(result, DecodeColumnarResult):
+        latencies = result.latency_s
+        waits = result.queue_wait_s
+        ttfts = result.ttft_s
+        tbts = result.tbt_s[np.isfinite(result.tbt_s)]
+        tokens = result.total_tokens
+        sizes = None
+        step_mean_batch = (
+            result.total_tokens / result.batches if result.batches else 0.0
+        )
+    elif isinstance(result, GenerativeResult):
+        latencies = np.array(
+            [rec.latency_s for rec in result.records], dtype=np.float64
+        )
+        waits = np.array([rec.queue_wait_s for rec in result.records], dtype=np.float64)
+        ttfts = np.array([rec.ttft_s for rec in result.records], dtype=np.float64)
+        tbts = np.array([rec.tbt_s for rec in result.records], dtype=np.float64)
+        tbts = tbts[np.isfinite(tbts)]
+        tokens = result.total_tokens
+        sizes = None
+        step_mean_batch = (
+            result.total_tokens / result.batches if result.batches else 0.0
+        )
+    elif isinstance(result, ColumnarServingResult):
         # Array-native: latency/wait columns are single vector ops over
         # the struct-of-arrays result -- no per-request objects.
         latencies = result.latency_s
@@ -175,22 +250,20 @@ def summarize(
         latencies = np.array(
             [rec.latency_s for rec in result.records], dtype=np.float64
         )
-        waits = np.array(
-            [rec.queue_wait_s for rec in result.records], dtype=np.float64
-        )
-        sizes = np.array(
-            [rec.batch_size for rec in result.records], dtype=np.int64
-        )
+        waits = np.array([rec.queue_wait_s for rec in result.records], dtype=np.float64)
+        sizes = np.array([rec.batch_size for rec in result.records], dtype=np.int64)
     duration = result.duration_s
     span = duration if duration > 0 else float("inf")
     busy = np.asarray(result.device_busy_s, dtype=np.float64)
     utilization = float(np.mean(busy / span)) if busy.size else 0.0
-    violations = (
-        int(np.count_nonzero(latencies > sla_s)) if sla_s is not None else 0
-    )
+    violations = (int(np.count_nonzero(latencies > sla_s)) if sla_s is not None else 0)
+    ttft_stats = tbt_stats = None
     if exact:
         latency_stats = LatencyStats.from_samples(latencies)
         wait_stats = LatencyStats.from_samples(waits)
+        if ttfts is not None:
+            ttft_stats = LatencyStats.from_samples(ttfts)
+            tbt_stats = LatencyStats.from_samples(tbts)
     else:
         latency_sketch = StreamingHistogram()
         latency_sketch.add_many(latencies)
@@ -198,6 +271,13 @@ def summarize(
         wait_sketch.add_many(waits)
         latency_stats = LatencyStats.from_sketch(latency_sketch)
         wait_stats = LatencyStats.from_sketch(wait_sketch)
+        if ttfts is not None:
+            ttft_sketch = StreamingHistogram()
+            ttft_sketch.add_many(ttfts)
+            tbt_sketch = StreamingHistogram()
+            tbt_sketch.add_many(tbts)
+            ttft_stats = LatencyStats.from_sketch(ttft_sketch)
+            tbt_stats = LatencyStats.from_sketch(tbt_sketch)
     return ServingReport(
         config=config,
         mode=mode,
@@ -209,10 +289,17 @@ def summarize(
         queue_wait=wait_stats,
         throughput_rps=result.completed / span,
         utilization=utilization,
-        mean_batch_size=float(np.mean(sizes)) if sizes.size else 0.0,
+        mean_batch_size=(
+            step_mean_batch
+            if step_mean_batch is not None
+            else float(np.mean(sizes)) if sizes.size else 0.0
+        ),
         energy_uj=float(sum(result.device_energy_pj)) / 1e6,
         sla_s=sla_s,
         sla_violations=violations,
+        ttft=ttft_stats,
+        tbt=tbt_stats,
+        total_tokens=tokens,
     )
 
 
@@ -247,20 +334,33 @@ def summarize_stream(
     latency/queue-wait p50/p95/p99 carry the sketch's documented
     relative error bound (~0.9% at default resolution), and their
     ``mean`` differs only by float summation order.
+
+    Generative streams fold TTFT and TBT into their own sketches the
+    same way (TBT over multi-token requests), so the decode-phase tail
+    percentiles also come out of O(1) memory.
     """
     latency_sketch = StreamingHistogram()
     wait_sketch = StreamingHistogram()
+    ttft_sketch = StreamingHistogram()
+    tbt_sketch = StreamingHistogram()
     batch_size_sum = 0
     violations = 0
+    generative = False
 
     def _fold(completed) -> None:
-        nonlocal batch_size_sum, violations
+        nonlocal batch_size_sum, violations, generative
         latencies = completed.latency_s
         latency_sketch.add_many(latencies)
         wait_sketch.add_many(completed.queue_wait_s)
-        # Integer fold: exact, and equal to np.mean's float sum for
-        # any realistic stream (batch sizes sum far below 2**53).
-        batch_size_sum += int(np.sum(completed.batch_size))
+        if hasattr(completed, "ttft_s"):
+            generative = True
+            ttft_sketch.add_many(completed.ttft_s)
+            tbt = completed.tbt_s
+            tbt_sketch.add_many(tbt[np.isfinite(tbt)])
+        else:
+            # Integer fold: exact, and equal to np.mean's float sum for
+            # any realistic stream (batch sizes sum far below 2**53).
+            batch_size_sum += int(np.sum(completed.batch_size))
         if sla_s is not None:
             violations += int(np.count_nonzero(latencies > sla_s))
 
@@ -277,6 +377,10 @@ def summarize_stream(
     duration = result.duration_s
     span = duration if duration > 0 else float("inf")
     busy = np.asarray(result.device_busy_s, dtype=np.float64)
+    if generative:
+        mean_batch = (result.total_tokens / result.batches if result.batches else 0.0)
+    else:
+        mean_batch = (batch_size_sum / result.completed if result.completed else 0.0)
     return ServingReport(
         config=config,
         mode=mode,
@@ -288,10 +392,11 @@ def summarize_stream(
         queue_wait=LatencyStats.from_sketch(wait_sketch),
         throughput_rps=result.completed / span,
         utilization=float(np.mean(busy / span)) if busy.size else 0.0,
-        mean_batch_size=(
-            batch_size_sum / result.completed if result.completed else 0.0
-        ),
+        mean_batch_size=mean_batch,
         energy_uj=float(sum(result.device_energy_pj)) / 1e6,
         sla_s=sla_s,
         sla_violations=violations,
+        ttft=LatencyStats.from_sketch(ttft_sketch) if generative else None,
+        tbt=LatencyStats.from_sketch(tbt_sketch) if generative else None,
+        total_tokens=result.total_tokens if generative else 0,
     )

@@ -16,12 +16,19 @@ Streams exist in two interchangeable representations:
 
 ``RequestTable.from_requests`` / ``RequestTable.to_requests`` convert
 losslessly between the two.
+
+Autoregressive (generative) traffic adds an ``output_len`` per request:
+the prompt (``valid_len`` tokens) is processed by one *prefill* step
+that emits the first token, then each further token is one *decode*
+step over a context grown by one.  ``output_len == 1`` degenerates to
+the historical single-forward-pass request, and a table without the
+``output_len`` column is exactly the legacy prefill-only stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -43,18 +50,30 @@ class Request:
     valid_len:
         Non-padded tokens in this request's input (drawn around the
         model's mean padding ratio, like the workload generator does).
+        For generative requests this is the *prompt* length.
+    output_len:
+        Tokens the request generates.  ``1`` (the default) is the
+        legacy prefill-only request: one forward pass, one result.
+        ``k > 1`` adds ``k - 1`` decode steps, each re-entering the
+        batcher with context grown by one token; the final context
+        ``valid_len + output_len - 1`` must fit in ``spec.seq_len``.
     """
 
     request_id: int
     arrival_s: float
     spec: ModelSpec
     valid_len: int
+    output_len: int = 1
 
     def __post_init__(self):
         if self.valid_len < 1:
             raise ValueError("valid_len must be positive")
         if self.valid_len > self.spec.seq_len:
             raise ValueError("valid_len exceeds the model's seq_len")
+        if self.output_len < 1:
+            raise ValueError("output_len must be positive")
+        if self.valid_len + self.output_len - 1 > self.spec.seq_len:
+            raise ValueError("valid_len + output_len - 1 exceeds the model's seq_len")
 
 
 @dataclass
@@ -145,16 +164,23 @@ class RequestTable:
     arrival_s: np.ndarray
     spec_idx: np.ndarray
     valid_len: np.ndarray
+    #: Generated tokens per request (``None`` -> legacy prefill-only
+    #: stream; every request is one forward pass).
+    output_len: Optional[np.ndarray] = None
 
     def __post_init__(self):
         self.request_id = np.asarray(self.request_id, dtype=np.int64)
         self.arrival_s = np.asarray(self.arrival_s, dtype=np.float64)
         self.spec_idx = np.asarray(self.spec_idx, dtype=np.int64)
         self.valid_len = np.asarray(self.valid_len, dtype=np.int64)
+        if self.output_len is not None:
+            self.output_len = np.asarray(self.output_len, dtype=np.int64)
         n = self.request_id.size
         for name in ("arrival_s", "spec_idx", "valid_len"):
             if getattr(self, name).size != n:
                 raise ValueError(f"column {name} length != request_id length")
+        if self.output_len is not None and self.output_len.size != n:
+            raise ValueError("column output_len length != request_id length")
         if n == 0:
             return
         if not self.specs:
@@ -165,9 +191,7 @@ class RequestTable:
             # merges same-name queues), so two specs may share a name
             # only if they are the same model.
             if seen.setdefault(spec.name, spec) != spec:
-                raise ValueError(
-                    f"conflicting specs share the name {spec.name!r}"
-                )
+                raise ValueError(f"conflicting specs share the name {spec.name!r}")
         if self.spec_idx.min() < 0 or self.spec_idx.max() >= len(self.specs):
             raise ValueError("spec_idx out of range")
         if self.valid_len.min() < 1:
@@ -175,9 +199,22 @@ class RequestTable:
         seq_lens = np.array([s.seq_len for s in self.specs], dtype=np.int64)
         if np.any(self.valid_len > seq_lens[self.spec_idx]):
             raise ValueError("valid_len exceeds the model's seq_len")
+        if self.output_len is not None:
+            if self.output_len.min() < 1:
+                raise ValueError("output_len must be positive")
+            final_ctx = self.valid_len + self.output_len - 1
+            if np.any(final_ctx > seq_lens[self.spec_idx]):
+                raise ValueError(
+                    "valid_len + output_len - 1 exceeds the model's seq_len"
+                )
 
     def __len__(self) -> int:
         return int(self.request_id.size)
+
+    @property
+    def is_generative(self) -> bool:
+        """Whether this stream carries decode work (an output_len column)."""
+        return self.output_len is not None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -192,22 +229,30 @@ class RequestTable:
                 at = index[r.spec.name] = len(specs)
                 specs.append(r.spec)
             spec_idx[i] = at
+        # The column stays absent for pure prefill streams so legacy
+        # round-trips keep producing legacy tables.
+        output_len = None
+        if any(r.output_len != 1 for r in requests):
+            output_len = np.array([r.output_len for r in requests], dtype=np.int64)
         return cls(
             specs=specs,
             request_id=np.array([r.request_id for r in requests], dtype=np.int64),
             arrival_s=np.array([r.arrival_s for r in requests], dtype=np.float64),
             spec_idx=spec_idx,
             valid_len=np.array([r.valid_len for r in requests], dtype=np.int64),
+            output_len=output_len,
         )
 
     def to_requests(self) -> List[Request]:
         """Materialize the object stream (exact same values row-wise)."""
+        out = self.output_len
         return [
             Request(
                 request_id=int(self.request_id[i]),
                 arrival_s=float(self.arrival_s[i]),
                 spec=self.specs[int(self.spec_idx[i])],
                 valid_len=int(self.valid_len[i]),
+                output_len=1 if out is None else int(out[i]),
             )
             for i in range(len(self))
         ]
@@ -217,9 +262,7 @@ class RequestTable:
         if count < 1:
             raise ValueError("count must be positive")
         if count > len(self):
-            raise ValueError(
-                f"count {count} exceeds the table's {len(self)} rows"
-            )
+            raise ValueError(f"count {count} exceeds the table's {len(self)} rows")
         return self.slice(0, count)
 
     def slice(self, lo: int, hi: int) -> "RequestTable":
@@ -229,13 +272,13 @@ class RequestTable:
         copies keep a chunk alive without pinning the parent columns.
         """
         if not 0 <= lo < hi <= len(self):
-            raise ValueError(
-                f"slice [{lo}, {hi}) out of range for {len(self)} rows"
-            )
+            raise ValueError(f"slice [{lo}, {hi}) out of range for {len(self)} rows")
+        out = self.output_len
         return RequestTable(
             specs=self.specs,
             request_id=self.request_id[lo:hi].copy(),
             arrival_s=self.arrival_s[lo:hi].copy(),
             spec_idx=self.spec_idx[lo:hi].copy(),
             valid_len=self.valid_len[lo:hi].copy(),
+            output_len=None if out is None else out[lo:hi].copy(),
         )

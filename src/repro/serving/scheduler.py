@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.obs.trace import TraceRecorder
-from repro.serving.batching import DynamicBatcher
+from repro.serving.batching import (
+    ContinuousBatcher,
+    DynamicBatcher,
+    StepBatch,
+    StepItem,
+)
 from repro.serving.devices import SprintDevice
 from repro.serving.events import EventKind, EventQueue
 from repro.serving.requests import Batch, Request, RequestRecord
@@ -127,9 +132,7 @@ class ServingSimulator:
 
         def dispatch(now_s: float) -> None:
             while ready:
-                device = next(
-                    (d for d in self.devices if d.is_idle(now_s)), None
-                )
+                device = next((d for d in self.devices if d.is_idle(now_s)), None)
                 if device is None:
                     return
                 batch = ready.popleft()
@@ -195,4 +198,267 @@ class ServingSimulator:
             batches=self.batcher.stats.batches_out,
             size_triggered_batches=self.batcher.stats.size_triggered,
             timeout_triggered_batches=self.batcher.stats.timeout_triggered,
+        )
+
+
+@dataclass
+class DecodeRecord:
+    """Per-token lifecycle timestamps for one generative request."""
+
+    request: Request
+    #: When the batcher sealed this request's prefill batch.
+    prefill_batched_s: float = 0.0
+    #: When a device started the prefill batch.
+    prefill_start_s: float = 0.0
+    #: When the prefill batch finished -- the first output token.
+    first_token_s: float = 0.0
+    #: When the request's final token step finished.
+    finish_s: float = 0.0
+    #: Size of the prefill batch the request rode in.
+    prefill_batch_size: int = 1
+    #: Device that executed the prefill batch.
+    prefill_device_id: int = -1
+    #: Sum of batch sizes over this request's decode steps (total
+    #: batch occupancy its decode tokens experienced; 0 when
+    #: ``output_len == 1``).
+    decode_slots: int = 0
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token: arrival to prefill completion."""
+        return self.first_token_s - self.request.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: arrival to the last token."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Arrival to prefill service start."""
+        return self.prefill_start_s - self.request.arrival_s
+
+    @property
+    def tbt_s(self) -> float:
+        """Mean time between tokens over the decode phase.
+
+        NaN for single-token requests (no decode steps to average).
+        """
+        steps = self.request.output_len - 1
+        if steps < 1:
+            return float("nan")
+        return (self.finish_s - self.first_token_s) / steps
+
+
+@dataclass
+class GenerativeResult:
+    """Everything one generative (continuous-batching) run produced."""
+
+    records: List[DecodeRecord] = field(default_factory=list)
+    start_s: float = 0.0
+    end_s: float = 0.0
+    device_busy_s: List[float] = field(default_factory=list)
+    device_energy_pj: List[float] = field(default_factory=list)
+    #: Token-step batches dispatched (prefill + decode).
+    batches: int = 0
+    prefill_batches: int = 0
+    decode_batches: int = 0
+    size_triggered_batches: int = 0
+    timeout_triggered_batches: int = 0
+    #: Tokens generated across all requests (= total steps executed).
+    total_tokens: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+
+class GenerativeServingSimulator:
+    """Reference event loop for autoregressive (decode) serving.
+
+    The semantic spec for continuous batching on the SPRINT machine,
+    mirroring :class:`ServingSimulator`'s structure: arrivals enter as
+    prefill :class:`~repro.serving.batching.StepItem` work; every
+    batch completion re-admits its unfinished members as decode steps
+    at the finish instant (device slots free per token); the
+    :class:`~repro.serving.batching.ContinuousBatcher` seals mixed
+    prefill/decode queues under the same size/wait rules.  Timing
+    rules, event priorities, FIFO dispatch, and the lowest-index-idle
+    device choice are identical to the prefill-only loop, and with
+    every ``output_len == 1`` this loop degenerates to it exactly
+    (same batches, same floats).  The columnar fast path
+    (:mod:`repro.serving.decode`) is pinned bitwise-equal to this
+    loop.
+
+    End-of-stream rule: when no future steps can ever join (all
+    arrivals seen and no unfinished request is in flight), pending
+    queues flush immediately instead of waiting out their timeout --
+    the generative extension of the reference loop's tail flush.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[SprintDevice],
+        batcher: ContinuousBatcher,
+        recorder: Optional[TraceRecorder] = None,
+    ):
+        devices = list(devices)
+        if not devices:
+            raise ValueError("at least one device required")
+        self.devices = devices
+        self.batcher = batcher
+        self.recorder = recorder
+        self._consumed = False
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> GenerativeResult:
+        """Process every request's every token step to completion."""
+        if self._consumed:
+            raise RuntimeError(
+                "GenerativeServingSimulator.run() is single-use: devices "
+                "and batcher carry per-run state; build a new simulator"
+            )
+        self._consumed = True
+        requests = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        if not requests:
+            raise ValueError("request stream must not be empty")
+        seen = set()
+        for r in requests:
+            if r.request_id in seen:
+                raise ValueError(f"duplicate request id {r.request_id}")
+            seen.add(r.request_id)
+
+        queue = EventQueue()
+        ready: Deque[StepBatch] = deque()
+        records: Dict[int, DecodeRecord] = {}
+        arrivals_left = len(requests)
+        #: Unfinished steps downstream of the batcher (sealed or
+        #: executing): while any exist, more work will re-enter.
+        in_flight_rejoiners = 0
+        prefill_batches = 0
+        decode_batches = 0
+
+        for r in requests:
+            queue.push(r.arrival_s, EventKind.ARRIVAL, r)
+
+        def seal(batch: StepBatch) -> None:
+            nonlocal in_flight_rejoiners, prefill_batches, decode_batches
+            if batch.decode:
+                decode_batches += 1
+            else:
+                prefill_batches += 1
+                for item in batch.items:
+                    rec = records[item.request.request_id]
+                    rec.prefill_batched_s = batch.sealed_s
+                    rec.prefill_batch_size = batch.size
+            in_flight_rejoiners += sum(1 for item in batch.items if not item.is_last)
+            ready.append(batch)
+
+        def admit(item: StepItem, now_s: float) -> None:
+            sealed = self.batcher.add(item, now_s)
+            if sealed is not None:
+                seal(sealed)
+            elif self.batcher.max_wait_s > 0:
+                queue.push(
+                    self.batcher.deadline_for(item),
+                    EventKind.BATCH_TIMEOUT,
+                )
+
+        def dispatch(now_s: float) -> None:
+            while ready:
+                device = next((d for d in self.devices if d.is_idle(now_s)), None)
+                if device is None:
+                    return
+                batch = ready.popleft()
+                finish = device.start_step_batch(
+                    batch.spec,
+                    batch.max_context_len,
+                    batch.size,
+                    batch.decode,
+                    now_s,
+                )
+                if not batch.decode:
+                    for item in batch.items:
+                        rec = records[item.request.request_id]
+                        rec.prefill_start_s = now_s
+                        rec.prefill_device_id = device.device_id
+                queue.push(finish, EventKind.DEVICE_DONE, batch)
+
+        while queue:
+            event = queue.pop()
+            now = event.time_s
+            if event.kind == EventKind.ARRIVAL:
+                arrivals_left -= 1
+                r = event.payload
+                records[r.request_id] = DecodeRecord(request=r)
+                admit(StepItem(request=r, step=0, ready_s=now), now)
+            elif event.kind == EventKind.BATCH_TIMEOUT:
+                for b in self.batcher.flush_due(now):
+                    seal(b)
+            elif event.kind == EventKind.DEVICE_DONE:
+                batch = event.payload
+                size = batch.size
+                for item in batch.items:
+                    rec = records[item.request.request_id]
+                    if batch.decode:
+                        rec.decode_slots += size
+                    else:
+                        rec.first_token_s = now
+                    if item.is_last:
+                        rec.finish_s = now
+                    else:
+                        in_flight_rejoiners -= 1
+                        admit(
+                            StepItem(
+                                request=item.request,
+                                step=item.step + 1,
+                                ready_s=now,
+                            ),
+                            now,
+                        )
+            if self.batcher.max_wait_s == 0 and self.batcher.pending:
+                # Zero wait: no step lingers in the batcher; seal the
+                # (possibly singleton) queues this event populated.
+                for b in self.batcher.flush_due(now):
+                    seal(b)
+            if (
+                arrivals_left == 0 and in_flight_rejoiners == 0 and self.batcher.pending
+            ):
+                # No future step can ever join: don't make the tail
+                # wait out its timeout for batch-mates that won't come.
+                for b in self.batcher.flush_all(now):
+                    seal(b)
+            dispatch(now)
+
+        assert not ready and self.batcher.pending == 0
+        assert in_flight_rejoiners == 0
+        result_records = [records[r.request_id] for r in requests]
+        if self.recorder is not None:
+            for rec in result_records:
+                self.recorder.add_request(
+                    request_id=rec.request.request_id,
+                    model=rec.request.spec.name,
+                    arrival_s=rec.request.arrival_s,
+                    batched_s=rec.prefill_batched_s,
+                    service_start_s=rec.prefill_start_s,
+                    finish_s=rec.finish_s,
+                    device_id=rec.prefill_device_id,
+                    batch_size=rec.prefill_batch_size,
+                )
+        return GenerativeResult(
+            records=result_records,
+            start_s=requests[0].arrival_s,
+            end_s=max(rec.finish_s for rec in result_records),
+            device_busy_s=[d.busy_s for d in self.devices],
+            device_energy_pj=[d.energy_pj for d in self.devices],
+            batches=self.batcher.stats.batches_out,
+            prefill_batches=prefill_batches,
+            decode_batches=decode_batches,
+            size_triggered_batches=self.batcher.stats.size_triggered,
+            timeout_triggered_batches=self.batcher.stats.timeout_triggered,
+            total_tokens=sum(r.output_len for r in requests),
         )

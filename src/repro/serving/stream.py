@@ -36,6 +36,7 @@ from repro.serving.arrivals import (
     ModelMix,
     _clone_generator,
     _normalize_mix,
+    sample_output_lens,
 )
 from repro.serving.requests import RequestTable
 
@@ -63,6 +64,9 @@ class RequestStream:
     seed: int = 0
     start_id: int = 0
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Generative streams only: mean of the geometric output-length
+    #: draw (phase 4).  ``None`` keeps the legacy prefill-only stream.
+    mean_output_tokens: float = None
 
     def __post_init__(self):
         if self.count < 1:
@@ -97,14 +101,26 @@ class RequestStream:
         n_specs = len(self._specs)
         for m in self._chunk_sizes():
             rng.choice(n_specs, size=m, p=self._weights)
-        jitter_rng = rng
 
-        seq_lens = np.array(
-            [s.seq_len for s in self._specs], dtype=np.int64
-        )
-        paddings = np.array(
-            [s.padding_ratio for s in self._specs], dtype=np.float64
-        )
+        seq_lens = np.array([s.seq_len for s in self._specs], dtype=np.int64)
+        paddings = np.array([s.padding_ratio for s in self._specs], dtype=np.float64)
+        if self.mean_output_tokens is None:
+            jitter_rng = rng
+            out_rng = None
+        else:
+            # Phase 3 (length jitter): replay from a clone while rng
+            # burns through it -- the jitter draw count per chunk
+            # depends on the model picks, so the burn replays those
+            # from a second clone -- leaving rng at the phase-4 state
+            # (output lengths).
+            jitter_rng = _clone_generator(rng)
+            picks_burn = _clone_generator(picks_rng)
+            for m in self._chunk_sizes():
+                picks = picks_burn.choice(n_specs, size=m, p=self._weights)
+                n_j = int(np.count_nonzero(paddings[picks] > 0.0))
+                if n_j:
+                    rng.uniform(-0.05, 0.05, size=n_j)
+            out_rng = rng
         lo = 0
         for m in self._chunk_sizes():
             times = arrivals.take(m)
@@ -119,11 +135,18 @@ class RequestStream:
             n_jittered = int(np.count_nonzero(jittered))
             if n_jittered:
                 jitter = jitter_rng.uniform(-0.05, 0.05, size=n_jittered)
-                ratio = np.clip(
-                    picked_padding[jittered] + jitter, 0.0, 0.95
-                )
+                ratio = np.clip(picked_padding[jittered] + jitter, 0.0, 0.95)
                 drawn = np.round(valid[jittered] * (1.0 - ratio))
                 valid[jittered] = np.maximum(2, drawn.astype(np.int64))
+            output_len = None
+            if out_rng is not None:
+                # Phase 4 replay: one uniform per request, so the
+                # chunk's share is exactly the next m draws.
+                output_len = sample_output_lens(
+                    out_rng.uniform(size=m),
+                    self.mean_output_tokens,
+                    seq_lens[picks] - valid + 1,
+                )
             yield RequestTable(
                 specs=self._specs,
                 request_id=self.start_id
@@ -132,6 +155,7 @@ class RequestStream:
                 arrival_s=np.asarray(times, dtype=np.float64),
                 spec_idx=np.asarray(picks, dtype=np.int64),
                 valid_len=valid,
+                output_len=output_len,
             )
             lo += m
 
@@ -141,10 +165,14 @@ class RequestStream:
     def materialize(self) -> RequestTable:
         """Concatenate every chunk into one whole-stream table."""
         parts = list(self.chunks())
+        output_len = None
+        if self.mean_output_tokens is not None:
+            output_len = np.concatenate([p.output_len for p in parts])
         return RequestTable(
             specs=self._specs,
             request_id=np.concatenate([p.request_id for p in parts]),
             arrival_s=np.concatenate([p.arrival_s for p in parts]),
             spec_idx=np.concatenate([p.spec_idx for p in parts]),
             valid_len=np.concatenate([p.valid_len for p in parts]),
+            output_len=output_len,
         )
