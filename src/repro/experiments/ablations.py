@@ -11,19 +11,48 @@ Four studies beyond the paper's numbered figures:
    thus performance) for noise immunity.
 4. **Locality sensitivity** -- how the SPRINT benefit scales with the
    workload's intrinsic spatial locality (ViT sits at the low end).
+
+Every row of every study is an independent :class:`AblationUnit` on
+the runtime's WorkUnit protocol (``plan``/``prime``/``clear_primed``),
+so ``sprint-experiments ablations --jobs N`` spreads rows across
+workers and the unit cache replays unchanged rows.  Units group by
+study so a worker shard warms one study's shared state (a
+SprintSystem, a classification task) once per process.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple, Union
 
-import numpy as np
-
-from repro.core.configs import S_SPRINT, SprintConfig
+from repro.core.configs import L_SPRINT, S_SPRINT, SprintConfig
 from repro.core.system import ExecutionMode, SprintSystem
 from repro.models.zoo import get_model
 from repro.workloads.generator import generate_workload
+
+#: Fixed axes of each study.  Shared by the study functions' defaults
+#: and :func:`plan`'s unit parameters -- they must agree, or primed
+#: lookups silently miss and sharded rows recompute in-parent.
+SLD_MODELS = ("BERT-B", "ViT-B", "GPT-2-L")
+INTERLEAVING_MODELS = ("BERT-B", "GPT-2-L")
+DEFAULT_MARGINS = (0.0, 0.2, 0.4, 0.8)
+MARGIN_PRUNING_RATE = 0.746
+MARGIN_NOISE_SIGMA = 0.15
+MARGIN_NUM_SAMPLES = 24
+MARGIN_SEED = 19
+DEFAULT_LOCALITIES = (0.2, 0.5, 0.8)
+LOCALITY_SEQ_LEN = 384
+LOCALITY_PRUNING_RATE = 0.746
+DEFAULT_SEED = 1
+
+
+@lru_cache(maxsize=8)
+def _shared_system(config: SprintConfig) -> SprintSystem:
+    """One simulator per config, shared by every locality row a
+    process runs (rows are pure under their parameters)."""
+    return SprintSystem(config)
 
 
 @dataclass(frozen=True)
@@ -39,28 +68,37 @@ class SldAblationRow:
         return self.traffic_without_sld_bytes / self.traffic_with_sld_bytes
 
 
+def _sld_row(
+    model: str, config: SprintConfig, num_samples: int, seed: int
+) -> SldAblationRow:
+    """One independently computable row of the SLD study."""
+    spec = get_model(model)
+    with_sld = SprintSystem(config, enable_sld=True).simulate_model(
+        spec, ExecutionMode.SPRINT, num_samples=num_samples, seed=seed
+    )
+    without = SprintSystem(config, enable_sld=False).simulate_model(
+        spec, ExecutionMode.SPRINT, num_samples=num_samples, seed=seed
+    )
+    return SldAblationRow(
+        model=model,
+        traffic_with_sld_bytes=with_sld.data_movement_bytes(),
+        traffic_without_sld_bytes=without.data_movement_bytes(),
+    )
+
+
 def run_sld_ablation(
-    models: Sequence[str] = ("BERT-B", "ViT-B", "GPT-2-L"),
+    models: Sequence[str] = SLD_MODELS,
     config: SprintConfig = S_SPRINT,
     num_samples: int = 1,
-    seed: int = 1,
+    seed: int = DEFAULT_SEED,
 ) -> List[SldAblationRow]:
     rows = []
     for name in models:
-        spec = get_model(name)
-        with_sld = SprintSystem(config, enable_sld=True).simulate_model(
-            spec, ExecutionMode.SPRINT, num_samples=num_samples, seed=seed
-        )
-        without = SprintSystem(config, enable_sld=False).simulate_model(
-            spec, ExecutionMode.SPRINT, num_samples=num_samples, seed=seed
-        )
-        rows.append(
-            SldAblationRow(
-                model=name,
-                traffic_with_sld_bytes=with_sld.data_movement_bytes(),
-                traffic_without_sld_bytes=without.data_movement_bytes(),
-            )
-        )
+        key = _unit_key("sld", name, config, num_samples, seed)
+        row = _PRIMED.get(key)
+        if row is None:
+            row = _sld_row(name, config, num_samples, seed)
+        rows.append(row)
     return rows
 
 
@@ -77,35 +115,38 @@ class InterleavingAblationRow:
         return self.sequential_cycles / self.interleaved_cycles
 
 
+def _interleaving_row(
+    model: str, config: SprintConfig, num_samples: int, seed: int
+) -> InterleavingAblationRow:
+    """One independently computable row of the interleaving study."""
+    spec = get_model(model)
+    inter = SprintSystem(config, enable_interleaving=True).simulate_model(
+        spec, ExecutionMode.SPRINT, num_samples=num_samples, seed=seed
+    )
+    seq = SprintSystem(config, enable_interleaving=False).simulate_model(
+        spec, ExecutionMode.SPRINT, num_samples=num_samples, seed=seed
+    )
+    return InterleavingAblationRow(
+        model=model,
+        interleaved_cycles=inter.cycles,
+        sequential_cycles=seq.cycles,
+    )
+
+
 def run_interleaving_ablation(
-    models: Sequence[str] = ("BERT-B", "GPT-2-L"),
+    models: Sequence[str] = INTERLEAVING_MODELS,
     config: SprintConfig = None,
     num_samples: int = 1,
-    seed: int = 1,
+    seed: int = DEFAULT_SEED,
 ) -> List[InterleavingAblationRow]:
-    from repro.core.configs import L_SPRINT
-
     config = config or L_SPRINT  # imbalance needs multiple CORELETs
     rows = []
     for name in models:
-        spec = get_model(name)
-        inter = SprintSystem(
-            config, enable_interleaving=True
-        ).simulate_model(
-            spec, ExecutionMode.SPRINT, num_samples=num_samples, seed=seed
-        )
-        seq = SprintSystem(
-            config, enable_interleaving=False
-        ).simulate_model(
-            spec, ExecutionMode.SPRINT, num_samples=num_samples, seed=seed
-        )
-        rows.append(
-            InterleavingAblationRow(
-                model=name,
-                interleaved_cycles=inter.cycles,
-                sequential_cycles=seq.cycles,
-            )
-        )
+        key = _unit_key("interleaving", name, config, num_samples, seed)
+        row = _PRIMED.get(key)
+        if row is None:
+            row = _interleaving_row(name, config, num_samples, seed)
+        rows.append(row)
     return rows
 
 
@@ -116,40 +157,67 @@ class MarginAblationRow:
     accuracy: float
 
 
-def run_margin_ablation(
-    margins: Sequence[float] = (0.0, 0.2, 0.4, 0.8),
-    pruning_rate: float = 0.746,
-    noise_sigma: float = 0.15,
-    num_samples: int = 24,
-    seed: int = 19,
-) -> List[MarginAblationRow]:
-    """Noise-margin sweep: margin recovers accuracy, costs pruning rate."""
-    from repro.attention.policies import SprintPolicy
-    from repro.models.tasks import evaluate_accuracy, make_classification_task
+@lru_cache(maxsize=4)
+def _margin_task(num_samples: int, seed: int):
+    """One classification task per (samples, seed), shared by every
+    margin row a process runs (task generation is seed-pure)."""
+    from repro.models.tasks import make_classification_task
 
-    task = make_classification_task(
+    return make_classification_task(
         num_samples=num_samples, seq_len=96, seed=seed
     )
+
+
+def _margin_row(
+    margin: float,
+    pruning_rate: float,
+    noise_sigma: float,
+    num_samples: int,
+    seed: int,
+) -> MarginAblationRow:
+    """One independently computable row of the noise-margin study."""
+    from repro.attention.policies import SprintPolicy
+    from repro.models.tasks import evaluate_accuracy
+
+    task = _margin_task(num_samples, seed)
+    policy = SprintPolicy(
+        pruning_rate,
+        noise_sigma=noise_sigma,
+        threshold_margin=margin,
+        recompute=True,
+    )
+    accuracy = evaluate_accuracy(task, policy)
+    # Measure the achieved pruning rate on one sample's first head.
+    x = task.inputs[0]
+    scores = task.model.score_matrices(x, 0)[0]
+    _, keep = policy.process(scores)
+    return MarginAblationRow(
+        margin=margin,
+        pruning_rate=1.0 - float(keep.mean()),
+        accuracy=accuracy,
+    )
+
+
+def run_margin_ablation(
+    margins: Sequence[float] = DEFAULT_MARGINS,
+    pruning_rate: float = MARGIN_PRUNING_RATE,
+    noise_sigma: float = MARGIN_NOISE_SIGMA,
+    num_samples: int = MARGIN_NUM_SAMPLES,
+    seed: int = MARGIN_SEED,
+) -> List[MarginAblationRow]:
+    """Noise-margin sweep: margin recovers accuracy, costs pruning rate."""
     rows = []
     for margin in margins:
-        policy = SprintPolicy(
-            pruning_rate,
-            noise_sigma=noise_sigma,
-            threshold_margin=margin,
-            recompute=True,
+        key = (
+            "ablations", "margin", margin, pruning_rate, noise_sigma,
+            num_samples, seed,
         )
-        accuracy = evaluate_accuracy(task, policy)
-        # Measure the achieved pruning rate on one sample's first head.
-        x = task.inputs[0]
-        scores = task.model.score_matrices(x, 0)[0]
-        _, keep = policy.process(scores)
-        rows.append(
-            MarginAblationRow(
-                margin=margin,
-                pruning_rate=1.0 - float(keep.mean()),
-                accuracy=accuracy,
+        row = _PRIMED.get(key)
+        if row is None:
+            row = _margin_row(
+                margin, pruning_rate, noise_sigma, num_samples, seed
             )
-        )
+        rows.append(row)
     return rows
 
 
@@ -160,38 +228,189 @@ class LocalityAblationRow:
     energy_reduction: float
 
 
-def run_locality_ablation(
-    localities: Sequence[float] = (0.2, 0.5, 0.8),
-    config: SprintConfig = S_SPRINT,
-    seq_len: int = 384,
-    pruning_rate: float = 0.746,
-    seed: int = 1,
-) -> List[LocalityAblationRow]:
+def _locality_row(
+    locality: float,
+    config: SprintConfig,
+    seq_len: int,
+    pruning_rate: float,
+    seed: int,
+) -> LocalityAblationRow:
+    """One independently computable row of the locality study."""
     from repro.attention.locality import measure_adjacent_overlap
 
+    system = _shared_system(config)
+    workload = generate_workload(
+        seq_len, pruning_rate, padding_ratio=0.0,
+        num_samples=1, locality=locality, seed=seed,
+    )
+    reports = system.simulate_modes(
+        workload,
+        (ExecutionMode.BASELINE, ExecutionMode.SPRINT),
+        "ablation",
+    )
+    base = reports[ExecutionMode.BASELINE.value]
+    sprint = reports[ExecutionMode.SPRINT.value]
+    overlap = measure_adjacent_overlap(workload.samples[0].keep_mask)
+    return LocalityAblationRow(
+        locality=locality,
+        measured_overlap=overlap,
+        energy_reduction=sprint.energy_reduction_vs(base),
+    )
+
+
+def run_locality_ablation(
+    localities: Sequence[float] = DEFAULT_LOCALITIES,
+    config: SprintConfig = S_SPRINT,
+    seq_len: int = LOCALITY_SEQ_LEN,
+    pruning_rate: float = LOCALITY_PRUNING_RATE,
+    seed: int = DEFAULT_SEED,
+) -> List[LocalityAblationRow]:
     rows = []
-    system = SprintSystem(config)
     for locality in localities:
-        workload = generate_workload(
-            seq_len, pruning_rate, padding_ratio=0.0,
-            num_samples=1, locality=locality, seed=seed,
+        key = (
+            "ablations", "locality", locality,
+            dataclasses.astuple(config), seq_len, pruning_rate, seed,
         )
-        reports = system.simulate_modes(
-            workload,
-            (ExecutionMode.BASELINE, ExecutionMode.SPRINT),
-            "ablation",
-        )
-        base = reports[ExecutionMode.BASELINE.value]
-        sprint = reports[ExecutionMode.SPRINT.value]
-        overlap = measure_adjacent_overlap(workload.samples[0].keep_mask)
-        rows.append(
-            LocalityAblationRow(
-                locality=locality,
-                measured_overlap=overlap,
-                energy_reduction=sprint.energy_reduction_vs(base),
-            )
-        )
+        row = _PRIMED.get(key)
+        if row is None:
+            row = _locality_row(locality, config, seq_len, pruning_rate, seed)
+        rows.append(row)
     return rows
+
+
+# ----------------------------------------------------------------------
+# WorkUnit protocol (plan / prime / clear_primed)
+# ----------------------------------------------------------------------
+AblationRow = Union[
+    SldAblationRow, InterleavingAblationRow, MarginAblationRow,
+    LocalityAblationRow,
+]
+
+
+def _unit_key(
+    study: str,
+    value: Union[str, float],
+    config: SprintConfig,
+    num_samples: int,
+    seed: int,
+) -> Tuple:
+    """Content key of one model-sweep row (sld / interleaving)."""
+    return (
+        "ablations", study, value, dataclasses.astuple(config),
+        num_samples, seed,
+    )
+
+
+@dataclass(frozen=True)
+class AblationUnit:
+    """One ablation row as a runtime WorkUnit.
+
+    ``study`` selects the table ("sld" | "interleaving" | "margin" |
+    "locality"); ``value`` is its swept parameter (a model name for
+    the first two, a margin / locality float for the rest).  The fixed
+    axes of the margin and locality studies ride in the module
+    constants, which :func:`plan` and the ``run_*`` defaults share.
+    """
+
+    study: str
+    value: Union[str, float]
+    config: SprintConfig
+    num_samples: int
+    seed: int
+
+    @property
+    def key(self) -> Tuple:
+        if self.study == "margin":
+            return (
+                "ablations", "margin", self.value, MARGIN_PRUNING_RATE,
+                MARGIN_NOISE_SIGMA, self.num_samples, self.seed,
+            )
+        if self.study == "locality":
+            return (
+                "ablations", "locality", self.value,
+                dataclasses.astuple(self.config), LOCALITY_SEQ_LEN,
+                LOCALITY_PRUNING_RATE, self.seed,
+            )
+        return _unit_key(
+            self.study, self.value, self.config, self.num_samples, self.seed
+        )
+
+    @property
+    def group(self) -> Tuple[str, str, str]:
+        return ("ablations", self.config.name, self.study)
+
+    def execute(self) -> AblationRow:
+        if self.study == "sld":
+            return _sld_row(
+                self.value, self.config, self.num_samples, self.seed
+            )
+        if self.study == "interleaving":
+            return _interleaving_row(
+                self.value, self.config, self.num_samples, self.seed
+            )
+        if self.study == "margin":
+            return _margin_row(
+                self.value, MARGIN_PRUNING_RATE, MARGIN_NOISE_SIGMA,
+                self.num_samples, self.seed,
+            )
+        return _locality_row(
+            self.value, self.config, LOCALITY_SEQ_LEN,
+            LOCALITY_PRUNING_RATE, self.seed,
+        )
+
+
+#: Rows installed by :func:`prime` (computed in a worker process or
+#: replayed from the unit cache); consulted by the studies before
+#: simulating a row locally.
+_PRIMED: Dict[Tuple, AblationRow] = {}
+
+
+def plan(
+    models: Sequence[str] = SLD_MODELS,
+    interleaving_models: Sequence[str] = INTERLEAVING_MODELS,
+    margins: Sequence[float] = DEFAULT_MARGINS,
+    localities: Sequence[float] = DEFAULT_LOCALITIES,
+    config: SprintConfig = S_SPRINT,
+    seed: int = DEFAULT_SEED,
+) -> List[AblationUnit]:
+    """Work units a same-argument :func:`run` consumes (for sharding)."""
+    units = [
+        AblationUnit(
+            study="sld", value=m, config=config, num_samples=1, seed=seed
+        )
+        for m in models
+    ]
+    units.extend(
+        AblationUnit(
+            study="interleaving", value=m, config=L_SPRINT,
+            num_samples=1, seed=seed,
+        )
+        for m in interleaving_models
+    )
+    units.extend(
+        AblationUnit(
+            study="margin", value=margin, config=config,
+            num_samples=MARGIN_NUM_SAMPLES, seed=MARGIN_SEED,
+        )
+        for margin in margins
+    )
+    units.extend(
+        AblationUnit(
+            study="locality", value=locality, config=config,
+            num_samples=1, seed=seed,
+        )
+        for locality in localities
+    )
+    return units
+
+
+def prime(key: Tuple, row: AblationRow) -> None:
+    """Install an externally computed row (parallel-runtime hook)."""
+    _PRIMED[tuple(key)] = row
+
+
+def clear_primed() -> None:
+    _PRIMED.clear()
 
 
 def format_tables(

@@ -12,7 +12,10 @@ byte-identical trace files.
 Each sampled request contributes three complete ("X") spans on its own
 track: ``queue`` (arrival -> batch sealed), ``dispatch`` (sealed ->
 service start), ``compute`` (service start -> finish); each batch a
-sampled request rode in contributes one device-track span.  The export
+sampled request rode in contributes one device-track span.  Generative
+requests add a fourth ``decode`` span (first token -> last token,
+tagged with the generated-token count) so the decode phase reads as
+its own region inside ``compute``.  The export
 (:meth:`TraceRecorder.to_chrome_trace` / :meth:`~TraceRecorder.write`)
 is the Chrome trace-event JSON format, directly loadable in Perfetto
 (https://ui.perfetto.dev) or ``chrome://tracing``.
@@ -91,6 +94,8 @@ class TraceRecorder:
     def __init__(self, config: TraceConfig = TraceConfig()):
         self.config = config
         self._request_events: List[Tuple] = []
+        #: (request_id, model, first_token_s, finish_s, tokens)
+        self._decode_events: List[Tuple] = []
         #: (device_id, start_s, finish_s) -> (model, batch_size)
         self._batches: Dict[Tuple[int, float, float], Tuple[str, int]] = {}
 
@@ -102,6 +107,10 @@ class TraceRecorder:
     @property
     def sampled_batches(self) -> int:
         return len(self._batches)
+
+    @property
+    def sampled_decode_phases(self) -> int:
+        return len(self._decode_events)
 
     def add_request(
         self,
@@ -132,6 +141,26 @@ class TraceRecorder:
             int(batch_size),
         )
 
+    def add_decode_phase(
+        self,
+        request_id: int,
+        model: str,
+        first_token_s: float,
+        finish_s: float,
+        tokens: int,
+    ) -> None:
+        """Record one request's decode phase (if sampled and generative).
+
+        ``tokens`` is the generated-token count beyond the first
+        (``output_len - 1``); prefill-only requests (``tokens == 0``)
+        have no decode phase and add no span.
+        """
+        if tokens <= 0 or not self.config.wants(request_id):
+            return
+        self._decode_events.append(
+            (int(request_id), model, first_token_s, finish_s, int(tokens))
+        )
+
     # ------------------------------------------------------------------
     def to_chrome_trace(self) -> dict:
         """The run as a Chrome trace-event JSON object (Perfetto-ready)."""
@@ -147,6 +176,19 @@ class TraceRecorder:
                     "pid": _REQUEST_PID,
                     "tid": tid,
                     "args": {"model": model},
+                }
+            )
+        for tid, model, first_token_s, finish_s, tokens in self._decode_events:
+            events.append(
+                {
+                    "name": "decode",
+                    "cat": "request",
+                    "ph": "X",
+                    "ts": first_token_s * _US,
+                    "dur": (finish_s - first_token_s) * _US,
+                    "pid": _REQUEST_PID,
+                    "tid": tid,
+                    "args": {"model": model, "tokens": tokens},
                 }
             )
         for (device_id, start_s, finish_s), (model, size) in self._batches.items():
@@ -184,6 +226,7 @@ class TraceRecorder:
                 "clock": "simulation",
                 "sampled_requests": self.sampled_requests,
                 "sampled_batches": self.sampled_batches,
+                "sampled_decode_phases": self.sampled_decode_phases,
             },
             "traceEvents": metadata + events,
         }

@@ -385,15 +385,25 @@ class SharedTableHandle:
     name: str
     rows: int
     specs: tuple
+    #: Generative tables carry a fifth ``output_len`` column.
+    generative: bool = False
 
 
 #: Column order inside a shared segment; every column is 8 bytes/row.
+#: Generative tables append ``output_len`` after these.
 _SHARED_COLUMNS = (
     ("request_id", np.int64),
     ("arrival_s", np.float64),
     ("spec_idx", np.int64),
     ("valid_len", np.int64),
 )
+_GENERATIVE_COLUMN = ("output_len", np.int64)
+
+
+def _segment_columns(generative: bool):
+    if generative:
+        return _SHARED_COLUMNS + (_GENERATIVE_COLUMN,)
+    return _SHARED_COLUMNS
 
 
 def share_request_table(table) -> Tuple[Any, SharedTableHandle]:
@@ -401,20 +411,27 @@ def share_request_table(table) -> Tuple[Any, SharedTableHandle]:
 
     Returns ``(segment, handle)``; the caller owns the segment and
     must ``close()`` + ``unlink()`` it when every worker is done.
+    Generative tables (``output_len`` column present) share that
+    column too; the handle records the layout.
     """
     from multiprocessing import shared_memory
 
+    generative = getattr(table, "output_len", None) is not None
+    columns = _segment_columns(generative)
     rows = len(table)
     segment = shared_memory.SharedMemory(
-        create=True, size=max(rows * 8 * len(_SHARED_COLUMNS), 1)
+        create=True, size=max(rows * 8 * len(columns), 1)
     )
     offset = 0
-    for column, dtype in _SHARED_COLUMNS:
+    for column, dtype in columns:
         view = np.ndarray((rows,), dtype=dtype, buffer=segment.buf, offset=offset)
         view[:] = getattr(table, column)
         offset += rows * 8
     return segment, SharedTableHandle(
-        name=segment.name, rows=rows, specs=tuple(table.specs)
+        name=segment.name,
+        rows=rows,
+        specs=tuple(table.specs),
+        generative=generative,
     )
 
 
@@ -433,7 +450,7 @@ def map_request_table(handle: SharedTableHandle) -> Tuple[Any, Any]:
     segment = shared_memory.SharedMemory(name=handle.name)
     columns = {}
     offset = 0
-    for column, dtype in _SHARED_COLUMNS:
+    for column, dtype in _segment_columns(handle.generative):
         columns[column] = np.ndarray(
             (handle.rows,), dtype=dtype, buffer=segment.buf, offset=offset
         )
@@ -495,6 +512,134 @@ def _form_queue_shard(
         segment.close()
 
 
+def _decode_vector_shard(
+    handle: SharedTableHandle,
+    queue_ids: Sequence[int],
+    cost_args: Tuple[Any, ...],
+) -> List[Tuple[Tuple[int, bool], Tuple[Any, Any]]]:
+    """Worker: phase 1 (per-queue cost vectors) for a generative table.
+
+    The expensive part of a decode simulation's setup is pricing every
+    (queue, decode?, context) the event loop will touch -- each cold
+    bucket runs the exact cycle model.  Workers map the shared columns
+    zero-copy, compute each assigned queue's context ceiling
+    (``valid_len + output_len - 1`` over its rows), and ship back only
+    the two cost vectors per (queue, decode?) key -- a few KB each.
+    Values are memoized pure functions of (model, bucket), so shard
+    assignment cannot change any priced cost.
+    """
+    from repro.serving.decode import _build_cost_vectors, _queue_map
+    from repro.serving.devices import shared_cost_model
+
+    cost_model = shared_cost_model(*cost_args)
+    table, segment = map_request_table(handle)
+    try:
+        queue_specs, queue_of_spec = _queue_map(table.specs)
+        qmap = np.asarray(queue_of_spec, dtype=np.int64)
+        qids = qmap[table.spec_idx]
+        ctx_hi = table.valid_len + table.output_len - 1
+        out = []
+        for qid in queue_ids:
+            hi = int(ctx_hi[qids == qid].max())
+            spec = queue_specs[qid]
+            for decode in (True, False):
+                cyc, en = _build_cost_vectors(cost_model, spec, decode, hi)
+                out.append(((qid, decode), (cyc, en)))
+        return out
+    finally:
+        del qids, ctx_hi
+        del table
+        segment.close()
+
+
+def simulate_decode_table_sharded(
+    table,
+    cost_model,
+    jobs: int,
+    num_devices: int = 1,
+    max_batch_size: int = 8,
+    max_wait_s: float = 2e-3,
+    setup_cycles: Optional[int] = None,
+    mp_context: Optional[mp.context.BaseContext] = None,
+    recorder=None,
+):
+    """Process-sharded :func:`repro.serving.decode.simulate_decode_table`.
+
+    Phase 1 (per-queue cost-vector construction, including the exact
+    cycle-model passes behind cold cost buckets) fans out across
+    processes that map the request columns -- including the generative
+    ``output_len`` column -- from one zero-copy shared-memory segment;
+    the event loop runs in-parent with every cost pre-priced.  The
+    result is **bitwise identical** to the serial call at every
+    ``jobs`` value: vectors are memoized pure functions of (model,
+    bucket), and the parent injects them without touching the event
+    order.
+
+    Same ``cost_model`` constraint as :func:`simulate_table_sharded`
+    (describable by its ``(config, mode, len_bucket, seed)`` key).
+    The unit of parallelism is the model queue, so single-queue tables
+    fall through to the serial path.
+    """
+    from repro.serving.decode import _queue_map, simulate_decode_table
+    from repro.serving.devices import DEFAULT_SETUP_CYCLES
+
+    if setup_cycles is None:
+        setup_cycles = DEFAULT_SETUP_CYCLES
+    if len(table) == 0:
+        raise ValueError("request stream must not be empty")
+    if getattr(table, "output_len", None) is None:
+        raise ValueError("table has no output_len column; use simulate_table_sharded")
+    serial_kwargs = dict(
+        num_devices=num_devices,
+        max_batch_size=max_batch_size,
+        max_wait_s=max_wait_s,
+        setup_cycles=setup_cycles,
+        recorder=recorder,
+    )
+    queue_specs, queue_of_spec = _queue_map(table.specs)
+    qmap = np.asarray(queue_of_spec, dtype=np.int64)
+    qids = qmap[table.spec_idx]
+    counts = np.bincount(qids, minlength=len(queue_specs))
+    active = [q for q in range(len(queue_specs)) if counts[q]]
+    if jobs <= 1 or len(active) <= 1:
+        return simulate_decode_table(table, cost_model, **serial_kwargs)
+
+    # Deterministic balanced assignment: queues by descending row
+    # count (id-tie-broken), dealt round-robin onto the shards.
+    ranked = sorted(active, key=lambda q: (-int(counts[q]), q))
+    buckets: List[List[int]] = [[] for _ in range(min(jobs, len(active)))]
+    for i, qid in enumerate(ranked):
+        buckets[i % len(buckets)].append(qid)
+
+    if mp_context is None:
+        methods = mp.get_all_start_methods()
+        mp_context = mp.get_context("fork" if "fork" in methods else methods[0])
+    cost_args = (
+        cost_model.config,
+        cost_model.mode,
+        cost_model.len_bucket,
+        cost_model.seed,
+    )
+    segment, handle = share_request_table(table)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=len(buckets), mp_context=mp_context
+        ) as executor:
+            futures = [
+                executor.submit(_decode_vector_shard, handle, bucket, cost_args)
+                for bucket in buckets
+            ]
+            vectors = {}
+            for future in futures:
+                vectors.update(dict(future.result()))
+    finally:
+        segment.close()
+        segment.unlink()
+    return simulate_decode_table(
+        table, cost_model, _vectors=vectors, **serial_kwargs
+    )
+
+
 def simulate_table_sharded(
     table,
     cost_model,
@@ -533,11 +678,19 @@ def simulate_table_sharded(
     if len(table) == 0:
         raise ValueError("request stream must not be empty")
     if getattr(table, "output_len", None) is not None:
-        # Generative batch formation depends on device timing, so
-        # there is no device-independent phase 1 to shard.
-        raise ValueError(
-            "generative tables (output_len column) cannot be "
-            "process-sharded; run repro.serving.decode directly"
+        # Generative batch formation depends on device timing, so the
+        # shardable phase 1 is cost-vector pricing instead of batch
+        # formation -- route to the decode-specific entry point.
+        return simulate_decode_table_sharded(
+            table,
+            cost_model,
+            jobs,
+            num_devices=num_devices,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            setup_cycles=setup_cycles,
+            mp_context=mp_context,
+            recorder=recorder,
         )
     order = np.lexsort((table.request_id, table.arrival_s))
     table = RequestTable(

@@ -38,9 +38,10 @@ future step can ever join, pending queues flush immediately.
 from __future__ import annotations
 
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -243,6 +244,49 @@ class DecodeStreamedResult:
         return max(self.end_s - self.start_s, 0.0)
 
 
+def _queue_map(specs) -> Tuple[List, List[int]]:
+    """Name-keyed queue ids, exactly the reference batcher's keying.
+
+    Same-name specs (identical by table validation) share one queue.
+    Shared with the process-shard workers in :mod:`repro.runtime.pool`
+    so both sides agree on which queue owns which rows.
+    """
+    queue_ids: dict = {}
+    queue_specs: List = []
+    queue_of_spec: List[int] = []
+    for spec in specs:
+        qid = queue_ids.setdefault(spec.name, len(queue_specs))
+        if qid == len(queue_specs):
+            queue_specs.append(spec)
+        queue_of_spec.append(qid)
+    return queue_specs, queue_of_spec
+
+
+def _build_cost_vectors(
+    cost_model: ServiceCostModel, spec, decode: bool, max_ctx: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-sample (cycles, energy_pj) vectors indexed by raw context.
+
+    Index ``c`` answers a seal at max context ``c`` for ``c`` in
+    ``1 .. hi``, where ``hi`` rounds ``max_ctx`` up to a bucket
+    boundary so repeated extensions amortize (index 0 pads).  Values
+    come from the vectorized bucket caches
+    (:meth:`~repro.serving.devices.ServiceCostModel.cost_arrays` /
+    :meth:`~repro.serving.devices.ServiceCostModel.decode_cost_arrays`)
+    and are bitwise equal to the scalar lookups the reference devices
+    make, so sealing and macro-stepping can price by one array index.
+    """
+    lb = cost_model.len_bucket
+    hi = max(2, -(-max(max_ctx, 1) // lb) * lb)
+    ctx_range = np.arange(1, hi + 1, dtype=np.int64)
+    if decode:
+        cyc, en = cost_model.decode_cost_arrays(spec, ctx_range)
+    else:
+        cyc, en = cost_model.cost_arrays(spec, ctx_range)
+    pad = np.full(1, np.nan)
+    return np.concatenate((pad, cyc)), np.concatenate((pad, en))
+
+
 class _DecodeCore:
     """The event loop over columnar generative state.
 
@@ -266,16 +310,7 @@ class _DecodeCore:
         setup_cycles: int,
     ):
         self.specs = specs
-        # The reference batcher keys queues on model *name*: same-name
-        # specs (identical by table validation) must share a queue.
-        queue_ids: dict = {}
-        self.queue_specs: List = []
-        self.queue_of_spec: List[int] = []
-        for spec in specs:
-            qid = queue_ids.setdefault(spec.name, len(self.queue_specs))
-            if qid == len(self.queue_specs):
-                self.queue_specs.append(spec)
-            self.queue_of_spec.append(qid)
+        self.queue_specs, self.queue_of_spec = _queue_map(specs)
         self.cost_model = cost_model
         self.num_devices = num_devices
         self.max_batch_size = max_batch_size
@@ -294,8 +329,14 @@ class _DecodeCore:
         # it).  The rejoiner count -- members whose step is not their
         # last -- accumulates at admission so sealing is O(1) in it.
         self.queues: dict = {}
-        # Sealed batches awaiting a device, FIFO.  Entries:
-        # (decode?, records, contexts, service_s, energy_pj).
+        # Sealed batches awaiting a device, FIFO.  Entries are mutable
+        # lists [decode?, records, contexts, service_s, energy_pj,
+        # macro_steps, min_left, max_ctx]: ``macro_steps`` counts
+        # decode steps advanced without touching the per-member
+        # records (stamped lazily at the next scalar event),
+        # ``min_left`` is the fewest steps any member still has from
+        # the materialized contexts minus ``macro_steps``, and
+        # ``max_ctx`` tracks the batch's current max context.
         self.ready: deque = deque()
         self.free_at = [0.0] * num_devices
         #: min(free_at), maintained on every assignment: the dispatch
@@ -303,11 +344,22 @@ class _DecodeCore:
         self.min_free_at = 0.0
         self.busy_s = [0.0] * num_devices
         self.energy_pj = [0.0] * num_devices
-        # (queue id, decode?, context bucket) -> per-sample cost, and a
-        # pre-bucket layer keyed on the raw max context so sealing
-        # skips the bucket arithmetic for contexts it has seen.
-        self.cost_memo: dict = {}
-        self.ctx_memo: dict = {}
+        # (queue id, decode?) -> context-indexed per-sample cost
+        # vectors (see :func:`_build_cost_vectors`), stored as plain
+        # Python lists: sealing and macro-stepping price by one list
+        # index (cheaper than numpy scalar indexing in the hot loop)
+        # instead of memo-dict chains.  Built lazily per queue
+        # (extended on bucket boundaries), prebuilt by
+        # ``threads``/shard phase 1.
+        self.vecs: Dict[tuple, Tuple[list, list]] = {}
+        # Queue-creation timeouts not yet pushed: (deadline, key),
+        # nondecreasing in deadline (appended in event order).  A
+        # timeout only needs to reach the heap before the event loop
+        # advances past its deadline; deferring the push lets queues
+        # that seal by size first drop theirs entirely (the reference
+        # pushes *more* timeout events than this -- one per non-sealing
+        # admission -- so the contract is over outcomes, not pushes).
+        self.deferred_to: deque = deque()
         self.completed: list = []
         self.in_flight_rejoiners = 0
         self.arrivals_done = False
@@ -321,34 +373,40 @@ class _DecodeCore:
         self.end_s = -np.inf
 
     # ------------------------------------------------------------------
-    def _cost(self, qid: int, decode: bool, max_ctx: int):
-        """(per-sample cycles, energy) at the bucketed max context."""
-        model = self.cost_model
-        lb = model.len_bucket
-        spec = self.queue_specs[qid]
-        bucket = min(spec.seq_len, max(2, -(-max_ctx // lb) * lb))
-        key = (qid, decode, bucket)
-        cached = self.cost_memo.get(key)
-        if cached is None:
-            per = (
-                model.decode_cost(spec, max_ctx)
-                if decode
-                else model.sample_cost(spec, max_ctx)
+    def _vectors(self, qid: int, decode: bool, max_ctx: int):
+        """Cost vectors for a queue, covering contexts up to max_ctx."""
+        key = (qid, decode)
+        vecs = self.vecs.get(key)
+        if vecs is None or max_ctx >= len(vecs[0]):
+            cyc, en = _build_cost_vectors(
+                self.cost_model, self.queue_specs[qid], decode, max_ctx
             )
-            cached = self.cost_memo[key] = (per.cycles, per.energy_pj)
-        return cached
+            vecs = self.vecs[key] = (cyc.tolist(), en.tolist())
+        return vecs
 
     def _seal(self, key, now: float, by_size: bool) -> None:
         readys, recs, ctxs, rejoiners = self.queues.pop(key)
         qid, decode = key
         size = len(recs)
-        ckey = (qid, decode, max(ctxs))
-        cached = self.ctx_memo.get(ckey)
-        if cached is None:
-            cached = self.ctx_memo[ckey] = self._cost(*ckey)
-        cycles, energy = cached
+        if decode:
+            # One pass for the pricing context (max) and the macro
+            # window (fewest steps any member has before its last).
+            mx = 0
+            left = 1 << 60
+            for k in range(size):
+                c = ctxs[k]
+                if c > mx:
+                    mx = c
+                r = recs[k][_LCTX] - c
+                if r < left:
+                    left = r
+        else:
+            mx = max(ctxs)
+            left = 0
+        vecs = self._vectors(qid, decode, mx)
         # Same float expressions as SprintDevice.start_step_batch.
-        service = (self.setup_cycles + cycles * size) / self.frequency_hz
+        service = (self.setup_cycles + vecs[0][mx] * size) / self.frequency_hz
+        energy = vecs[1][mx]
         self.batches += 1
         if by_size:
             self.size_triggered += 1
@@ -362,7 +420,7 @@ class _DecodeCore:
                 rec[_PFB] = now
                 rec[_PFSZ] = size
         self.in_flight_rejoiners += rejoiners
-        self.ready.append((decode, recs, ctxs, service, energy))
+        self.ready.append([decode, recs, ctxs, service, energy, 0, left, mx])
 
     def _admit(self, rec, ctx: int, decode: bool, now: float) -> None:
         self.steps_in += 1
@@ -375,8 +433,7 @@ class _DecodeCore:
             if self.max_batch_size <= 1:
                 self._seal(key, now, by_size=True)
             elif self.max_wait_s > 0:
-                heappush(self.heap, (now + self.max_wait_s, 2, self.seq, None))
-                self.seq += 1
+                self.deferred_to.append((now + self.max_wait_s, key))
         else:
             q[0].append(now)
             q[1].append(rec)
@@ -412,35 +469,201 @@ class _DecodeCore:
             if dev < 0:
                 return
             batch = ready.popleft()
-            decode, recs, ctxs, service, energy = batch
+            recs = batch[1]
+            service = batch[3]
             finish = now + service
             free_at[dev] = finish
             self.min_free_at = min(free_at)
             self.busy_s[dev] += service
-            self.energy_pj[dev] += energy * len(recs)
-            if not decode:
+            self.energy_pj[dev] += batch[4] * len(recs)
+            if not batch[0]:
                 for rec in recs:
                     rec[_PFS] = now
                     rec[_PFD] = dev
             heappush(self.heap, (finish, 0, self.seq, batch))
             self.seq += 1
 
-    def _after_event(self, now: float) -> None:
-        self.last_now = now
-        if self.zero_wait and self.queues:
-            self._flush_due(now)
-        if self.arrivals_done and self.in_flight_rejoiners == 0 and self.queues:
-            for key in list(self.queues):
-                self._seal(key, now, by_size=False)
-        self._dispatch(now)
+    def _macro_run(self, batch, now: float, limit: float) -> bool:
+        """Advance a decode batch through a run of membership-fixed steps.
 
-    def _handle_heap_event(self) -> None:
+        Preconditions (checked by the caller): this batch's DEVICE_DONE
+        just popped with the queues and the ready FIFO empty -- no
+        other members are pending, so until the next arrival
+        (``limit``), the next foreign heap event, or a member's last
+        token, every event is this batch's own reseal cycle and its
+        membership is fixed.  The run advances as one plain-float
+        chain: each iteration is the exact arithmetic of one scalar
+        reseal cycle (rejoin, seal, dispatch) priced off the queue's
+        context-indexed cost lists, so every finish instant and the
+        busy/energy folds are bitwise the reference loop's
+        one-event-at-a-time accumulation -- without touching the heap,
+        the queue dict, or the per-member records.  Returns False when
+        no full reseal fits before the bounds (the caller falls back
+        to the scalar handler).
+        """
+        recs = batch[1]
+        size = len(recs)
+        left, mx = batch[6], batch[7]
+        qid = recs[0][_QID]
+        queues = self.queues
+        # A pending queue at this batch's own rejoin key means the
+        # reseal would have to merge into it: membership changes, so
+        # the step runs scalar.
+        if queues and (qid, True) in queues:
+            return False
+        by_size = size >= self.max_batch_size
+        # After arrivals end, the end-of-stream flush only seals a
+        # rejoin queue instantly when no OTHER batch still has pending
+        # rejoiners in flight (our own ``size`` members rejoin at each
+        # step and do not block it).
+        instant = (
+            by_size
+            or self.zero_wait
+            or (self.arrivals_done and self.in_flight_rejoiners == size)
+        )
+        heap = self.heap
+        # The next foreign heap event bounds the run strictly: at equal
+        # instants it was pushed earlier, so it pops first and may
+        # change membership (a stale timeout merely ends the run
+        # early; it pops as a no-op and the next DONE resumes).
+        t2 = heap[0][0] if heap else None
+        if not instant and (
+            now + self.max_wait_s >= limit
+            or (t2 is not None and now + self.max_wait_s >= t2)
+        ):
+            return False
+        if queues:
+            # Other pending queues are safe spectators -- they only
+            # seal at their own deadline or on an arrival, both of
+            # which bound the run.  Any alive queue's deadline is
+            # either already in the heap (the foreign-event bound
+            # above) or still deferred: the earliest alive deferred
+            # deadline joins the bound.  Dead-key heads would pop as
+            # no-ops anyway (their queue sealed first), so drop them.
+            deferred = self.deferred_to
+            while deferred:
+                deadline, key = deferred[0]
+                if key in queues:
+                    if t2 is None or deadline < t2:
+                        t2 = deadline
+                    break
+                deferred.popleft()
+        # Stop one step short of the earliest member's last token: the
+        # completion step changes membership, so it runs scalar.
+        last = left - 1
+        cyc_vec, en_vec = self._vectors(qid, True, mx + last)
+        setup = self.setup_cycles
+        freq = self.frequency_hz
+        # Every reseal dispatches to the same device: the lowest-index
+        # one free at ``now`` (ours, or an idle lower index -- exactly
+        # the scalar _dispatch scan), and no other device frees before
+        # the run's bound.
+        free_at = self.free_at
+        dev = 0
+        while free_at[dev] > now:
+            dev += 1
+        busy = self.busy_s[dev]
+        energy = self.energy_pj[dev]
+        m = 0
+        fin = now  # the pending (in-flight) DONE instant
+        s = 0.0
+        if instant:
+            # Full batch, zero wait, or end-of-stream flush: each DONE
+            # reseals and redispatches at the same instant, so finish
+            # times chain directly.  A finish at exactly ``limit``
+            # still runs (DEVICE_DONE outranks the arrival) but one at
+            # the foreign event's instant does not (it was pushed
+            # earlier), hence the strict bound when ``t2`` is closer.
+            hi = limit
+            strict = False
+            if t2 is not None and t2 <= limit:
+                hi = t2
+                strict = True
+            prev = now
+            while True:
+                idx = mx + m + 1
+                s = (setup + cyc_vec[idx] * size) / freq
+                busy += s
+                energy += en_vec[idx] * size
+                prev = fin
+                fin += s
+                m += 1
+                if m == last or fin > hi or (strict and fin == hi):
+                    break
+            self.end_s = prev
+            self.last_now = prev
+        else:
+            # Timeout cadence: DONE at fin_j -> members re-queue ->
+            # timeout seals at fin_j + w -> dispatch -> next finish.
+            # A seal at exactly ``limit`` belongs to the caller
+            # (arrivals outrank timeouts at equal instants), so both
+            # bounds are strict.
+            w = self.max_wait_s
+            hi = limit if t2 is None or limit <= t2 else t2
+            prev_fin = now
+            t_seal = now
+            while True:
+                ts = fin + w
+                if ts >= hi:
+                    break
+                idx = mx + m + 1
+                s = (setup + cyc_vec[idx] * size) / freq
+                busy += s
+                energy += en_vec[idx] * size
+                prev_fin = fin
+                t_seal = ts
+                fin = ts + s
+                m += 1
+                if m == last:
+                    break
+            if m < 1:
+                return False
+            if m >= 2:
+                self.end_s = prev_fin
+            self.last_now = t_seal
+        self.busy_s[dev] = busy
+        self.energy_pj[dev] = energy
+        free_at[dev] = fin
+        self.min_free_at = min(free_at)
+        self.batches += m
+        self.decode_batches += m
+        if by_size:
+            self.size_triggered += m
+        else:
+            self.timeout_triggered += m
+        self.steps_in += size * m
+        batch[3] = s
+        batch[4] = en_vec[mx + m]
+        batch[5] += m
+        batch[6] = left - m
+        batch[7] = mx + m
+        heappush(self.heap, (fin, 0, self.seq, batch))
+        self.seq += 1
+        return True
+
+    def _handle_heap_event(self, limit: float) -> None:
         now, priority, _, batch = heappop(self.heap)
         if priority == 0:  # DEVICE_DONE
-            decode, recs, ctxs, service, energy = batch
-            size = len(recs)
             if now > self.end_s:
                 self.end_s = now
+            if (
+                batch[0]
+                and batch[6] >= 2
+                and not self.ready
+                and self._macro_run(batch, now, limit)
+            ):
+                return
+            decode, recs, ctxs = batch[0], batch[1], batch[2]
+            size = len(recs)
+            steps = batch[5]
+            if steps:
+                # Materialize macro-advanced state before per-member
+                # processing: each deferred step occupied ``size``
+                # decode slots and grew every context by one.
+                add = size * steps
+                for k in range(size):
+                    ctxs[k] += steps
+                    recs[k][_DSLOT] += add
             # The rejoin admission (self._admit with decode=True) is
             # inlined: this loop runs once per token-step and dominates
             # the engine's wall-clock.
@@ -449,6 +672,7 @@ class _DecodeCore:
             max_bs = self.max_batch_size
             w = self.max_wait_s
             rejoined = 0
+            created = None
             for k in range(size):
                 rec = recs[k]
                 ctx = ctxs[k]
@@ -470,8 +694,13 @@ class _DecodeCore:
                     if max_bs <= 1:
                         self._seal(key, now, by_size=True)
                     elif w > 0:
-                        heappush(self.heap, (now + w, 2, self.seq, None))
-                        self.seq += 1
+                        if now + w < limit:
+                            if created is None:
+                                created = [key]
+                            else:
+                                created.append(key)
+                        else:
+                            self.deferred_to.append((now + w, key))
                 else:
                     q[0].append(now)
                     q[1].append(rec)
@@ -480,6 +709,14 @@ class _DecodeCore:
                         q[3] += 1
                     if len(q[1]) >= max_bs:
                         self._seal(key, now, by_size=True)
+            if created is not None:
+                # Push deadlines only for queues that survived the
+                # handler: a queue sealed by size above never needs its
+                # timeout event at all.
+                for key in created:
+                    if key in queues:
+                        heappush(self.heap, (now + w, 2, self.seq, None))
+                        self.seq += 1
             self.in_flight_rejoiners -= rejoined
             self.steps_in += rejoined
         elif self.queues:  # BATCH_TIMEOUT
@@ -501,15 +738,25 @@ class _DecodeCore:
         Heap events strictly preceding each arrival (in the reference
         (time, priority) order) are processed first; events at or
         beyond the chunk's last arrival stay queued for the next chunk
-        or :meth:`finalize`.
+        or :meth:`finalize`.  Deferred queue-creation timeouts whose
+        deadline the loop is about to reach are pushed first -- only
+        for queues still alive, which is what lets size-sealed queues
+        skip their timeout events entirely.
         """
         heap = self.heap
+        queues = self.queues
+        deferred = self.deferred_to
         qmap = self.queue_of_spec
         n = rid.size
         for i in range(n):
             t = float(arr[i])
+            while deferred and deferred[0][0] <= t:
+                deadline, key = deferred.popleft()
+                if key in queues:
+                    heappush(heap, (deadline, 2, self.seq, None))
+                    self.seq += 1
             while heap and (heap[0][0] < t or (heap[0][0] == t and heap[0][1] == 0)):
-                self._handle_heap_event()
+                self._handle_heap_event(t)
             v = int(vlen[i])
             o = int(olen[i])
             s = int(spec_i[i])
@@ -549,19 +796,62 @@ class _DecodeCore:
             for key in list(self.queues):
                 self._seal(key, now, by_size=False)
             self._dispatch(now)
+        deferred = self.deferred_to
+        while deferred:
+            deadline, key = deferred.popleft()
+            if key in self.queues:
+                heappush(self.heap, (deadline, 2, self.seq, None))
+                self.seq += 1
+        inf = float("inf")
         while self.heap:
-            self._handle_heap_event()
+            self._handle_heap_event(inf)
         assert not self.ready and not self.queues
         assert self.in_flight_rejoiners == 0
 
 
-def _validate_knobs(num_devices, max_batch_size, max_wait_s):
+def _validate_knobs(num_devices, max_batch_size, max_wait_s, threads=1):
     if num_devices < 1:
         raise ValueError("at least one device required")
     if max_batch_size < 1:
         raise ValueError("max_batch_size must be positive")
     if max_wait_s < 0:
         raise ValueError("max_wait_s must be non-negative")
+    if threads < 1:
+        raise ValueError("threads must be positive")
+
+
+def _prebuild_vectors(core: _DecodeCore, spec_i, vlen, olen, threads: int) -> None:
+    """Phase 1: build every queue's cost vectors before the event loop.
+
+    The per-queue context ceiling comes from the arrival columns
+    (``valid_len + output_len - 1``), so the event loop never faults
+    the cycle model mid-run.  Queues are independent -- they own
+    disjoint model names, hence disjoint bucket-cache keys -- so with
+    ``threads > 1`` each queue's vectors (including the exact
+    cycle-model passes behind cold buckets, which run numpy-heavy
+    batched kernels) build concurrently.  Values are memoized pure
+    functions of (model, bucket), so thread scheduling cannot change
+    any priced cost and results stay bitwise identical at every thread
+    count.
+    """
+    qmap = np.asarray(core.queue_of_spec, dtype=np.int64)
+    qids = qmap[spec_i]
+    ctx_hi = vlen + olen - 1
+    targets = [
+        (int(qid), int(ctx_hi[qids == qid].max())) for qid in np.unique(qids)
+    ]
+
+    def _one(target):
+        qid, hi = target
+        core._vectors(qid, True, hi)
+        core._vectors(qid, False, hi)
+
+    if threads > 1 and len(targets) > 1:
+        with ThreadPoolExecutor(max_workers=min(threads, len(targets))) as pool:
+            list(pool.map(_one, targets))
+    else:
+        for target in targets:
+            _one(target)
 
 
 def simulate_decode_table(
@@ -572,6 +862,8 @@ def simulate_decode_table(
     max_wait_s: float = 2e-3,
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
     recorder: Optional[TraceRecorder] = None,
+    threads: int = 1,
+    _vectors: Optional[dict] = None,
 ) -> DecodeColumnarResult:
     """Run one deployment over a generative columnar stream; fast path.
 
@@ -584,12 +876,18 @@ def simulate_decode_table(
     all-``output_len=1`` generative traffic (pure prefill).
 
     ``recorder`` emits the sampled requests' lifecycle spans post-hoc
-    from the finished columns (prefill batching/dispatch, finish at
-    the last token), bitwise identical to the reference loop's.
+    from the finished columns (prefill batching/dispatch, decode phase,
+    finish at the last token), bitwise identical to the reference
+    loop's.  ``threads > 1`` runs phase 1 (per-queue cost-vector
+    construction, including the cycle-model passes behind cold cost
+    buckets) across a thread pool -- results stay bitwise identical at
+    every thread count.  ``_vectors`` is the process-shard injection
+    point (:func:`repro.runtime.pool.simulate_decode_table_sharded`): a
+    dict of (queue id, decode?) -> prebuilt cost vectors.
     """
     if len(table) == 0:
         raise ValueError("request stream must not be empty")
-    _validate_knobs(num_devices, max_batch_size, max_wait_s)
+    _validate_knobs(num_devices, max_batch_size, max_wait_s, threads)
     if np.unique(table.request_id).size != len(table):
         raise ValueError("duplicate request id in stream")
 
@@ -611,6 +909,15 @@ def simulate_decode_table(
         max_wait_s,
         setup_cycles,
     )
+    if _vectors:
+        core.vecs.update(
+            {
+                key: (np.asarray(cyc).tolist(), np.asarray(en).tolist())
+                for key, (cyc, en) in _vectors.items()
+            }
+        )
+    elif threads > 1:
+        _prebuild_vectors(core, spec_i, vlen, olen, threads)
     core.run_arrivals(rid, arr, spec_i, vlen, olen, 0)
     core.finalize()
 
@@ -645,6 +952,13 @@ def simulate_decode_table(
                 finish_s=float(finish[i]),
                 device_id=int(prefill_dev[i]),
                 batch_size=int(prefill_size[i]),
+            )
+            recorder.add_decode_phase(
+                request_id=int(rid[i]),
+                model=specs[int(spec_i[i])].name,
+                first_token_s=float(first_token[i]),
+                finish_s=float(finish[i]),
+                tokens=int(olen[i]) - 1,
             )
 
     return DecodeColumnarResult(
@@ -707,6 +1021,7 @@ def simulate_decode_stream(
     max_wait_s: float = 2e-3,
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
     sink: Optional[Callable[[DecodeCompletedChunk], None]] = None,
+    threads: int = 1,
 ) -> DecodeStreamedResult:
     """Out-of-core generative simulation over a chunked request stream.
 
@@ -724,8 +1039,14 @@ def simulate_decode_stream(
     (arrival, id) lexicographically follows the previous chunk's
     latest) and share one spec list; request-id uniqueness across
     chunks is the caller's contract, as in the prefill driver.
+
+    ``threads > 1`` builds each chunk's per-queue cost vectors across a
+    thread pool before feeding the chunk's arrivals (vectors extend
+    in place as later chunks raise a queue's context ceiling), keeping
+    peak memory O(chunk + frontier) and results bitwise identical at
+    every thread count.
     """
-    _validate_knobs(num_devices, max_batch_size, max_wait_s)
+    _validate_knobs(num_devices, max_batch_size, max_wait_s, threads)
     core: Optional[_DecodeCore] = None
     specs: Optional[List] = None
     start_s = 0.0
@@ -769,14 +1090,11 @@ def simulate_decode_stream(
             olen = np.ones(len(chunk), dtype=np.int64)
         else:
             olen = chunk.output_len[order]
-        core.run_arrivals(
-            rid,
-            arr,
-            chunk.spec_idx[order],
-            chunk.valid_len[order],
-            olen,
-            row_base,
-        )
+        spec_col = chunk.spec_idx[order]
+        vlen_col = chunk.valid_len[order]
+        if threads > 1:
+            _prebuild_vectors(core, spec_col, vlen_col, olen, threads)
+        core.run_arrivals(rid, arr, spec_col, vlen_col, olen, row_base)
         row_base += len(chunk)
         _drain()
     if core is None:

@@ -163,6 +163,27 @@ class ServiceCostModel:
         energy = np.array([c.energy_pj for c in costs], dtype=np.float64)
         return cycles[inverse], energy[inverse]
 
+    def decode_cost_arrays(
+        self, spec: ModelSpec, context_lens
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized decode (cycles, energy) columns for contexts.
+
+        The decode twin of :meth:`cost_arrays`: buckets the contexts,
+        faults cold buckets through the memoized :meth:`decode_cost`
+        (per-token share of a full pass at the bucketed context), then
+        answers the whole column by array indexing.  Values are bitwise
+        equal to the scalar :meth:`decode_cost` at every context, so
+        the macro-stepping decode engine can precompute per-queue cost
+        vectors over the full context range and stay on the reference
+        loop's exact prices.
+        """
+        buckets = self.bucket_lens(spec, context_lens)
+        uniq, inverse = np.unique(buckets, return_inverse=True)
+        costs = [self.decode_cost(spec, int(length)) for length in uniq]
+        cycles = np.array([c.cycles for c in costs], dtype=np.float64)
+        energy = np.array([c.energy_pj for c in costs], dtype=np.float64)
+        return cycles[inverse], energy[inverse]
+
     def prime(self, spec: ModelSpec, valid_lens: Iterable[int]) -> int:
         """Fill the cost cache for every bucket a request stream touches.
 

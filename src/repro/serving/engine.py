@@ -446,8 +446,9 @@ def simulate_table(
     if table.output_len is not None:
         # Generative traffic: decode-step readiness depends on device
         # timing, so batch formation cannot be precomputed -- route to
-        # the event-driven columnar decode engine.  ``threads`` does
-        # not apply (the event loop is inherently sequential).
+        # the event-driven columnar decode engine.  ``threads``
+        # parallelizes its phase 1 (per-queue cost-vector
+        # construction); the event loop itself stays sequential.
         from repro.serving.decode import simulate_decode_table
 
         if _formed is not None:
@@ -462,6 +463,7 @@ def simulate_table(
             max_wait_s=max_wait_s,
             setup_cycles=setup_cycles,
             recorder=recorder,
+            threads=threads,
         )
     if len(table) == 0:
         raise ValueError("request stream must not be empty")
@@ -874,6 +876,7 @@ def simulate_stream(
             max_wait_s=max_wait_s,
             setup_cycles=setup_cycles,
             sink=sink,
+            threads=threads,
         )
     if first is not None:
         from itertools import chain as _chain

@@ -449,6 +449,13 @@ class GenerativeServingSimulator:
                     device_id=rec.prefill_device_id,
                     batch_size=rec.prefill_batch_size,
                 )
+                self.recorder.add_decode_phase(
+                    request_id=rec.request.request_id,
+                    model=rec.request.spec.name,
+                    first_token_s=rec.first_token_s,
+                    finish_s=rec.finish_s,
+                    tokens=rec.request.output_len - 1,
+                )
         return GenerativeResult(
             records=result_records,
             start_s=requests[0].arrival_s,

@@ -87,7 +87,7 @@ class TestRegistry:
     def test_planned_experiments_declare_units(self):
         for name in (
             "fig10", "fig11", "fig12", "fig13", "ffn", "table3",
-            "serving", "sensitivity",
+            "serving", "sensitivity", "ablations",
         ):
             _, module = EXPERIMENTS[name]
             assert supports_units(module), name
@@ -109,9 +109,35 @@ class TestRegistry:
         )
 
     def test_unplanned_experiments_do_not_support_units(self):
-        for name in ("fig1", "fig3", "ablations"):
+        for name in ("fig1", "fig3"):
             _, module = EXPERIMENTS[name]
             assert not supports_units(module), name
+
+    def test_ablation_units_cover_every_row(self):
+        from repro.experiments import ablations
+
+        units = ablations.plan()
+        by_study = {}
+        for unit in units:
+            by_study.setdefault(unit.study, []).append(unit)
+        assert len(by_study["sld"]) == len(ablations.SLD_MODELS)
+        assert len(by_study["interleaving"]) == len(
+            ablations.INTERLEAVING_MODELS
+        )
+        assert len(by_study["margin"]) == len(ablations.DEFAULT_MARGINS)
+        assert len(by_study["locality"]) == len(ablations.DEFAULT_LOCALITIES)
+        # A primed run must replay unit results instead of recomputing:
+        # execute one margin unit out-of-band, prime a sentinel row under
+        # its key, and see run_margin_ablation surface the sentinel.
+        unit = by_study["margin"][0]
+        sentinel = ablations.MarginAblationRow(
+            margin=unit.value, pruning_rate=0.5, accuracy=0.5
+        )
+        ablations.prime(unit.key, sentinel)
+        try:
+            assert ablations.run_margin_ablation()[0] is sentinel
+        finally:
+            ablations.clear_primed()
 
 
 # ----------------------------------------------------------------------
@@ -681,6 +707,149 @@ class TestStreamingUnitCache:
             mark.unlink()
         rerun = self._spawn(tmp_path, marks)
         assert rerun.wait(timeout=120) == 0
+        re_executed = len(list(marks.iterdir()))
+        assert re_executed <= 6 - landed
+        assert len(list(units_dir.glob("*.pkl"))) == 6
+
+
+# ----------------------------------------------------------------------
+# kill/resume for planned decode units: generative sims stream too
+# ----------------------------------------------------------------------
+#: Same shape as ``_RESUME_DRIVER``, but every unit is a real generative
+#: decode simulation (cold cost model + ``simulate_decode_table``), so
+#: the kill lands mid-simulation and the rerun proves decode units
+#: replay from the streamed cache like any other WorkUnit.
+_DECODE_RESUME_DRIVER = """
+import pathlib
+import sys
+import time
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+from repro.core.configs import S_SPRINT
+from repro.core.system import ExecutionMode
+from repro.experiments import registry
+from repro.runtime import ExperimentPool, ResultCache
+from repro.serving import (
+    PoissonProcess, ServiceCostModel, generate_request_table,
+)
+from repro.serving.decode import simulate_decode_table
+
+MARKS = pathlib.Path(sys.argv[1])
+CACHE_DIR = sys.argv[2]
+SEEDS = tuple(range(6))
+PRIMED = {}
+
+
+@dataclass(frozen=True)
+class DecodeUnit:
+    seed: int
+
+    @property
+    def key(self):
+        return ("decodeplan", self.seed)
+
+    @property
+    def group(self):
+        return ("decodeplan", self.seed % 2)
+
+    def execute(self):
+        (MARKS / f"exec_{self.seed}").touch()
+        time.sleep(0.25)
+        cost = ServiceCostModel(S_SPRINT, ExecutionMode.SPRINT)
+        table = generate_request_table(
+            PoissonProcess(150.0), "BERT-B", count=40, seed=self.seed,
+            mean_output_tokens=6.0,
+        )
+        out = simulate_decode_table(table, cost, num_devices=2)
+        return float(out.finish_s.sum())
+
+
+@dataclass(frozen=True)
+class Row:
+    label: str
+    value: float
+
+
+def run(seeds=SEEDS):
+    rows = []
+    for s in seeds:
+        result = PRIMED.get(("decodeplan", s))
+        if result is None:
+            result = DecodeUnit(s).execute()
+        rows.append(Row(str(s), result))
+    return rows
+
+
+module = SimpleNamespace(
+    run=run,
+    format_table=lambda rows: ", ".join(f"{r.label}={r.value}" for r in rows),
+    plan=lambda seeds=SEEDS: [DecodeUnit(s) for s in seeds],
+    prime=lambda key, result: PRIMED.__setitem__(tuple(key), result),
+    clear_primed=PRIMED.clear,
+)
+registry.EXPERIMENTS["decodeplan"] = ({}, module)
+pool = ExperimentPool(jobs=2, cache=ResultCache(CACHE_DIR))
+outcome = pool.run(["decodeplan"])["decodeplan"]
+assert outcome.ok, outcome.error
+"""
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="worker pickling needs fork")
+class TestDecodeUnitResume:
+    def _spawn(self, tmp_path, marks):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        marks.mkdir(exist_ok=True)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        cmd = [
+            sys.executable,
+            "-c",
+            _DECODE_RESUME_DRIVER,
+            str(marks),
+            str(tmp_path / "cache"),
+        ]
+        return subprocess.Popen(cmd, env=env)
+
+    def test_killed_decode_run_resumes_from_landed_units(self, tmp_path):
+        import os
+        import pickle
+        import signal
+
+        marks = tmp_path / "marks"
+        units_dir = tmp_path / "cache" / "units"
+        proc = self._spawn(tmp_path, marks)
+        try:
+            deadline = time.time() + 60.0
+            while time.time() < deadline:
+                if units_dir.exists() and len(list(units_dir.glob("*.pkl"))) >= 2:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            landed = len(list(units_dir.glob("*.pkl"))) if units_dir.exists() else 0
+            assert landed >= 1, "no decode unit streamed into the cache"
+        finally:
+            if proc.poll() is None:
+                os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        landed = 0
+        for entry in units_dir.glob("*.pkl"):
+            pickle.loads(entry.read_bytes())  # no torn pickles
+            landed += 1
+
+        for mark in marks.iterdir():
+            mark.unlink()
+        rerun = self._spawn(tmp_path, marks)
+        assert rerun.wait(timeout=180) == 0
         re_executed = len(list(marks.iterdir()))
         assert re_executed <= 6 - landed
         assert len(list(units_dir.glob("*.pkl"))) == 6

@@ -410,15 +410,32 @@ class TestValidation:
                 mean_output_tokens=0.5,
             )
 
-    def test_generative_table_not_shardable(self, cost_model):
+    def test_generative_table_routes_to_decode_shard(self, cost_model):
+        """simulate_table_sharded no longer rejects generative tables:
+        it routes to simulate_decode_table_sharded, bitwise equal to
+        the serial decode run."""
         from repro.runtime.pool import simulate_table_sharded
 
         table = generate_request_table(
-            PoissonProcess(60.0), "BERT-B", count=20, seed=0,
-            mean_output_tokens=4.0,
+            PoissonProcess(60.0), {"BERT-B": 0.5, "ViT-B": 0.5},
+            count=40, seed=0, mean_output_tokens=4.0,
         )
-        with pytest.raises(ValueError, match="generative"):
-            simulate_table_sharded(table, cost_model, jobs=2)
+        serial = simulate_decode_table(table, cost_model, num_devices=2)
+        sharded = simulate_table_sharded(
+            table, cost_model, jobs=2, num_devices=2
+        )
+        assert np.array_equal(serial.finish_s, sharded.finish_s)
+        assert np.array_equal(serial.first_token_s, sharded.first_token_s)
+        assert serial.to_result().records == sharded.to_result().records
+
+    def test_prefill_only_table_rejects_decode_shard(self, cost_model):
+        from repro.runtime.pool import simulate_decode_table_sharded
+
+        table = generate_request_table(
+            PoissonProcess(60.0), "BERT-B", count=20, seed=0,
+        )
+        with pytest.raises(ValueError, match="output_len"):
+            simulate_decode_table_sharded(table, cost_model, jobs=2)
 
     def test_sample_output_lens_chunk_split_bitwise(self):
         rng = np.random.default_rng(0)
@@ -463,13 +480,25 @@ GOLDEN_GENERATIVE_CASES = {
     ),
 }
 
-#: SHA-256 over the decode engine's outcome columns on the
-#: gen_poisson_s0 golden stream at 2 devices -- pins the engine's
-#: semantics end to end (and, via the equivalence suite, the
-#: reference loop's).
-GOLDEN_DECODE_RUN = (
-    "0df86488c8717077cc4d001df86148e13cba81bf5f7ee9b64496add1befa9b41"
-)
+#: SHA-256 over the decode engine's outcome columns on the golden
+#: generative streams at 2 devices -- pins the engine's semantics end
+#: to end (and, via the equivalence suite, the reference loop's).
+#: gen_poisson_s0 predates the macro-stepping core (PR 8) and must
+#: never move; the other two pin the macro-step paths (bursty traffic
+#: drains isolated full-batch runs, the 3-model mix exercises
+#: per-queue cost vectors + pending-queue bounds).
+GOLDEN_DECODE_RUNS = {
+    "gen_poisson_s0": (
+        "0df86488c8717077cc4d001df86148e13cba81bf5f7ee9b64496add1befa9b41"
+    ),
+    "gen_bursty_s1": (
+        "8668492ec76b52c9722aa24565ba57ebf15233ed3d60a0c5c48d2a1de7f69000"
+    ),
+    "gen_mix_s7": (
+        "57c27e345b085f0df5cbb9ea077de62e7e2834c86cc22dee614393b40ca246d6"
+    ),
+}
+GOLDEN_DECODE_RUN = GOLDEN_DECODE_RUNS["gen_poisson_s0"]
 
 
 class TestGoldenDecodeStreams:
@@ -509,10 +538,9 @@ class TestGoldenDecodeStreams:
                     getattr(got, col), getattr(whole, col)
                 ), (chunk_size, col)
 
-    def test_decode_run_hash_pinned(self, cost_model):
-        process, mix, count, seed, mean_out = GOLDEN_GENERATIVE_CASES[
-            "gen_poisson_s0"
-        ]
+    @pytest.mark.parametrize("name", sorted(GOLDEN_DECODE_RUNS))
+    def test_decode_run_hash_pinned(self, name, cost_model):
+        process, mix, count, seed, mean_out = GOLDEN_GENERATIVE_CASES[name]
         table = generate_request_table(
             process(), mix, count=count, seed=seed,
             mean_output_tokens=mean_out,
@@ -525,4 +553,167 @@ class TestGoldenDecodeStreams:
             "decode_slots",
         ):
             digest.update(getattr(res, col).tobytes())
-        assert digest.hexdigest() == GOLDEN_DECODE_RUN
+        assert digest.hexdigest() == GOLDEN_DECODE_RUNS[name]
+
+
+# ----------------------------------------------------------------------
+# Parallel decode paths: threads and process shards are byte-identical
+# ----------------------------------------------------------------------
+class TestDecodeParallelEquivalence:
+    """Mirrors the prefill matrix in tests/test_serving_stream.py:
+    phase-1 parallelism (threaded or process-sharded cost-vector
+    construction) must not move a single bit of the event loop's
+    output at any worker count."""
+
+    COLS = (
+        "prefill_batched_s", "prefill_start_s", "first_token_s",
+        "finish_s", "prefill_batch_size", "prefill_device_id",
+        "decode_slots",
+    )
+
+    @pytest.mark.parametrize("threads", (1, 2, 4))
+    def test_threaded_simulate_decode_table(self, threads, cost_model):
+        table = generate_request_table(
+            make_process("bursty"),
+            {"BERT-B": 0.5, "ViT-B": 0.3, "GPT-2-L": 0.2},
+            count=600,
+            seed=8,
+            mean_output_tokens=12.0,
+        )
+        base = simulate_decode_table(table, cost_model, num_devices=2)
+        out = simulate_decode_table(
+            table, cost_model, num_devices=2, threads=threads
+        )
+        for col in self.COLS:
+            assert np.array_equal(
+                getattr(out, col), getattr(base, col)
+            ), col
+        assert out.device_busy_s == base.device_busy_s
+        assert out.device_energy_pj == base.device_energy_pj
+        assert out.batches == base.batches
+
+    @pytest.mark.parametrize("threads", (1, 2, 4))
+    def test_threaded_simulate_decode_stream(self, threads, cost_model):
+        stream = RequestStream(
+            process=PoissonProcess(130.0),
+            mix=MIX,
+            count=400,
+            seed=9,
+            chunk_size=64,
+            mean_output_tokens=6.0,
+        )
+        base = simulate_decode_table(
+            stream.materialize(), cost_model, num_devices=2
+        )
+        finish = []
+        res = simulate_decode_stream(
+            stream.chunks(),
+            cost_model,
+            num_devices=2,
+            threads=threads,
+            sink=lambda c: finish.append(c.finish_s),
+        )
+        got = np.concatenate(finish)
+        assert np.array_equal(np.sort(got), np.sort(base.finish_s))
+        assert res.device_busy_s == base.device_busy_s
+        assert res.total_tokens == base.total_tokens
+
+    @pytest.mark.parametrize("jobs", (1, 2, 4))
+    def test_sharded_simulate_decode_table(self, jobs, cost_model):
+        from repro.runtime.pool import simulate_decode_table_sharded
+
+        table = generate_request_table(
+            make_process("trace"),
+            {"BERT-B": 0.5, "ViT-B": 0.3, "GPT-2-L": 0.2},
+            count=500,
+            seed=5,
+            mean_output_tokens=9.0,
+        )
+        base = simulate_decode_table(table, cost_model, num_devices=2)
+        out = simulate_decode_table_sharded(
+            table, cost_model, jobs=jobs, num_devices=2
+        )
+        for col in self.COLS:
+            assert np.array_equal(
+                getattr(out, col), getattr(base, col)
+            ), col
+        assert out.device_busy_s == base.device_busy_s
+        assert out.device_energy_pj == base.device_energy_pj
+        assert out.batches == base.batches
+        assert out.to_result().records == base.to_result().records
+
+
+# ----------------------------------------------------------------------
+# decode-phase tracing: spans from both engines, bitwise-neutral
+# ----------------------------------------------------------------------
+class TestDecodeTracing:
+    def _table(self):
+        return generate_request_table(
+            PoissonProcess(90.0), MIX, count=120, seed=3,
+            mean_output_tokens=8.0,
+        )
+
+    def test_tracing_does_not_change_results(self, cost_model):
+        from repro.obs.trace import TraceConfig, TraceRecorder
+
+        table = self._table()
+        recorder = TraceRecorder(TraceConfig(head=60))
+        traced = simulate_decode_table(
+            table, cost_model, num_devices=2, recorder=recorder
+        )
+        plain = simulate_decode_table(table, cost_model, num_devices=2)
+        assert np.array_equal(traced.finish_s, plain.finish_s)
+        assert np.array_equal(traced.first_token_s, plain.first_token_s)
+        assert traced.device_busy_s == plain.device_busy_s
+        assert recorder.sampled_requests == 60
+        assert recorder.sampled_decode_phases > 0
+
+    def test_traces_byte_identical_across_engines(self, cost_model, tmp_path):
+        from repro.obs.trace import TraceConfig, TraceRecorder
+
+        table = self._table()
+        fast = TraceRecorder(TraceConfig(head=48, stride=13))
+        simulate_decode_table(
+            table, cost_model, num_devices=2, recorder=fast
+        )
+        reference = TraceRecorder(TraceConfig(head=48, stride=13))
+        GenerativeServingSimulator(
+            [SprintDevice(i, cost_model) for i in range(2)],
+            ContinuousBatcher(8, 2e-3),
+            recorder=reference,
+        ).run(table.to_requests())
+        fast_path = fast.write(tmp_path / "fast.json")
+        reference_path = reference.write(tmp_path / "reference.json")
+        assert fast_path.read_bytes() == reference_path.read_bytes()
+
+    def test_decode_spans_cover_the_decode_phase(self, cost_model):
+        import json
+
+        from repro.obs.trace import TraceConfig, TraceRecorder
+
+        table = self._table()
+        recorder = TraceRecorder(TraceConfig(head=0, stride=1))
+        out = simulate_decode_table(
+            table, cost_model, num_devices=2, recorder=recorder
+        )
+        payload = json.loads(
+            json.dumps(recorder.to_chrome_trace())
+        )  # round-trip: the export must be JSON-clean
+        decode = {
+            e["tid"]: e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "decode"
+        }
+        generative = out.output_len > 1
+        assert len(decode) == int(generative.sum())
+        for i in np.flatnonzero(generative):
+            span = decode[int(out.request_id[i])]
+            assert span["ts"] == float(out.first_token_s[i]) * 1e6
+            assert span["dur"] == pytest.approx(
+                (out.finish_s[i] - out.first_token_s[i]) * 1e6
+            )
+            assert span["args"]["tokens"] == int(out.output_len[i]) - 1
+        # Prefill-only rows contribute no decode span.
+        assert not set(decode) & set(
+            out.request_id[~generative].tolist()
+        )
