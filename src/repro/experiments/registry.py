@@ -36,6 +36,7 @@ from repro.experiments import (
     fig11_speedup,
     fig12_energy,
     fig13_breakdown,
+    resilience,
     sensitivity,
     serving,
     table3_comparison,
@@ -94,6 +95,14 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
     "decode": (
         {"requests_per_point": 150, "mean_output_lens": (2.0, 16.0)},
         decode,
+    ),
+    "resilience": (
+        {
+            "requests_per_point": 300,
+            "mtbfs": (2.0, 8.0),
+            "fleets": (1, 2),
+        },
+        resilience,
     ),
 }
 

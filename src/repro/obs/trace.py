@@ -98,6 +98,10 @@ class TraceRecorder:
         self._decode_events: List[Tuple] = []
         #: (device_id, start_s, finish_s) -> (model, batch_size)
         self._batches: Dict[Tuple[int, float, float], Tuple[str, int]] = {}
+        #: (device_id, down_s, up_s) -- fleet-level, never sampled out.
+        self._fault_events: List[Tuple[int, float, float]] = []
+        #: (request_id, model, at_s, attempt)
+        self._retry_events: List[Tuple[int, str, float, int]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -111,6 +115,14 @@ class TraceRecorder:
     @property
     def sampled_decode_phases(self) -> int:
         return len(self._decode_events)
+
+    @property
+    def recorded_outages(self) -> int:
+        return len(self._fault_events)
+
+    @property
+    def sampled_retries(self) -> int:
+        return len(self._retry_events)
 
     def add_request(
         self,
@@ -161,6 +173,28 @@ class TraceRecorder:
             (int(request_id), model, first_token_s, finish_s, int(tokens))
         )
 
+    def add_device_fault(self, device_id: int, down_s: float, up_s: float) -> None:
+        """Record one device outage window as a device-track span.
+
+        Outages are fleet-level facts, not per-request ones, so they
+        bypass request sampling: every injected outage that overlaps
+        the run appears in the trace.
+        """
+        self._fault_events.append((int(device_id), float(down_s), float(up_s)))
+
+    def add_retry(
+        self, request_id: int, model: str, at_s: float, attempt: int
+    ) -> None:
+        """Record one retry re-admission (if the request is sampled).
+
+        ``at_s`` is when the retried request re-enters its queue (fail
+        time plus backoff); ``attempt`` is the dispatch attempt the
+        re-admission begins (2 for the first retry).
+        """
+        if not self.config.wants(request_id):
+            return
+        self._retry_events.append((int(request_id), model, float(at_s), int(attempt)))
+
     # ------------------------------------------------------------------
     def to_chrome_trace(self) -> dict:
         """The run as a Chrome trace-event JSON object (Perfetto-ready)."""
@@ -204,6 +238,34 @@ class TraceRecorder:
                     "args": {"model": model, "size": size},
                 }
             )
+        for device_id, down_s, up_s in self._fault_events:
+            events.append(
+                {
+                    "name": "outage",
+                    "cat": "fault",
+                    "ph": "X",
+                    "ts": down_s * _US,
+                    "dur": (up_s - down_s) * _US,
+                    "pid": _DEVICE_PID,
+                    "tid": device_id,
+                    "args": {"down_s": down_s, "up_s": up_s},
+                }
+            )
+        for tid, model, at_s, attempt in self._retry_events:
+            # Attempt in the name keeps sort keys unique even when two
+            # retries of one request land on the same instant.
+            events.append(
+                {
+                    "name": f"retry #{attempt}",
+                    "cat": "fault",
+                    "ph": "X",
+                    "ts": at_s * _US,
+                    "dur": 0.0,
+                    "pid": _REQUEST_PID,
+                    "tid": tid,
+                    "args": {"model": model, "attempt": attempt},
+                }
+            )
         # Value-sort so insertion order (an engine implementation
         # detail) never reaches the file.
         events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"], e["dur"]))
@@ -227,6 +289,8 @@ class TraceRecorder:
                 "sampled_requests": self.sampled_requests,
                 "sampled_batches": self.sampled_batches,
                 "sampled_decode_phases": self.sampled_decode_phases,
+                "recorded_outages": self.recorded_outages,
+                "sampled_retries": self.sampled_retries,
             },
             "traceEvents": metadata + events,
         }

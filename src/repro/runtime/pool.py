@@ -121,9 +121,15 @@ class ExperimentPool:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         mp_context: Optional[mp.context.BaseContext] = None,
+        shard_retries: int = 1,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        #: Re-runs granted to a unit shard whose worker died (e.g. an
+        #: OOM-killed process).  Each retry gets a *fresh* executor --
+        #: a crashed worker poisons its pool (BrokenProcessPool), so
+        #: resubmitting there can never succeed.
+        self.shard_retries = max(0, int(shard_retries))
         if mp_context is None:
             # fork keeps worker start-up cheap (warm imports) and
             # inherits the parent's hash seed, so any residual
@@ -240,6 +246,51 @@ class ExperimentPool:
         return outcome
 
     # ------------------------------------------------------------------
+    def _retry_shard(
+        self, group, shard, cache_root, cache_version, prime_owners
+    ) -> bool:
+        """Re-run one failed unit shard, bounded by ``shard_retries``.
+
+        Each attempt runs on a **fresh** single-worker executor: the
+        original pool is poisoned once any worker dies.  On success the
+        results prime their owners exactly as a first-try shard would
+        (unit cache writes already streamed worker-side).  After the
+        budget is spent the shard is abandoned -- the consuming
+        experiment re-simulates its points serially, as before.
+        """
+        for attempt in range(1, self.shard_retries + 1):
+            telemetry.count("units.shard_retries")
+            telemetry.event(
+                "shard_retry",
+                group=repr(group),
+                units=len(shard),
+                attempt=attempt,
+            )
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=1, mp_context=self._mp_context
+                ) as retry_pool:
+                    results = retry_pool.submit(
+                        _execute_units, shard, cache_root, cache_version
+                    ).result()
+            except Exception as exc:  # noqa: BLE001
+                telemetry.warn(
+                    f"shard retry {attempt}/{self.shard_retries} failed "
+                    f"({type(exc).__name__}: {exc})",
+                    source="work-unit-shard",
+                )
+                continue
+            for key, result in results:
+                prime_owners(key, result)
+            return True
+        telemetry.warn(
+            "work-unit shard exhausted its retries; falling back to "
+            "in-process simulation",
+            source="work-unit-shard",
+        )
+        return False
+
+    # ------------------------------------------------------------------
     def _run_sharded(self, pending, outcomes) -> None:
         planned: List[Tuple[str, Dict[str, Any], Any]] = []
         standalone: List[Tuple[str, Dict[str, Any], Any]] = []
@@ -296,10 +347,12 @@ class ExperimentPool:
         cache_root = str(self.cache.root) if self.cache is not None else None
         cache_version = code_version() if self.cache is not None else None
         with executor:
-            unit_futures = [
-                executor.submit(_execute_units, shard, cache_root, cache_version)
-                for shard in shards.values()
-            ]
+            unit_futures = {
+                executor.submit(
+                    _execute_units, shard, cache_root, cache_version
+                ): (group, shard)
+                for group, shard in shards.items()
+            }
             standalone_futures = {}
             submitted: Dict[Any, float] = {}
             elapsed: Dict[Any, float] = {}
@@ -317,6 +370,7 @@ class ExperimentPool:
                 future.add_done_callback(
                     functools.partial(_record_elapsed, t0=submitted[future])
                 )
+            failed: List[Tuple[Any, List[WorkUnit]]] = []
             for future in as_completed(unit_futures):
                 try:
                     # Cache writes already streamed worker-side, unit
@@ -324,17 +378,20 @@ class ExperimentPool:
                     for key, result in future.result():
                         prime_owners(key, result)
                 except Exception as exc:  # noqa: BLE001
-                    # A failed shard is re-attempted (and any real
-                    # simulation error surfaced) by the consuming
-                    # experiment below — but serially, so say so.
-                    # warn() keeps the stderr echo and additionally
-                    # lands the notice in the run manifest's event
-                    # stream when telemetry is active.
+                    # A crashed worker (SIGKILL, OOM) poisons the whole
+                    # pool, so every shard still in flight lands here;
+                    # each gets its bounded retry on a fresh executor
+                    # below before the serial fallback.
+                    failed.append(unit_futures[future])
                     telemetry.warn(
                         f"work-unit shard failed ({type(exc).__name__}: "
-                        f"{exc}); falling back to in-process simulation",
+                        f"{exc}); scheduling shard retry",
                         source="work-unit-shard",
                     )
+            for group, shard in failed:
+                self._retry_shard(
+                    group, shard, cache_root, cache_version, prime_owners
+                )
             # Units are primed: aggregate the planned experiments
             # in-parent while the standalone workers keep running.
             # Priming is scoped to this run so module-global state does

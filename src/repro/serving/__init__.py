@@ -44,6 +44,17 @@ engine (:mod:`repro.serving.decode`), pinned bitwise-equal to the
 tokens-per-second to the report.  With every ``output_len == 1`` the
 generative loop degenerates exactly to the prefill-only semantics.
 
+**Fault injection** (:mod:`repro.serving.faults`) threads a
+deterministic, seedable :class:`FaultSchedule` of per-device outages
+through every path above: a device dying mid-batch loses the in-flight
+batch, affected requests re-enter their queue under a
+:class:`RetryPolicy` (bounded attempts, exponential backoff) or drop
+once their per-request deadline passes, and :func:`summarize` /
+:func:`summarize_stream` report availability, goodput, retries, and
+wasted energy.  ``simulate_table`` / ``simulate_stream`` take
+``faults=`` / ``retry=`` and stay bitwise-equal to the fault-threaded
+reference loops; with no schedule the fast paths are untouched.
+
 Both paths accept an optional :class:`repro.obs.trace.TraceRecorder`
 for sim-time request tracing, and :func:`summarize` can fold latency
 columns through the :mod:`repro.obs.streaming` tail-latency sketch
@@ -112,6 +123,17 @@ from repro.serving.engine import (
     simulate_table,
 )
 from repro.serving.events import Event, EventKind, EventQueue
+from repro.serving.faults import (
+    DeviceFaultTrace,
+    DroppedRecord,
+    FaultColumnarResult,
+    FaultCompletedChunk,
+    FaultSchedule,
+    FaultStreamedResult,
+    RetryPolicy,
+    simulate_faulty_stream,
+    simulate_faulty_table,
+)
 from repro.serving.metrics import (
     LatencyStats,
     ServingReport,
@@ -142,10 +164,16 @@ __all__ = [
     "DecodeCompletedChunk",
     "DecodeRecord",
     "DecodeStreamedResult",
+    "DeviceFaultTrace",
+    "DroppedRecord",
     "DynamicBatcher",
     "Event",
     "EventKind",
     "EventQueue",
+    "FaultColumnarResult",
+    "FaultCompletedChunk",
+    "FaultSchedule",
+    "FaultStreamedResult",
     "GenerativeResult",
     "GenerativeServingSimulator",
     "LatencyStats",
@@ -154,6 +182,7 @@ __all__ = [
     "RequestRecord",
     "RequestStream",
     "RequestTable",
+    "RetryPolicy",
     "SampleCost",
     "ServiceCostModel",
     "ServingReport",
@@ -171,6 +200,8 @@ __all__ = [
     "shared_cost_model",
     "simulate_decode_stream",
     "simulate_decode_table",
+    "simulate_faulty_stream",
+    "simulate_faulty_table",
     "simulate_stream",
     "simulate_table",
     "summarize",

@@ -377,6 +377,7 @@ def generate_request_table(
     seed: int = 0,
     start_id: int = 0,
     mean_output_tokens: float = None,
+    deadline_range_s: Tuple[float, float] = None,
 ) -> RequestTable:
     """Vectorized stream generation into a columnar request table.
 
@@ -392,6 +393,12 @@ def generate_request_table(
     streams stay byte-identical) samples each request's output length
     from a geometric with that mean, clipped to the model window
     (``valid_len + output_len - 1 <= seq_len``).
+
+    ``deadline_range_s=(lo, hi)`` adds a fifth phase -- again drawn
+    strictly after every earlier phase, preserving their draw order --
+    sampling each request's completion deadline uniformly from
+    ``[lo, hi)`` seconds after arrival (the fault layer's drop bound;
+    see :class:`~repro.serving.requests.Request`).
     """
     if count < 1:
         raise ValueError("count must be positive")
@@ -417,6 +424,12 @@ def generate_request_table(
         output_len = sample_output_lens(
             u, mean_output_tokens, seq_lens[picks] - valid + 1
         )
+    deadline_s = None
+    if deadline_range_s is not None:
+        lo, hi = deadline_range_s
+        if not 0 < lo <= hi:
+            raise ValueError("deadline_range_s must satisfy 0 < lo <= hi")
+        deadline_s = rng.uniform(lo, hi, size=count)
     return RequestTable(
         specs=specs,
         request_id=start_id + np.arange(count, dtype=np.int64),
@@ -424,6 +437,7 @@ def generate_request_table(
         spec_idx=np.asarray(picks, dtype=np.int64),
         valid_len=valid,
         output_len=output_len,
+        deadline_s=deadline_s,
     )
 
 
@@ -434,6 +448,7 @@ def generate_requests(
     seed: int = 0,
     start_id: int = 0,
     mean_output_tokens: float = None,
+    deadline_range_s: Tuple[float, float] = None,
 ) -> List[Request]:
     """Materialize ``count`` requests from an arrival process and a mix.
 
@@ -449,4 +464,5 @@ def generate_requests(
         seed=seed,
         start_id=start_id,
         mean_output_tokens=mean_output_tokens,
+        deadline_range_s=deadline_range_s,
     ).to_requests()

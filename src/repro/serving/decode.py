@@ -102,6 +102,10 @@ class DecodeColumnarResult:
     size_triggered_batches: int
     timeout_triggered_batches: int
     total_tokens: int
+    #: Optional per-request deadline column (seconds relative to
+    #: arrival, ``inf`` = none), carried through the canonical sort so
+    #: :meth:`to_result` round-trips deadline-bearing tables losslessly.
+    deadline_s: Optional[np.ndarray] = None
 
     @property
     def duration_s(self) -> float:
@@ -147,6 +151,12 @@ class DecodeColumnarResult:
                     spec=self.specs[int(self.spec_idx[i])],
                     valid_len=int(self.valid_len[i]),
                     output_len=int(self.output_len[i]),
+                    deadline_s=(
+                        None
+                        if self.deadline_s is None
+                        or not np.isfinite(self.deadline_s[i])
+                        else float(self.deadline_s[i])
+                    ),
                 ),
                 prefill_batched_s=float(self.prefill_batched_s[i]),
                 prefill_start_s=float(self.prefill_start_s[i]),
@@ -864,7 +874,9 @@ def simulate_decode_table(
     recorder: Optional[TraceRecorder] = None,
     threads: int = 1,
     _vectors: Optional[dict] = None,
-) -> DecodeColumnarResult:
+    faults=None,
+    retry=None,
+) -> "DecodeColumnarResult | FaultColumnarResult":
     """Run one deployment over a generative columnar stream; fast path.
 
     Identical knobs and semantics to building ``num_devices``
@@ -888,6 +900,24 @@ def simulate_decode_table(
     if len(table) == 0:
         raise ValueError("request stream must not be empty")
     _validate_knobs(num_devices, max_batch_size, max_wait_s, threads)
+    if faults is not None:
+        from repro.serving.faults import simulate_faulty_table
+
+        if _vectors is not None:
+            raise ValueError("sharded cost vectors do not apply under fault injection")
+        return simulate_faulty_table(
+            table,
+            cost_model,
+            faults,
+            retry=retry,
+            num_devices=num_devices,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            setup_cycles=setup_cycles,
+            recorder=recorder,
+        )
+    if retry is not None:
+        raise ValueError("a retry policy requires a fault schedule")
     if np.unique(table.request_id).size != len(table):
         raise ValueError("duplicate request id in stream")
 
@@ -985,6 +1015,7 @@ def simulate_decode_table(
         size_triggered_batches=core.size_triggered,
         timeout_triggered_batches=core.timeout_triggered,
         total_tokens=int(olen.sum()),
+        deadline_s=(None if table.deadline_s is None else table.deadline_s[order]),
     )
 
 
@@ -1022,7 +1053,9 @@ def simulate_decode_stream(
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
     sink: Optional[Callable[[DecodeCompletedChunk], None]] = None,
     threads: int = 1,
-) -> DecodeStreamedResult:
+    faults=None,
+    retry=None,
+) -> "DecodeStreamedResult | FaultStreamedResult":
     """Out-of-core generative simulation over a chunked request stream.
 
     The generative twin of :func:`~repro.serving.engine.
@@ -1047,6 +1080,22 @@ def simulate_decode_stream(
     every thread count.
     """
     _validate_knobs(num_devices, max_batch_size, max_wait_s, threads)
+    if faults is not None:
+        from repro.serving.faults import simulate_faulty_stream
+
+        return simulate_faulty_stream(
+            chunks,
+            cost_model,
+            faults,
+            retry=retry,
+            num_devices=num_devices,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            setup_cycles=setup_cycles,
+            sink=sink,
+        )
+    if retry is not None:
+        raise ValueError("a retry policy requires a fault schedule")
     core: Optional[_DecodeCore] = None
     specs: Optional[List] = None
     start_s = 0.0

@@ -277,6 +277,51 @@ class SprintDevice:
         """Wall-clock seconds this device needs for ``batch``."""
         return self._batch_cost(batch)[0]
 
+    def _step_cost(
+        self, spec: ModelSpec, context_len: int, size: int, decode: bool
+    ) -> Tuple[float, SampleCost]:
+        """(service seconds, per-sample cost) of one token-step batch."""
+        if decode:
+            per_sample = self.cost_model.decode_cost(spec, context_len)
+        else:
+            per_sample = self.cost_model.sample_cost(spec, context_len)
+        cycles = self.setup_cycles + per_sample.cycles * size
+        return cycles / self.frequency_hz, per_sample
+
+    def step_service_time_s(
+        self, spec: ModelSpec, context_len: int, size: int, decode: bool
+    ) -> float:
+        """Wall-clock seconds one token-step batch would occupy."""
+        return self._step_cost(spec, context_len, size, decode)[0]
+
+    def lose_batch(self, batch: Batch, now_s: float, fail_s: float) -> float:
+        """The device dies at ``fail_s`` mid-``batch``: occupy it until
+        the failure and return the energy wasted on the partial work.
+
+        The lost work counts toward neither ``batches_done`` nor
+        ``energy_pj`` -- it delivered nothing -- but the device was
+        genuinely busy until the failure instant.
+        """
+        service, per_sample = self._batch_cost(batch)
+        self.busy_until_s = fail_s
+        self.busy_s += fail_s - now_s
+        return per_sample.energy_pj * batch.size * ((fail_s - now_s) / service)
+
+    def lose_step_batch(
+        self,
+        spec: ModelSpec,
+        context_len: int,
+        size: int,
+        decode: bool,
+        now_s: float,
+        fail_s: float,
+    ) -> float:
+        """Token-step twin of :meth:`lose_batch`."""
+        service, per_sample = self._step_cost(spec, context_len, size, decode)
+        self.busy_until_s = fail_s
+        self.busy_s += fail_s - now_s
+        return per_sample.energy_pj * size * ((fail_s - now_s) / service)
+
     def start_batch(self, batch: Batch, now_s: float) -> float:
         """Begin executing ``batch`` at ``now_s``; returns finish time."""
         if not self.is_idle(now_s):
@@ -312,12 +357,7 @@ class SprintDevice:
             raise RuntimeError(
                 f"device {self.device_id} busy until {self.busy_until_s}"
             )
-        if decode:
-            per_sample = self.cost_model.decode_cost(spec, context_len)
-        else:
-            per_sample = self.cost_model.sample_cost(spec, context_len)
-        cycles = self.setup_cycles + per_sample.cycles * size
-        service = cycles / self.frequency_hz
+        service, per_sample = self._step_cost(spec, context_len, size, decode)
         self.busy_until_s = now_s + service
         self.busy_s += service
         self.batches_done += 1

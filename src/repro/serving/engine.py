@@ -410,6 +410,8 @@ def simulate_table(
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
     recorder: Optional[TraceRecorder] = None,
     threads: int = 1,
+    faults=None,
+    retry=None,
     _formed: Optional[dict] = None,
 ) -> "ColumnarServingResult | DecodeColumnarResult":
     """Run one deployment over a columnar stream; the fast path.
@@ -442,7 +444,34 @@ def simulate_table(
     injection point (:func:`repro.runtime.pool.simulate_table_sharded`):
     a dict of queue id -> precomputed phase-1 parts for the canonically
     sorted table.
+
+    ``faults`` (a :class:`~repro.serving.faults.FaultSchedule`) routes
+    to the unified fault-mode event core
+    (:func:`~repro.serving.faults.simulate_faulty_table`) and returns a
+    :class:`~repro.serving.faults.FaultColumnarResult`; ``retry``
+    customizes its :class:`~repro.serving.faults.RetryPolicy`.  With
+    ``faults=None`` the no-fault fast path below runs untouched.
     """
+    if faults is not None:
+        from repro.serving.faults import simulate_faulty_table
+
+        if _formed is not None:
+            raise ValueError(
+                "sharded batch formation does not apply under fault injection"
+            )
+        return simulate_faulty_table(
+            table,
+            cost_model,
+            faults,
+            retry=retry,
+            num_devices=num_devices,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            setup_cycles=setup_cycles,
+            recorder=recorder,
+        )
+    if retry is not None:
+        raise ValueError("a retry policy requires a fault schedule")
     if table.output_len is not None:
         # Generative traffic: decode-step readiness depends on device
         # timing, so batch formation cannot be precomputed -- route to
@@ -485,6 +514,9 @@ def simulate_table(
         arrival_s=table.arrival_s[order],
         spec_idx=table.spec_idx[order],
         valid_len=table.valid_len[order],
+        deadline_s=(
+            None if table.deadline_s is None else table.deadline_s[order]
+        ),
     )
     n = len(table)
     last_arrival_s = float(table.arrival_s[n - 1])
@@ -819,6 +851,8 @@ def simulate_stream(
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
     threads: int = 1,
     sink: Optional[Callable[[CompletedChunk], None]] = None,
+    faults=None,
+    retry=None,
 ) -> "StreamedServingResult | DecodeStreamedResult":
     """Out-of-core serving simulation over a chunked request stream.
 
@@ -827,6 +861,12 @@ def simulate_stream(
     ``sink`` then receives :class:`~repro.serving.decode.
     DecodeCompletedChunk` columns and the call returns a
     :class:`~repro.serving.decode.DecodeStreamedResult`.
+
+    With a ``faults`` schedule the run routes to the fault-injection
+    engine (:func:`repro.serving.faults.simulate_faulty_stream`):
+    ``sink`` then receives :class:`~repro.serving.faults.
+    FaultCompletedChunk` columns and the call returns a
+    :class:`~repro.serving.faults.FaultStreamedResult`.
 
     Consumes ``RequestTable`` chunks in arrival order (e.g. from
     :class:`repro.serving.stream.RequestStream`), carrying only the
@@ -857,6 +897,22 @@ def simulate_stream(
         raise ValueError("max_wait_s must be non-negative")
     if threads < 1:
         raise ValueError("threads must be positive")
+    if faults is not None:
+        from repro.serving.faults import simulate_faulty_stream
+
+        return simulate_faulty_stream(
+            chunks,
+            cost_model,
+            faults,
+            retry=retry,
+            num_devices=num_devices,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            setup_cycles=setup_cycles,
+            sink=sink,
+        )
+    if retry is not None:
+        raise ValueError("a retry policy requires a fault schedule")
 
     # Peek the first non-empty chunk to route generative streams.
     iterator = iter(chunks)

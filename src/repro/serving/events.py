@@ -21,11 +21,19 @@ class EventKind(enum.IntEnum):
     arrivals are observed before wait-timeout flushes at the same
     instant (the request that arrives exactly at the deadline still
     joins the flushing batch).
+
+    The fault-injection kinds extend the order without disturbing it:
+    a lost batch is accounted after any same-instant timeout flush,
+    recoveries only re-trigger dispatch, and retry re-admissions come
+    last so a retried request never jumps ahead of same-instant work.
     """
 
     DEVICE_DONE = 0
     ARRIVAL = 1
     BATCH_TIMEOUT = 2
+    BATCH_FAILED = 3
+    RECOVERY = 4
+    RETRY = 5
 
 
 @dataclass(order=True)

@@ -25,7 +25,7 @@ The sketch's p50/p95/p99 carry its documented relative error bound
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
 import numpy as np
@@ -34,6 +34,7 @@ from repro.obs.streaming import StreamingHistogram
 from repro.serving.decode import DecodeColumnarResult
 from repro.serving.devices import DEFAULT_SETUP_CYCLES, ServiceCostModel
 from repro.serving.engine import ColumnarServingResult, simulate_stream
+from repro.serving.faults import DROP_REASON_NAMES, FaultColumnarResult
 from repro.serving.requests import RequestTable
 from repro.serving.scheduler import GenerativeResult, ServingResult
 
@@ -114,10 +115,48 @@ class ServingReport:
     ttft: Optional[LatencyStats] = None
     tbt: Optional[LatencyStats] = None
     total_tokens: int = 0
+    #: Fault-injection accounting.  The defaults describe a fault-free
+    #: run, so legacy report construction and equality are untouched.
+    faulted: bool = False
+    dropped_requests: int = 0
+    #: Dropped counts keyed by reason ('retries', 'deadline',
+    #: 'stranded'); empty on fault-free runs.
+    dropped_by_reason: dict = field(default_factory=dict)
+    #: Retry dispatches the fault layer scheduled.
+    retries: int = 0
+    #: Completed requests that needed at least one retry.
+    retried_completed: int = 0
+    #: Batches lost to mid-execution device failures.
+    failed_batches: int = 0
+    #: Energy spent on lost (never-delivered) batch work.
+    wasted_energy_uj: float = 0.0
+    #: Mean fleet uptime fraction over the run span (1.0 without
+    #: faults).
+    availability: float = 1.0
+    #: Latency population of completed requests that needed >= 2
+    #: attempts (``None`` on fault-free runs).
+    retried_latency: Optional[LatencyStats] = None
 
     @property
     def generative(self) -> bool:
         return self.ttft is not None
+
+    @property
+    def offered_requests(self) -> int:
+        """Requests that entered the system: completed plus dropped."""
+        return self.requests + self.dropped_requests
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed-request rate -- the degraded-fleet reading of
+        throughput (drops never count; compare against
+        ``offered_rps`` for the loss to failures)."""
+        return self.throughput_rps
+
+    @property
+    def drop_rate(self) -> float:
+        offered = self.offered_requests
+        return self.dropped_requests / offered if offered else 0.0
 
     @property
     def tokens_per_s(self) -> float:
@@ -173,6 +212,27 @@ class ServingReport:
                     f"{self.tbt.p99_s * 1e3:,.2f} ms",
                 ]
             )
+        if self.faulted:
+            reasons = (
+                ", ".join(
+                    f"{name}={count:,}"
+                    for name, count in sorted(self.dropped_by_reason.items())
+                    if count
+                )
+                or "none"
+            )
+            lines.extend(
+                [
+                    f"  availability      : {self.availability:.1%}",
+                    f"  goodput           : {self.goodput_rps:,.1f} rps "
+                    f"({self.requests:,}/{self.offered_requests:,} offered)",
+                    f"  dropped           : {self.dropped_requests:,} ({reasons})",
+                    f"  retries           : {self.retries:,} "
+                    f"({self.retried_completed:,} completed after retry)",
+                    f"  lost batches      : {self.failed_batches:,} "
+                    f"({self.wasted_energy_uj:,.1f} uJ wasted)",
+                ]
+            )
         if self.sla_s is not None:
             lines.append(
                 f"  SLA {self.sla_s * 1e3:,.1f} ms     : "
@@ -188,6 +248,7 @@ def summarize(
         ColumnarServingResult,
         GenerativeResult,
         DecodeColumnarResult,
+        FaultColumnarResult,
     ],
     config: str,
     mode: str,
@@ -213,11 +274,35 @@ def summarize(
     latency, and ``mean_batch_size`` is mean *step*-batch occupancy
     (total token steps over step batches).  TBT percentiles cover the
     multi-token requests (single-token requests have no decode gaps).
+
+    Fault-mode results (:class:`~repro.serving.faults.
+    FaultColumnarResult`, or a reference result whose run had a fault
+    schedule) also fill the degraded-fleet fields: drops by reason,
+    retry counts, lost-batch energy, availability, and the latency
+    population of retried completions.  ``requests`` / ``throughput``
+    then cover *completed* requests only (goodput); compare against
+    :attr:`ServingReport.offered_requests` for the loss.
     """
     ttfts = tbts = None
     tokens = 0
     step_mean_batch = None
-    if isinstance(result, DecodeColumnarResult):
+    retried_lat = None
+    if isinstance(result, FaultColumnarResult):
+        mask = result.completed
+        latencies = result.latency_s
+        waits = result.queue_wait_s
+        if result.generative:
+            ttfts = result.ttft_s
+            tbts = result.tbt_s
+            tokens = result.total_tokens
+            sizes = None
+            step_mean_batch = (
+                result.total_tokens / result.batches if result.batches else 0.0
+            )
+        else:
+            sizes = result.batch_size[mask]
+        retried_lat = latencies[result.attempts[mask] >= 2]
+    elif isinstance(result, DecodeColumnarResult):
         latencies = result.latency_s
         waits = result.queue_wait_s
         ttfts = result.ttft_s
@@ -257,13 +342,58 @@ def summarize(
     busy = np.asarray(result.device_busy_s, dtype=np.float64)
     utilization = float(np.mean(busy / span)) if busy.size else 0.0
     violations = (int(np.count_nonzero(latencies > sla_s)) if sla_s is not None else 0)
+
+    # Fault accounting: the columnar fault result carries columns; the
+    # reference results carry it on their records/dropped lists (their
+    # ``device_downtime_s`` is non-empty exactly on fault runs).
+    n_completed = result.completed
+    fault_kwargs: dict = {}
+    if isinstance(result, FaultColumnarResult):
+        n_completed = result.completed_count
+        by_reason = {name: 0 for name in DROP_REASON_NAMES.values()}
+        for row in result.drop_order:
+            by_reason[DROP_REASON_NAMES[int(result.drop_reason[row])]] += 1
+        fault_kwargs = dict(
+            dropped_requests=result.dropped_count,
+            dropped_by_reason=by_reason,
+            retries=result.retries,
+            retried_completed=int(retried_lat.size),
+            failed_batches=result.failed_batches,
+            wasted_energy_uj=result.wasted_energy_pj / 1e6,
+        )
+    elif getattr(result, "device_downtime_s", None):
+        retried_lat = np.array(
+            [rec.latency_s for rec in result.records if rec.attempts >= 2],
+            dtype=np.float64,
+        )
+        by_reason = {name: 0 for name in DROP_REASON_NAMES.values()}
+        for dropped in result.dropped:
+            by_reason[dropped.reason] += 1
+        fault_kwargs = dict(
+            dropped_requests=len(result.dropped),
+            dropped_by_reason=by_reason,
+            retries=result.retries,
+            retried_completed=int(retried_lat.size),
+            failed_batches=result.failed_batches,
+            wasted_energy_uj=result.wasted_energy_pj / 1e6,
+        )
+    if fault_kwargs:
+        downtime = np.asarray(result.device_downtime_s, dtype=np.float64)
+        fault_kwargs["faulted"] = True
+        fault_kwargs["availability"] = (
+            float(1.0 - np.mean(downtime / span)) if downtime.size else 1.0
+        )
+
     ttft_stats = tbt_stats = None
+    retried_stats = None
     if exact:
         latency_stats = LatencyStats.from_samples(latencies)
         wait_stats = LatencyStats.from_samples(waits)
         if ttfts is not None:
             ttft_stats = LatencyStats.from_samples(ttfts)
             tbt_stats = LatencyStats.from_samples(tbts)
+        if fault_kwargs:
+            retried_stats = LatencyStats.from_samples(retried_lat)
     else:
         latency_sketch = StreamingHistogram()
         latency_sketch.add_many(latencies)
@@ -278,16 +408,22 @@ def summarize(
             tbt_sketch.add_many(tbts)
             ttft_stats = LatencyStats.from_sketch(ttft_sketch)
             tbt_stats = LatencyStats.from_sketch(tbt_sketch)
+        if fault_kwargs:
+            retried_sketch = StreamingHistogram()
+            retried_sketch.add_many(retried_lat)
+            retried_stats = LatencyStats.from_sketch(retried_sketch)
+    if fault_kwargs:
+        fault_kwargs["retried_latency"] = retried_stats
     return ServingReport(
         config=config,
         mode=mode,
         pattern=pattern,
         offered_rps=offered_rps,
-        requests=result.completed,
+        requests=n_completed,
         duration_s=duration,
         latency=latency_stats,
         queue_wait=wait_stats,
-        throughput_rps=result.completed / span,
+        throughput_rps=n_completed / span,
         utilization=utilization,
         mean_batch_size=(
             step_mean_batch
@@ -300,6 +436,7 @@ def summarize(
         ttft=ttft_stats,
         tbt=tbt_stats,
         total_tokens=tokens,
+        **fault_kwargs,
     )
 
 
@@ -316,6 +453,8 @@ def summarize_stream(
     max_wait_s: float = 2e-3,
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
     threads: int = 1,
+    faults=None,
+    retry=None,
 ) -> ServingReport:
     """Simulate a chunked stream and summarize it in O(1) memory.
 
@@ -338,11 +477,22 @@ def summarize_stream(
     Generative streams fold TTFT and TBT into their own sketches the
     same way (TBT over multi-token requests), so the decode-phase tail
     percentiles also come out of O(1) memory.
+
+    A ``faults`` schedule routes the run through the fault-injection
+    engine; the report then carries the degraded-fleet fields and a
+    retried-completion latency sketch built by merging one small
+    per-chunk sketch per flush (most are empty -- the merge is a
+    no-op on them).
     """
+    from repro.obs.streaming import Counter
+    from repro.serving.faults import FaultCompletedChunk
+
     latency_sketch = StreamingHistogram()
     wait_sketch = StreamingHistogram()
     ttft_sketch = StreamingHistogram()
     tbt_sketch = StreamingHistogram()
+    retried_sketch = StreamingHistogram()
+    retried_counter = Counter("retried_completed")
     batch_size_sum = 0
     violations = 0
     generative = False
@@ -352,7 +502,19 @@ def summarize_stream(
         latencies = completed.latency_s
         latency_sketch.add_many(latencies)
         wait_sketch.add_many(completed.queue_wait_s)
-        if hasattr(completed, "ttft_s"):
+        if isinstance(completed, FaultCompletedChunk):
+            is_generative = completed.generative
+            retried = completed.attempts >= 2
+            # Per-chunk sketch merged in: chunks with zero retried
+            # completions merge an empty sketch (and inc the counter
+            # by 0) -- pinned edge cases of the streaming primitives.
+            local = StreamingHistogram()
+            local.add_many(latencies[retried])
+            retried_sketch.merge(local)
+            retried_counter.inc(int(np.count_nonzero(retried)))
+        else:
+            is_generative = hasattr(completed, "ttft_s")
+        if is_generative:
             generative = True
             ttft_sketch.add_many(completed.ttft_s)
             tbt = completed.tbt_s
@@ -373,6 +535,8 @@ def summarize_stream(
         setup_cycles=setup_cycles,
         threads=threads,
         sink=_fold,
+        faults=faults,
+        retry=retry,
     )
     duration = result.duration_s
     span = duration if duration > 0 else float("inf")
@@ -381,6 +545,22 @@ def summarize_stream(
         mean_batch = (result.total_tokens / result.batches if result.batches else 0.0)
     else:
         mean_batch = (batch_size_sum / result.completed if result.completed else 0.0)
+    fault_kwargs: dict = {}
+    if faults is not None:
+        downtime = np.asarray(result.device_downtime_s, dtype=np.float64)
+        fault_kwargs = dict(
+            faulted=True,
+            dropped_requests=result.dropped,
+            dropped_by_reason=dict(result.dropped_by_reason),
+            retries=result.retries,
+            retried_completed=retried_counter.value,
+            failed_batches=result.failed_batches,
+            wasted_energy_uj=result.wasted_energy_pj / 1e6,
+            availability=(
+                float(1.0 - np.mean(downtime / span)) if downtime.size else 1.0
+            ),
+            retried_latency=LatencyStats.from_sketch(retried_sketch),
+        )
     return ServingReport(
         config=config,
         mode=mode,
@@ -399,4 +579,5 @@ def summarize_stream(
         ttft=LatencyStats.from_sketch(ttft_sketch) if generative else None,
         tbt=LatencyStats.from_sketch(tbt_sketch) if generative else None,
         total_tokens=result.total_tokens if generative else 0,
+        **fault_kwargs,
     )

@@ -57,6 +57,12 @@ class Request:
         ``k > 1`` adds ``k - 1`` decode steps, each re-entering the
         batcher with context grown by one token; the final context
         ``valid_len + output_len - 1`` must fit in ``spec.seq_len``.
+    deadline_s:
+        Optional completion deadline in seconds *relative to arrival*.
+        Only the fault layer reads it: a lost request is dropped
+        instead of retried once its next retry would land past
+        ``arrival_s + deadline_s``.  ``None`` (the default) never
+        drops.
     """
 
     request_id: int
@@ -64,6 +70,7 @@ class Request:
     spec: ModelSpec
     valid_len: int
     output_len: int = 1
+    deadline_s: Optional[float] = None
 
     def __post_init__(self):
         if self.valid_len < 1:
@@ -74,6 +81,8 @@ class Request:
             raise ValueError("output_len must be positive")
         if self.valid_len + self.output_len - 1 > self.spec.seq_len:
             raise ValueError("valid_len + output_len - 1 exceeds the model's seq_len")
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError("deadline_s must be positive")
 
 
 @dataclass
@@ -91,6 +100,9 @@ class RequestRecord:
     batch_size: int = 1
     #: Device that executed the batch.
     device_id: int = -1
+    #: Dispatch attempts this request needed (1 without faults; the
+    #: fault layer counts one per lost batch plus the success).
+    attempts: int = 1
 
     @property
     def latency_s(self) -> float:
@@ -167,6 +179,10 @@ class RequestTable:
     #: Generated tokens per request (``None`` -> legacy prefill-only
     #: stream; every request is one forward pass).
     output_len: Optional[np.ndarray] = None
+    #: Per-request completion deadline, seconds relative to arrival
+    #: (``None`` -> no deadlines; ``inf`` rows mean no deadline).
+    #: Only the fault layer reads this column.
+    deadline_s: Optional[np.ndarray] = None
 
     def __post_init__(self):
         self.request_id = np.asarray(self.request_id, dtype=np.int64)
@@ -175,12 +191,19 @@ class RequestTable:
         self.valid_len = np.asarray(self.valid_len, dtype=np.int64)
         if self.output_len is not None:
             self.output_len = np.asarray(self.output_len, dtype=np.int64)
+        if self.deadline_s is not None:
+            self.deadline_s = np.asarray(self.deadline_s, dtype=np.float64)
         n = self.request_id.size
         for name in ("arrival_s", "spec_idx", "valid_len"):
             if getattr(self, name).size != n:
                 raise ValueError(f"column {name} length != request_id length")
         if self.output_len is not None and self.output_len.size != n:
             raise ValueError("column output_len length != request_id length")
+        if self.deadline_s is not None:
+            if self.deadline_s.size != n:
+                raise ValueError("column deadline_s length != request_id length")
+            if n and not np.all(self.deadline_s > 0):
+                raise ValueError("deadline_s must be positive")
         if n == 0:
             return
         if not self.specs:
@@ -229,11 +252,17 @@ class RequestTable:
                 at = index[r.spec.name] = len(specs)
                 specs.append(r.spec)
             spec_idx[i] = at
-        # The column stays absent for pure prefill streams so legacy
-        # round-trips keep producing legacy tables.
+        # The columns stay absent for pure prefill / no-deadline
+        # streams so legacy round-trips keep producing legacy tables.
         output_len = None
         if any(r.output_len != 1 for r in requests):
             output_len = np.array([r.output_len for r in requests], dtype=np.int64)
+        deadline_s = None
+        if any(r.deadline_s is not None for r in requests):
+            deadline_s = np.array(
+                [np.inf if r.deadline_s is None else r.deadline_s for r in requests],
+                dtype=np.float64,
+            )
         return cls(
             specs=specs,
             request_id=np.array([r.request_id for r in requests], dtype=np.int64),
@@ -241,11 +270,13 @@ class RequestTable:
             spec_idx=spec_idx,
             valid_len=np.array([r.valid_len for r in requests], dtype=np.int64),
             output_len=output_len,
+            deadline_s=deadline_s,
         )
 
     def to_requests(self) -> List[Request]:
         """Materialize the object stream (exact same values row-wise)."""
         out = self.output_len
+        dl = self.deadline_s
         return [
             Request(
                 request_id=int(self.request_id[i]),
@@ -253,6 +284,11 @@ class RequestTable:
                 spec=self.specs[int(self.spec_idx[i])],
                 valid_len=int(self.valid_len[i]),
                 output_len=1 if out is None else int(out[i]),
+                deadline_s=(
+                    None
+                    if dl is None or not np.isfinite(dl[i])
+                    else float(dl[i])
+                ),
             )
             for i in range(len(self))
         ]
@@ -274,6 +310,7 @@ class RequestTable:
         if not 0 <= lo < hi <= len(self):
             raise ValueError(f"slice [{lo}, {hi}) out of range for {len(self)} rows")
         out = self.output_len
+        dl = self.deadline_s
         return RequestTable(
             specs=self.specs,
             request_id=self.request_id[lo:hi].copy(),
@@ -281,4 +318,5 @@ class RequestTable:
             spec_idx=self.spec_idx[lo:hi].copy(),
             valid_len=self.valid_len[lo:hi].copy(),
             output_len=None if out is None else out[lo:hi].copy(),
+            deadline_s=None if dl is None else dl[lo:hi].copy(),
         )

@@ -17,6 +17,7 @@ the fast path honest.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence
@@ -35,7 +36,11 @@ from repro.serving.requests import Batch, Request, RequestRecord
 
 @dataclass
 class ServingResult:
-    """Everything one simulation run produced."""
+    """Everything one simulation run produced.
+
+    The fault-layer fields keep their zero defaults on fault-free runs,
+    so legacy construction sites and equality checks are untouched.
+    """
 
     records: List[RequestRecord] = field(default_factory=list)
     #: Wall-clock span of the run: first arrival to last completion.
@@ -47,6 +52,21 @@ class ServingResult:
     batches: int = 0
     size_triggered_batches: int = 0
     timeout_triggered_batches: int = 0
+    #: Retry dispatches the fault layer scheduled.
+    retries: int = 0
+    #: Batches lost to mid-execution device failures.
+    failed_batches: int = 0
+    #: Energy spent on lost (never-delivered) batch work.
+    wasted_energy_pj: float = 0.0
+    #: :class:`~repro.serving.faults.DroppedRecord` per given-up
+    #: request, in drop order.
+    dropped: list = field(default_factory=list)
+    #: Per-device outage seconds within [start_s, end_s] (empty on
+    #: fault-free runs).
+    device_downtime_s: List[float] = field(default_factory=list)
+    #: (request id, retry instant, attempt number, model name) per
+    #: scheduled retry.
+    retry_events: list = field(default_factory=list)
 
     @property
     def duration_s(self) -> float:
@@ -55,6 +75,10 @@ class ServingResult:
     @property
     def completed(self) -> int:
         return len(self.records)
+
+    @property
+    def offered(self) -> int:
+        return len(self.records) + len(self.dropped)
 
 
 class ServingSimulator:
@@ -72,6 +96,14 @@ class ServingSimulator:
         sampled lifecycle spans are emitted from the completed records
         after the event loop finishes, so tracing never perturbs the
         simulation itself.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultSchedule` (one
+        outage trace per device position).  With it in force, a device
+        that dies mid-batch loses the batch; members retry under
+        ``retry`` or drop (see :mod:`repro.serving.faults`).
+    retry:
+        :class:`~repro.serving.faults.RetryPolicy` for lost requests;
+        defaults to ``RetryPolicy()`` when ``faults`` is given.
     """
 
     def __init__(
@@ -79,13 +111,26 @@ class ServingSimulator:
         devices: Sequence[SprintDevice],
         batcher: DynamicBatcher,
         recorder: Optional[TraceRecorder] = None,
+        faults=None,
+        retry=None,
     ):
         devices = list(devices)
         if not devices:
             raise ValueError("at least one device required")
+        if faults is None:
+            if retry is not None:
+                raise ValueError("a retry policy requires a fault schedule")
+        else:
+            faults.validate_for(len(devices))
+            if retry is None:
+                from repro.serving.faults import RetryPolicy
+
+                retry = RetryPolicy()
         self.devices = devices
         self.batcher = batcher
         self.recorder = recorder
+        self.faults = faults
+        self.retry = retry
         self._consumed = False
 
     # ------------------------------------------------------------------
@@ -117,25 +162,62 @@ class ServingSimulator:
         ready: Deque[Batch] = deque()
         records: Dict[int, RequestRecord] = {}
         arrivals_left = len(requests)
+        faults = self.faults
+        retry = self.retry
+        # Fault-mode state.  A retried request re-enters the batcher
+        # as a copy with ``arrival_s`` moved to the retry instant (so
+        # the batcher's wait rules apply naturally); ``originals``
+        # keeps the true request for records and latency.
+        originals: Dict[int, Request] = {}
+        failures: Dict[int, int] = {}
+        dropped: list = []
+        retry_events: list = []
+        pending_retries = 0
+        retries = 0
+        failed_batches = 0
+        wasted_energy_pj = 0.0
+        if faults is not None:
+            from repro.serving.faults import DroppedRecord
+
+            originals = {r.request_id: r for r in requests}
 
         for r in requests:
             queue.push(r.arrival_s, EventKind.ARRIVAL, r)
+        if faults is not None:
+            for device_index, up_s in faults.recovery_events():
+                queue.push(up_s, EventKind.RECOVERY, device_index)
 
         def seal(batch: Batch) -> None:
             for member in batch.requests:
                 records[member.request_id] = RequestRecord(
-                    request=member,
+                    request=originals.get(member.request_id, member),
                     batched_s=batch.sealed_s,
                     batch_size=batch.size,
                 )
             ready.append(batch)
 
         def dispatch(now_s: float) -> None:
+            nonlocal failed_batches, wasted_energy_pj
             while ready:
-                device = next((d for d in self.devices if d.is_idle(now_s)), None)
-                if device is None:
+                at = -1
+                for i, d in enumerate(self.devices):
+                    if d.is_idle(now_s) and (
+                        faults is None or faults.is_up(i, now_s)
+                    ):
+                        at = i
+                        break
+                if at < 0:
                     return
+                device = self.devices[at]
                 batch = ready.popleft()
+                if faults is not None:
+                    fail_s = faults.next_down_after(at, now_s)
+                    if fail_s < now_s + device.service_time_s(batch):
+                        # Preordained loss: the device dies mid-batch.
+                        wasted_energy_pj += device.lose_batch(batch, now_s, fail_s)
+                        failed_batches += 1
+                        queue.push(fail_s, EventKind.BATCH_FAILED, batch)
+                        continue
                 finish = device.start_batch(batch, now_s)
                 for member in batch.requests:
                     rec = records[member.request_id]
@@ -157,12 +239,14 @@ class ServingSimulator:
                         self.batcher.deadline_for(event.payload),
                         EventKind.BATCH_TIMEOUT,
                     )
-                else:
+                elif faults is None:
                     # Zero wait: the request never lingers in the
                     # batcher; seal its (possibly singleton) queue now.
+                    # (Fault mode runs the same flush post-event, where
+                    # retry re-admissions share it.)
                     for b in self.batcher.flush_due(now):
                         seal(b)
-                if arrivals_left == 0 and self.batcher.pending:
+                if faults is None and arrivals_left == 0 and self.batcher.pending:
                     # Stream over: don't make the tail wait out its
                     # timeout for batch-mates that will never come.
                     for b in self.batcher.flush_all(now):
@@ -171,12 +255,92 @@ class ServingSimulator:
                 for b in self.batcher.flush_due(now):
                     seal(b)
             elif event.kind == EventKind.DEVICE_DONE:
-                pass  # the device's busy_until_s already expired
+                if faults is not None:
+                    for member in event.payload.requests:
+                        records[member.request_id].attempts = (
+                            failures.get(member.request_id, 0) + 1
+                        )
+            elif event.kind == EventKind.BATCH_FAILED:
+                for member in event.payload.requests:
+                    rid = member.request_id
+                    f = failures.get(rid, 0) + 1
+                    failures[rid] = f
+                    original = originals[rid]
+                    if f >= retry.max_attempts:
+                        dropped.append(DroppedRecord(original, "retries", now, f))
+                        continue
+                    retry_at = now + retry.backoff_s(f)
+                    if (
+                        original.deadline_s is not None
+                        and retry_at > original.arrival_s + original.deadline_s
+                    ):
+                        dropped.append(DroppedRecord(original, "deadline", now, f))
+                        continue
+                    retries += 1
+                    pending_retries += 1
+                    retry_events.append(
+                        (rid, retry_at, f + 1, original.spec.name)
+                    )
+                    queue.push(
+                        retry_at,
+                        EventKind.RETRY,
+                        dataclasses.replace(original, arrival_s=retry_at),
+                    )
+            elif event.kind == EventKind.RETRY:
+                pending_retries -= 1
+                sealed = self.batcher.add(event.payload, now)
+                if sealed is not None:
+                    seal(sealed)
+                elif self.batcher.max_wait_s > 0:
+                    queue.push(
+                        self.batcher.deadline_for(event.payload),
+                        EventKind.BATCH_TIMEOUT,
+                    )
+            # EventKind.RECOVERY carries no state change: up/down is a
+            # pure function of time; the event re-triggers dispatch.
+            if faults is not None:
+                if self.batcher.max_wait_s == 0 and self.batcher.pending:
+                    for b in self.batcher.flush_due(now):
+                        seal(b)
+                if (
+                    arrivals_left == 0
+                    and pending_retries == 0
+                    and self.batcher.pending
+                ):
+                    for b in self.batcher.flush_all(now):
+                        seal(b)
             dispatch(now)
 
+        if faults is not None:
+            # Fleet dead forever with sealed work still queued: those
+            # batches can never run; their members strand.
+            while ready:
+                batch = ready.popleft()
+                for member in batch.requests:
+                    rid = member.request_id
+                    dropped.append(
+                        DroppedRecord(
+                            originals[rid],
+                            "stranded",
+                            batch.sealed_s,
+                            failures.get(rid, 0),
+                        )
+                    )
         assert not ready and self.batcher.pending == 0
-        result_records = [records[r.request_id] for r in requests]
-        assert len(result_records) == len(requests)
+        dropped_ids = {d.request.request_id for d in dropped}
+        result_records = [
+            records[r.request_id]
+            for r in requests
+            if r.request_id not in dropped_ids
+        ]
+        assert len(result_records) + len(dropped) == len(requests)
+        if faults is None:
+            end_s = max(rec.finish_s for rec in result_records)
+        else:
+            end_s = max(
+                [rec.finish_s for rec in result_records]
+                + [d.dropped_s for d in dropped]
+            )
         if self.recorder is not None:
             for rec in result_records:
                 self.recorder.add_request(
@@ -189,15 +353,39 @@ class ServingSimulator:
                     device_id=rec.device_id,
                     batch_size=rec.batch_size,
                 )
+            if faults is not None:
+                from repro.serving.faults import _emit_fault_trace
+
+                _emit_fault_trace(
+                    self.recorder,
+                    faults,
+                    len(self.devices),
+                    requests[0].arrival_s,
+                    end_s,
+                    retry_events,
+                )
         return ServingResult(
             records=result_records,
             start_s=requests[0].arrival_s,
-            end_s=max(rec.finish_s for rec in result_records),
+            end_s=end_s,
             device_busy_s=[d.busy_s for d in self.devices],
             device_energy_pj=[d.energy_pj for d in self.devices],
             batches=self.batcher.stats.batches_out,
             size_triggered_batches=self.batcher.stats.size_triggered,
             timeout_triggered_batches=self.batcher.stats.timeout_triggered,
+            retries=retries,
+            failed_batches=failed_batches,
+            wasted_energy_pj=wasted_energy_pj,
+            dropped=dropped,
+            device_downtime_s=(
+                []
+                if faults is None
+                else [
+                    faults.downtime_within(i, requests[0].arrival_s, end_s)
+                    for i in range(len(self.devices))
+                ]
+            ),
+            retry_events=retry_events,
         )
 
 
@@ -222,6 +410,9 @@ class DecodeRecord:
     #: batch occupancy its decode tokens experienced; 0 when
     #: ``output_len == 1``).
     decode_slots: int = 0
+    #: Dispatch attempts this request needed (1 without faults; the
+    #: fault layer counts one per lost step batch plus the success).
+    attempts: int = 1
 
     @property
     def ttft_s(self) -> float:
@@ -265,8 +456,15 @@ class GenerativeResult:
     decode_batches: int = 0
     size_triggered_batches: int = 0
     timeout_triggered_batches: int = 0
-    #: Tokens generated across all requests (= total steps executed).
+    #: Tokens generated across all *completed* requests (= total steps
+    #: executed; equals the whole stream's tokens without faults).
     total_tokens: int = 0
+    retries: int = 0
+    failed_batches: int = 0
+    wasted_energy_pj: float = 0.0
+    dropped: list = field(default_factory=list)
+    device_downtime_s: List[float] = field(default_factory=list)
+    retry_events: list = field(default_factory=list)
 
     @property
     def duration_s(self) -> float:
@@ -275,6 +473,10 @@ class GenerativeResult:
     @property
     def completed(self) -> int:
         return len(self.records)
+
+    @property
+    def offered(self) -> int:
+        return len(self.records) + len(self.dropped)
 
 
 class GenerativeServingSimulator:
@@ -305,13 +507,26 @@ class GenerativeServingSimulator:
         devices: Sequence[SprintDevice],
         batcher: ContinuousBatcher,
         recorder: Optional[TraceRecorder] = None,
+        faults=None,
+        retry=None,
     ):
         devices = list(devices)
         if not devices:
             raise ValueError("at least one device required")
+        if faults is None:
+            if retry is not None:
+                raise ValueError("a retry policy requires a fault schedule")
+        else:
+            faults.validate_for(len(devices))
+            if retry is None:
+                from repro.serving.faults import RetryPolicy
+
+                retry = RetryPolicy()
         self.devices = devices
         self.batcher = batcher
         self.recorder = recorder
+        self.faults = faults
+        self.retry = retry
         self._consumed = False
 
     # ------------------------------------------------------------------
@@ -341,9 +556,23 @@ class GenerativeServingSimulator:
         in_flight_rejoiners = 0
         prefill_batches = 0
         decode_batches = 0
+        faults = self.faults
+        retry = self.retry
+        failures: Dict[int, int] = {}
+        dropped: list = []
+        retry_events: list = []
+        pending_retries = 0
+        retries = 0
+        failed_batches = 0
+        wasted_energy_pj = 0.0
+        if faults is not None:
+            from repro.serving.faults import DroppedRecord
 
         for r in requests:
             queue.push(r.arrival_s, EventKind.ARRIVAL, r)
+        if faults is not None:
+            for device_index, up_s in faults.recovery_events():
+                queue.push(up_s, EventKind.RECOVERY, device_index)
 
         def seal(batch: StepBatch) -> None:
             nonlocal in_flight_rejoiners, prefill_batches, decode_batches
@@ -369,11 +598,37 @@ class GenerativeServingSimulator:
                 )
 
         def dispatch(now_s: float) -> None:
+            nonlocal failed_batches, wasted_energy_pj
             while ready:
-                device = next((d for d in self.devices if d.is_idle(now_s)), None)
-                if device is None:
+                at = -1
+                for i, d in enumerate(self.devices):
+                    if d.is_idle(now_s) and (
+                        faults is None or faults.is_up(i, now_s)
+                    ):
+                        at = i
+                        break
+                if at < 0:
                     return
+                device = self.devices[at]
                 batch = ready.popleft()
+                if faults is not None:
+                    fail_s = faults.next_down_after(at, now_s)
+                    service = device.step_service_time_s(
+                        batch.spec, batch.max_context_len, batch.size, batch.decode
+                    )
+                    if fail_s < now_s + service:
+                        # Preordained loss: the device dies mid-step.
+                        wasted_energy_pj += device.lose_step_batch(
+                            batch.spec,
+                            batch.max_context_len,
+                            batch.size,
+                            batch.decode,
+                            now_s,
+                            fail_s,
+                        )
+                        failed_batches += 1
+                        queue.push(fail_s, EventKind.BATCH_FAILED, batch)
+                        continue
                 finish = device.start_step_batch(
                     batch.spec,
                     batch.max_context_len,
@@ -410,6 +665,10 @@ class GenerativeServingSimulator:
                         rec.first_token_s = now
                     if item.is_last:
                         rec.finish_s = now
+                        if faults is not None:
+                            rec.attempts = (
+                                failures.get(item.request.request_id, 0) + 1
+                            )
                     else:
                         in_flight_rejoiners -= 1
                         admit(
@@ -420,13 +679,54 @@ class GenerativeServingSimulator:
                             ),
                             now,
                         )
+            elif event.kind == EventKind.BATCH_FAILED:
+                batch = event.payload
+                for item in batch.items:
+                    if not item.is_last:
+                        in_flight_rejoiners -= 1
+                    rid = item.request.request_id
+                    f = failures.get(rid, 0) + 1
+                    failures[rid] = f
+                    if f >= retry.max_attempts:
+                        dropped.append(DroppedRecord(item.request, "retries", now, f))
+                        continue
+                    retry_at = now + retry.backoff_s(f)
+                    if (
+                        item.request.deadline_s is not None
+                        and retry_at
+                        > item.request.arrival_s + item.request.deadline_s
+                    ):
+                        dropped.append(DroppedRecord(item.request, "deadline", now, f))
+                        continue
+                    retries += 1
+                    pending_retries += 1
+                    retry_events.append(
+                        (rid, retry_at, f + 1, item.request.spec.name)
+                    )
+                    queue.push(
+                        retry_at,
+                        EventKind.RETRY,
+                        StepItem(
+                            request=item.request,
+                            step=item.step,
+                            ready_s=retry_at,
+                        ),
+                    )
+            elif event.kind == EventKind.RETRY:
+                pending_retries -= 1
+                admit(event.payload, now)
+            # EventKind.RECOVERY carries no state change: up/down is a
+            # pure function of time; the event re-triggers dispatch.
             if self.batcher.max_wait_s == 0 and self.batcher.pending:
                 # Zero wait: no step lingers in the batcher; seal the
                 # (possibly singleton) queues this event populated.
                 for b in self.batcher.flush_due(now):
                     seal(b)
             if (
-                arrivals_left == 0 and in_flight_rejoiners == 0 and self.batcher.pending
+                arrivals_left == 0
+                and in_flight_rejoiners == 0
+                and pending_retries == 0
+                and self.batcher.pending
             ):
                 # No future step can ever join: don't make the tail
                 # wait out its timeout for batch-mates that won't come.
@@ -434,9 +734,39 @@ class GenerativeServingSimulator:
                     seal(b)
             dispatch(now)
 
+        if faults is not None:
+            # Fleet dead forever with sealed work still queued: those
+            # steps can never run; their requests strand.
+            while ready:
+                batch = ready.popleft()
+                for item in batch.items:
+                    if not item.is_last:
+                        in_flight_rejoiners -= 1
+                    rid = item.request.request_id
+                    dropped.append(
+                        DroppedRecord(
+                            item.request,
+                            "stranded",
+                            batch.sealed_s,
+                            failures.get(rid, 0),
+                        )
+                    )
         assert not ready and self.batcher.pending == 0
         assert in_flight_rejoiners == 0
-        result_records = [records[r.request_id] for r in requests]
+        dropped_ids = {d.request.request_id for d in dropped}
+        result_records = [
+            records[r.request_id]
+            for r in requests
+            if r.request_id not in dropped_ids
+        ]
+        assert len(result_records) + len(dropped) == len(requests)
+        if faults is None:
+            end_s = max(rec.finish_s for rec in result_records)
+        else:
+            end_s = max(
+                [rec.finish_s for rec in result_records]
+                + [d.dropped_s for d in dropped]
+            )
         if self.recorder is not None:
             for rec in result_records:
                 self.recorder.add_request(
@@ -456,10 +786,21 @@ class GenerativeServingSimulator:
                     finish_s=rec.finish_s,
                     tokens=rec.request.output_len - 1,
                 )
+            if faults is not None:
+                from repro.serving.faults import _emit_fault_trace
+
+                _emit_fault_trace(
+                    self.recorder,
+                    faults,
+                    len(self.devices),
+                    requests[0].arrival_s,
+                    end_s,
+                    retry_events,
+                )
         return GenerativeResult(
             records=result_records,
             start_s=requests[0].arrival_s,
-            end_s=max(rec.finish_s for rec in result_records),
+            end_s=end_s,
             device_busy_s=[d.busy_s for d in self.devices],
             device_energy_pj=[d.energy_pj for d in self.devices],
             batches=self.batcher.stats.batches_out,
@@ -467,5 +808,18 @@ class GenerativeServingSimulator:
             decode_batches=decode_batches,
             size_triggered_batches=self.batcher.stats.size_triggered,
             timeout_triggered_batches=self.batcher.stats.timeout_triggered,
-            total_tokens=sum(r.output_len for r in requests),
+            total_tokens=sum(rec.request.output_len for rec in result_records),
+            retries=retries,
+            failed_batches=failed_batches,
+            wasted_energy_pj=wasted_energy_pj,
+            dropped=dropped,
+            device_downtime_s=(
+                []
+                if faults is None
+                else [
+                    faults.downtime_within(i, requests[0].arrival_s, end_s)
+                    for i in range(len(self.devices))
+                ]
+            ),
+            retry_events=retry_events,
         )

@@ -300,7 +300,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig5", "fig8", "fig9", "fig10",
             "fig11", "fig12", "fig13", "ffn", "table3", "ablations",
-            "sensitivity", "serving", "decode",
+            "sensitivity", "serving", "decode", "resilience",
         }
 
     def test_run_experiment_fast(self):

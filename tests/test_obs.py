@@ -79,6 +79,14 @@ class TestCounterGauge:
         g.set(2)
         assert g.value == 2
 
+    def test_counter_increment_by_zero_is_a_noop(self):
+        # The fault-mode stream fold increments the retried-completed
+        # counter by the chunk's retry count, which is routinely zero.
+        c = Counter("retried_completed")
+        assert c.inc(0) == 0
+        c.inc(3)
+        assert c.inc(0) == 3
+
 
 def _distributions(seed):
     rng = np.random.default_rng(seed)
@@ -151,6 +159,43 @@ class TestStreamingHistogram:
             assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
             for q in (50.0, 95.0, 99.0):
                 assert merged.quantile(q) == whole.quantile(q)
+
+    def test_merge_with_empty_histogram_changes_nothing(self):
+        # The per-chunk retry-latency sketch is often empty (no retried
+        # completions in a chunk); folding it into the running sketch
+        # must leave every statistic bitwise unchanged -- and merging
+        # *into* an empty sketch must equal the non-empty side.
+        rng = np.random.default_rng(5)
+        samples = rng.exponential(0.02, 2000)
+        full = StreamingHistogram()
+        full.add_many(samples)
+        before = (
+            full.bucket_counts.copy(),
+            full.count,
+            full.max,
+            full.min,
+            full.mean,
+        )
+        full.merge(StreamingHistogram())
+        assert np.array_equal(full.bucket_counts, before[0])
+        assert full.count == before[1]
+        assert full.max == before[2]
+        assert full.min == before[3]
+        assert full.mean == before[4]
+
+        other = StreamingHistogram()
+        other.add_many(samples)
+        empty = StreamingHistogram()
+        empty.merge(other)
+        assert np.array_equal(empty.bucket_counts, other.bucket_counts)
+        assert empty.count == other.count
+        assert empty.max == other.max
+        assert empty.min == other.min
+        # Two empties merged stay empty (NaN stats preserved).
+        both = StreamingHistogram()
+        both.merge(StreamingHistogram())
+        assert both.count == 0
+        assert math.isnan(both.quantile(99.0))
 
     def test_merge_rejects_mismatched_layout(self):
         a = StreamingHistogram()

@@ -853,3 +853,117 @@ class TestDecodeUnitResume:
         re_executed = len(list(marks.iterdir()))
         assert re_executed <= 6 - landed
         assert len(list(units_dir.glob("*.pkl"))) == 6
+
+
+# ----------------------------------------------------------------------
+# bounded shard retry: a SIGKILLed worker does not sink the run
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _KamikazeUnit:
+    """A unit that SIGKILLs its worker on first execution.
+
+    The sentinel file marks the attempt: absent -> suicide (simulating
+    an OOM-killed worker mid-shard), present -> compute normally.  Only
+    ``point == 0`` is armed so the retry (and any in-parent fallback)
+    can always complete.
+    """
+
+    point: int
+    sentinel: str
+
+    @property
+    def key(self):
+        return ("killplan", self.point, self.sentinel)
+
+    @property
+    def group(self):
+        # One group: the whole shard dies with the worker, exercising
+        # retry of a multi-unit shard.
+        return ("killplan",)
+
+    def execute(self):
+        import os
+        import pathlib
+        import signal
+
+        mark = pathlib.Path(self.sentinel)
+        if self.point == 0 and not mark.exists():
+            mark.touch()
+            os.kill(os.getpid(), signal.SIGKILL)
+        return float(self.point) * 2.0
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="worker pickling needs fork")
+class TestShardRetry:
+    def _register(self, monkeypatch, sentinel):
+        units = [_KamikazeUnit(p, str(sentinel)) for p in range(3)]
+        primed = {}
+
+        def run():
+            rows = []
+            for unit in units:
+                result = primed.get(unit.key)
+                if result is None:
+                    result = unit.execute()
+                rows.append(_Row(str(unit.point), result))
+            return rows
+
+        module = SimpleNamespace(
+            run=run,
+            format_table=lambda rows: ", ".join(
+                f"{r.label}={r.value}" for r in rows
+            ),
+            plan=lambda: list(units),
+            prime=lambda key, result: primed.__setitem__(tuple(key), result),
+            clear_primed=primed.clear,
+        )
+        monkeypatch.setitem(registry.EXPERIMENTS, "killplan", ({}, module))
+        return primed
+
+    def test_sigkilled_worker_retries_and_completes(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.obs import telemetry as tele_mod
+        from repro.obs.telemetry import RunTelemetry
+
+        self._register(monkeypatch, tmp_path / "armed")
+        tele = RunTelemetry(jobs=2)
+        tele_mod.set_telemetry(tele)
+        try:
+            outcome = ExperimentPool(jobs=2).run(["killplan"])["killplan"]
+        finally:
+            tele_mod.set_telemetry(None)
+        assert outcome.ok, outcome.error
+        rows = {r["label"]: r["value"] for r in outcome.artifact.rows}
+        assert rows == {"0": 0.0, "1": 2.0, "2": 4.0}
+        # The crash was observed and the retry actually ran.
+        assert tele.counters["units.shard_retries"].value >= 1
+        kinds = [e["kind"] for e in tele.events]
+        assert "shard_retry" in kinds
+        warns = [e for e in tele.events if e["kind"] == "warning"]
+        assert any("shard" in w["message"] for w in warns)
+
+    def test_exhausted_retries_fall_back_to_serial(
+        self, monkeypatch, tmp_path
+    ):
+        # With a zero retry budget the shard is abandoned, but the
+        # aggregation path still re-simulates in-parent (the sentinel
+        # now exists, so the in-process execute() completes).
+        from repro.obs import telemetry as tele_mod
+        from repro.obs.telemetry import RunTelemetry
+
+        self._register(monkeypatch, tmp_path / "armed")
+        tele = RunTelemetry(jobs=2)
+        tele_mod.set_telemetry(tele)
+        try:
+            pool = ExperimentPool(jobs=2, shard_retries=0)
+            outcome = pool.run(["killplan"])["killplan"]
+        finally:
+            tele_mod.set_telemetry(None)
+        assert outcome.ok, outcome.error
+        rows = {r["label"]: r["value"] for r in outcome.artifact.rows}
+        assert rows == {"0": 0.0, "1": 2.0, "2": 4.0}
+        retries = tele.counters.get("units.shard_retries")
+        assert retries is None or retries.value == 0
+        warns = [e for e in tele.events if e["kind"] == "warning"]
+        assert any("exhausted" in w["message"] for w in warns)
